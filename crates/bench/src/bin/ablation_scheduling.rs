@@ -1,0 +1,98 @@
+//! Scheduling-policy ablation (DESIGN.md §5).
+//!
+//! Two studies beyond the paper's Figure 8:
+//!
+//! 1. **Policy ladder** — static IP, cache-agnostic, BAT's hotness-aware
+//!    rule, and a clairvoyant *oracle* that reads each user's true future
+//!    request count from the trace. The oracle bounds what any online
+//!    frequency estimator could achieve; hotness-aware should land between
+//!    cache-agnostic and the oracle.
+//! 2. **Frequency-window sweep** — the estimator's window `W` (§5.3
+//!    evaluates 5 min and 60 min): too short forgets returning users, too
+//!    long mistakes stale users for hot ones.
+
+use bat::experiment::{saturation_offered_rate, ComparisonSpec};
+use bat::{ClusterConfig, DatasetConfig, EngineConfig, ModelConfig, ServingEngine, SystemKind};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+use bat_sched::OraclePolicy;
+use bat_sim::PolicyKind;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(1200.0, 60.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let cluster = ClusterConfig::a100_4node();
+    let ds = DatasetConfig::books();
+    let rate = saturation_offered_rate(&model, &cluster, &ds, 3.0);
+    let spec = ComparisonSpec {
+        model: model.clone(),
+        cluster: cluster.clone(),
+        dataset: ds.clone(),
+        duration_secs: duration,
+        offered_rate: rate,
+        seed: 21,
+    };
+    let trace = spec.trace();
+    let base = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster, &ds);
+
+    println!("Scheduling-policy ladder (Books, Qwen2-1.5B, {} requests)", trace.len());
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    let ladder: Vec<(&str, PolicyKind, bool)> = vec![
+        ("static IP", PolicyKind::StaticItem, false),
+        ("cache-agnostic", PolicyKind::CacheAgnostic, false),
+        ("hotness-aware (BAT)", PolicyKind::HotnessAware, false),
+        ("oracle (clairvoyant)", PolicyKind::HotnessAware, true),
+    ];
+    for (label, policy, oracle) in ladder {
+        let cfg = EngineConfig {
+            label: label.to_owned(),
+            policy,
+            ..base.clone()
+        };
+        let mut engine = ServingEngine::new(cfg).expect("config valid");
+        if oracle {
+            engine.set_policy(Box::new(OraclePolicy::from_arrivals(
+                trace.iter().map(|r| (r.arrival.as_secs(), r.user)),
+                base.freq_window_secs,
+                model.kv_bytes_per_token(),
+            )));
+        }
+        let stats = engine.run(&trace);
+        rows.push(vec![
+            label.to_owned(),
+            f1(stats.qps()),
+            f3(stats.hit_rate()),
+            f3(stats.up_share()),
+        ]);
+        artifact.push(serde_json::json!({
+            "policy": label, "qps": stats.qps(),
+            "hit_rate": stats.hit_rate(), "up_share": stats.up_share(),
+        }));
+    }
+    print_table(&["Policy", "QPS", "HitRate", "UP share"], &rows);
+
+    println!("\nFrequency-estimator window sweep (hotness-aware policy)");
+    let mut rows = Vec::new();
+    for window in [60.0f64, 300.0, 600.0, 1800.0, 3600.0] {
+        let cfg = EngineConfig {
+            label: format!("W={window}s"),
+            freq_window_secs: window,
+            ..base.clone()
+        };
+        let mut engine = ServingEngine::new(cfg).expect("config valid");
+        let stats = engine.run(&trace);
+        rows.push(vec![
+            format!("{window:.0}s"),
+            f1(stats.qps()),
+            f3(stats.hit_rate()),
+            f3(stats.up_share()),
+        ]);
+        artifact.push(serde_json::json!({
+            "window_secs": window, "qps": stats.qps(),
+            "hit_rate": stats.hit_rate(), "up_share": stats.up_share(),
+        }));
+    }
+    print_table(&["Window W", "QPS", "HitRate", "UP share"], &rows);
+    write_artifact("ablation_scheduling.json", &artifact);
+}

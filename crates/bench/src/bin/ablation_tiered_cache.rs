@@ -1,0 +1,99 @@
+//! Tiered-cache exploration (the §3.3.2 footnote's future work).
+//!
+//! Replays an Industry trace's user accesses against a DRAM-only LRU cache
+//! and against DRAM + cold tiers of growing capacity, at two cold-tier
+//! bandwidths (NVMe-class ~6 GB/s, remote-memory-class ~1.5 GB/s). For each
+//! configuration it reports the user-prefix hit split and the estimated
+//! per-request time for the UP serving path (prefill of the non-reused
+//! tokens + tier load), i.e. whether the extra capacity pays for its
+//! latency.
+//!
+//! This is a cache-level analysis (the serving engine models a single
+//! DRAM tier, faithful to the paper); the conclusion it supports is the
+//! paper's own: cold tiers enlarge reuse but the latency trade needs care.
+
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+use bat_kvcache::{TierHit, TieredConfig, TieredUserCache};
+use bat_sim::ComputeModel;
+use bat_types::{Bytes, ClusterConfig, DatasetConfig, ModelConfig};
+use bat_workload::{TraceGenerator, Workload};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(1200.0, 120.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let cluster = ClusterConfig::a100_4node();
+    let compute = ComputeModel::new(model.clone(), cluster.node.clone());
+    let ds = DatasetConfig::industry();
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 13), 14);
+    let trace = gen.generate(duration, 120.0);
+    println!(
+        "Tiered user cache on {} Industry requests (DRAM fixed at 150 GB)",
+        trace.len()
+    );
+
+    let dram = Bytes::from_gb(150);
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    for (cold_gb, cold_bw) in [
+        (0u64, 0.0f64),
+        (600, 6e9),
+        (2000, 6e9),
+        (600, 1.5e9),
+        (2000, 1.5e9),
+    ] {
+        let mut cache = TieredUserCache::new(TieredConfig {
+            dram_capacity: dram,
+            cold_capacity: Bytes::from_gb(cold_gb),
+        });
+        let (mut dram_hits, mut cold_hits, mut misses) = (0u64, 0u64, 0u64);
+        let mut total_secs = 0.0f64;
+        for req in &trace {
+            let total = req.total_tokens() as u64;
+            let user_tokens = req.user_tokens as u64;
+            let user_bytes = compute.kv_bytes(user_tokens);
+            match cache.lookup(req.user) {
+                Some((bytes, TierHit::Dram)) => {
+                    dram_hits += 1;
+                    total_secs += compute.prefill_secs(total - user_tokens, total)
+                        + compute.kv_load_secs(bytes);
+                }
+                Some((bytes, TierHit::Cold)) => {
+                    cold_hits += 1;
+                    total_secs += compute.prefill_secs(total - user_tokens, total)
+                        + bytes / cold_bw;
+                }
+                None => {
+                    misses += 1;
+                    total_secs += compute.prefill_secs(total, total);
+                    cache.admit(req.user, user_bytes);
+                }
+            }
+        }
+        let n = trace.len() as f64;
+        let label = if cold_gb == 0 {
+            "DRAM only".to_owned()
+        } else {
+            format!("+{cold_gb} GB cold @ {:.1} GB/s", cold_bw / 1e9)
+        };
+        rows.push(vec![
+            label.clone(),
+            f3(dram_hits as f64 / n),
+            f3(cold_hits as f64 / n),
+            f3(misses as f64 / n),
+            f1(total_secs / n * 1e3),
+        ]);
+        artifact.push(serde_json::json!({
+            "cold_gb": cold_gb, "cold_bandwidth": cold_bw,
+            "dram_hit": dram_hits as f64 / n, "cold_hit": cold_hits as f64 / n,
+            "miss": misses as f64 / n, "mean_request_ms": total_secs / n * 1e3,
+        }));
+    }
+    print_table(
+        &["Configuration", "DRAM hit", "Cold hit", "Miss", "Mean req (ms)"],
+        &rows,
+    );
+    println!("\n(cold capacity converts misses into slow hits; whether mean request time");
+    println!(" improves depends on the tier bandwidth — the paper's deferred trade-off)");
+    write_artifact("ablation_tiered_cache.json", &artifact);
+}

@@ -1,0 +1,310 @@
+//! `batctl` — command-line front-end for the BAT reproduction.
+//!
+//! ```text
+//! batctl compare  --dataset books --model qwen2-1.5b --nodes 4 \
+//!                 --duration 60 --rate 150 [--systems re,up,ip,bat]
+//! batctl accuracy [--seed 7] [--users 40] [--biased] [--pic 0.15]
+//! batctl plan     --dataset industry [--gbps 100] [--nodes 4]
+//! batctl trace    --dataset games --duration 30 --rate 50 --out trace.jsonl
+//! batctl info     --trace trace.jsonl
+//! batctl breakdown --dataset industry --duration 30 --rate 80
+//! ```
+//!
+//! Everything is offline and deterministic; see `README.md` for the
+//! figure-regeneration harnesses.
+
+use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
+use bat::{
+    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
+    PlacementStrategy, PrefixKind, SemanticConfig, ServingEngine, SystemKind, TraceGenerator,
+    Workload, ZipfLaw,
+};
+use bat_bench::{f1, f3, print_table};
+use bat_placement::{compute_replication_ratio, HrcsParams};
+use bat_sim::breakdown_by_prefix;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".to_owned());
+            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+                1
+            } else {
+                2
+            };
+            map.insert(key.to_owned(), value);
+            i += consumed;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn dataset(name: &str) -> Result<DatasetConfig, String> {
+    match name.to_lowercase().as_str() {
+        "games" => Ok(DatasetConfig::games()),
+        "beauty" => Ok(DatasetConfig::beauty()),
+        "books" => Ok(DatasetConfig::books()),
+        "industry" => Ok(DatasetConfig::industry()),
+        other => {
+            if let Some(items) = other.strip_prefix("industry-") {
+                let n = parse_count(items)?;
+                return Ok(DatasetConfig::industry_x(n));
+            }
+            if let Some(items) = other.strip_prefix("books-") {
+                let n = parse_count(items)?;
+                return Ok(DatasetConfig::books_x(n));
+            }
+            Err(format!("unknown dataset '{other}' (games|beauty|books|industry[-N])"))
+        }
+    }
+}
+
+fn parse_count(s: &str) -> Result<u64, String> {
+    let (num, mult) = match s.to_lowercase() {
+        ref x if x.ends_with('m') => (x[..x.len() - 1].to_owned(), 1_000_000),
+        ref x if x.ends_with('k') => (x[..x.len() - 1].to_owned(), 1_000),
+        x => (x, 1),
+    };
+    num.parse::<u64>()
+        .map(|n| n * mult)
+        .map_err(|e| format!("bad count '{s}': {e}"))
+}
+
+fn model(name: &str) -> Result<ModelConfig, String> {
+    match name.to_lowercase().as_str() {
+        "qwen2-1.5b" | "qwen" => Ok(ModelConfig::qwen2_1_5b()),
+        "qwen2-7b" => Ok(ModelConfig::qwen2_7b()),
+        "llama3-1b" | "llama" => Ok(ModelConfig::llama3_1b()),
+        other => Err(format!("unknown model '{other}' (qwen2-1.5b|qwen2-7b|llama3-1b)")),
+    }
+}
+
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+    }
+}
+
+fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+    }
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let nodes = flag_usize(flags, "nodes", 4)?;
+    let duration = flag_f64(flags, "duration", 60.0)?;
+    let rate = flag_f64(flags, "rate", 100.0)?;
+    let seed = flag_f64(flags, "seed", 1.0)? as u64;
+    let systems: Vec<SystemKind> = flags
+        .get("systems")
+        .map_or("re,up,ip,bat", String::as_str)
+        .split(',')
+        .map(|s| match s.trim().to_lowercase().as_str() {
+            "re" => Ok(SystemKind::Recompute),
+            "up" => Ok(SystemKind::UserPrefix),
+            "ip" => Ok(SystemKind::ItemPrefix),
+            "bat" => Ok(SystemKind::Bat),
+            other => Err(format!("unknown system '{other}'")),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let spec = ComparisonSpec {
+        model,
+        cluster: ClusterConfig::a100_4node().with_nodes(nodes),
+        dataset: ds.clone(),
+        duration_secs: duration,
+        offered_rate: rate,
+        seed,
+    };
+    let stats = compare_systems(&spec, &systems);
+    println!("{} on {} nodes, {duration:.0}s at {rate:.0} req/s:", ds.name, nodes);
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.system.clone(),
+                f1(s.qps()),
+                f3(s.hit_rate()),
+                f3(s.computation_savings()),
+                f1(s.p99_latency_ms),
+            ]
+        })
+        .collect();
+    print_table(&["System", "QPS", "HitRate", "Savings", "P99 (ms)"], &rows);
+    Ok(())
+}
+
+fn cmd_accuracy(flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed = flag_f64(flags, "seed", 7.0)? as u64;
+    let users = flag_usize(flags, "users", 40)?;
+    let mut cfg = SemanticConfig::table3_world(seed);
+    if flags.contains_key("biased") {
+        cfg = cfg.order_biased();
+    }
+    let pic = match flags.get("pic") {
+        None => None,
+        Some(v) => Some(v.parse::<f32>().map_err(|e| format!("bad --pic: {e}"))?),
+    };
+    let rows = accuracy_rows(cfg, users, pic);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let m = r.metrics.table3_row();
+            vec![
+                r.strategy.clone(),
+                f3(m[0]),
+                f3(m[1]),
+                f3(m[2]),
+                f3(m[3]),
+            ]
+        })
+        .collect();
+    print_table(&["Strategy", "R@10", "MRR@10", "NDCG@10", "R@5"], &table);
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("industry", String::as_str))?;
+    let nodes = flag_usize(flags, "nodes", 4)?;
+    let gbps = flag_f64(flags, "gbps", 100.0)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let mut cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+    cluster.node = cluster.node.with_network_gbps(gbps);
+    let compute = ComputeModel::new(model.clone(), cluster.node.clone());
+    let law = ZipfLaw::new(ds.num_items, ds.item_zipf_exponent);
+    let params = HrcsParams {
+        bandwidth_tokens_per_sec: compute.net_tokens_per_sec(),
+        prefill_time_secs: compute
+            .prefill_estimate_secs(ds.avg_user_tokens as u64, ds.avg_prompt_item_tokens() as u64),
+        alpha: cluster.alpha,
+        candidates_per_request: ds.candidates_per_request,
+        avg_item_tokens: ds.avg_item_tokens as f64,
+        num_workers: nodes,
+    };
+    let r = compute_replication_ratio(&params, &law);
+    let plan = ItemPlacementPlan::new(
+        PlacementStrategy::Hrcs,
+        ds.num_items,
+        nodes,
+        r,
+        model.kv_bytes(ds.avg_item_tokens as u64),
+    )
+    .fit_to_capacity(bat::Bytes::new(
+        cluster.node.kv_cache_capacity.as_u64() * 4 / 5,
+    ));
+    println!("HRCS plan for {} on {nodes} nodes at {gbps:.0}Gbps:", ds.name);
+    println!("  max remote ratio R  {:.4}", params.max_remote_ratio());
+    println!("  replication ratio r {:.4}", plan.replication_ratio());
+    println!("  replicated items    {}", plan.replicated_items());
+    println!("  cached items        {} / {}", plan.cached_items(), plan.num_items());
+    println!("  item region / node  {}", plan.per_worker_bytes());
+    Ok(())
+}
+
+fn cmd_trace(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 30.0)?;
+    let rate = flag_f64(flags, "rate", 50.0)?;
+    let seed = flag_f64(flags, "seed", 1.0)? as u64;
+    let out = flags.get("out").ok_or("missing --out FILE")?;
+    let mut gen = TraceGenerator::new(Workload::new(ds, seed), seed ^ 0xbadc0ffe);
+    let trace = gen.generate(duration, rate);
+    bat_workload::save_trace(out, &trace).map_err(|e| e.to_string())?;
+    println!("wrote {} requests to {out}", trace.len());
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags.get("trace").ok_or("missing --trace FILE")?;
+    let trace = bat_workload::load_trace(path).map_err(|e| e.to_string())?;
+    let users: std::collections::HashSet<_> = trace.iter().map(|r| r.user).collect();
+    let tokens: u64 = trace.iter().map(|r| r.total_tokens() as u64).sum();
+    let span = trace
+        .last()
+        .zip(trace.first())
+        .map_or(0.0, |(l, f)| l.arrival - f.arrival);
+    println!("{path}: {} requests over {span:.1}s", trace.len());
+    println!("  distinct users: {}", users.len());
+    println!("  total tokens:   {tokens}");
+    Ok(())
+}
+
+fn cmd_breakdown(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("industry", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 30.0)?;
+    let rate = flag_f64(flags, "rate", 80.0)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let cluster = ClusterConfig::a100_4node();
+    let mut cfg = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds);
+    cfg.record_requests = true;
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 1), 2);
+    let trace = gen.generate(duration, rate);
+    let mut engine = ServingEngine::new(cfg).map_err(|e| e.to_string())?;
+    let stats = engine.run(&trace);
+    let records = engine.take_records();
+    println!(
+        "{}: {} requests, overall hit rate {:.3}",
+        ds.name,
+        stats.completed,
+        stats.hit_rate()
+    );
+    let rows: Vec<Vec<String>> = breakdown_by_prefix(&records)
+        .into_iter()
+        .map(|(kind, n, reuse, p99)| {
+            vec![
+                match kind {
+                    PrefixKind::User => "User-as-prefix".to_owned(),
+                    PrefixKind::Item => "Item-as-prefix".to_owned(),
+                },
+                n.to_string(),
+                f3(reuse),
+                f1(p99),
+            ]
+        })
+        .collect();
+    print_table(&["Prefix", "Requests", "Mean reuse", "P99 (ms)"], &rows);
+    Ok(())
+}
+
+const USAGE: &str = "usage: batctl <compare|accuracy|plan|trace|info|breakdown> [--flags]
+run `batctl <command>` with no flags for defaults; see crate docs for details";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "compare" => cmd_compare(&flags),
+        "accuracy" => cmd_accuracy(&flags),
+        "plan" => cmd_plan(&flags),
+        "trace" => cmd_trace(&flags),
+        "info" => cmd_info(&flags),
+        "breakdown" => cmd_breakdown(&flags),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("batctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

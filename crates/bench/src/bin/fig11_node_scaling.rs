@@ -1,0 +1,57 @@
+//! Figure 11: serving throughput vs node count (§6.6).
+//!
+//! Industry-1M, Qwen2-1.5B, H20 production nodes scaled 1 → 16. Requests
+//! are data-parallel across inference workers and HRCS keeps item-cache
+//! traffic local, so BAT's throughput grows near-linearly.
+
+use bat::experiment::{compare_systems, saturation_offered_rate, ComparisonSpec};
+use bat::{ClusterConfig, DatasetConfig, ModelConfig, SystemKind};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(90.0, 15.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let ds = DatasetConfig::industry_x(1_000_000);
+    let node_counts = [1usize, 2, 4, 8, 16];
+
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    let mut qps_at_1 = 0.0f64;
+    for &n in &node_counts {
+        let cluster = ClusterConfig::h20_16node().with_nodes(n);
+        let rate = saturation_offered_rate(&model, &cluster, &ds, 3.0);
+        let spec = ComparisonSpec {
+            model: model.clone(),
+            cluster,
+            dataset: ds.clone(),
+            duration_secs: duration,
+            offered_rate: rate,
+            seed: 11,
+        };
+        let stats = compare_systems(&spec, &[SystemKind::Bat]);
+        let s = &stats[0];
+        if n == 1 {
+            qps_at_1 = s.qps();
+        }
+        let speedup = s.qps() / qps_at_1.max(1e-9);
+        rows.push(vec![
+            n.to_string(),
+            f1(s.qps()),
+            format!("{speedup:.2}x"),
+            f3(speedup / n as f64),
+            f3(s.hit_rate()),
+        ]);
+        artifact.push(serde_json::json!({
+            "nodes": n, "qps": s.qps(), "speedup": speedup,
+            "efficiency": speedup / n as f64, "hit_rate": s.hit_rate(),
+        }));
+    }
+    println!("Figure 11: BAT throughput vs node count (Industry-1M, Qwen2-1.5B, H20 nodes)");
+    print_table(
+        &["Nodes", "QPS", "Speedup", "Efficiency", "HitRate"],
+        &rows,
+    );
+    println!("\n(paper: near-linear scaling from 1 to 16 nodes)");
+    write_artifact("fig11_node_scaling.json", &artifact);
+}

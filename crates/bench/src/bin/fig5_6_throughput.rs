@@ -1,0 +1,84 @@
+//! Figures 5 & 6: end-to-end throughput (QPS) and cache hit rate across
+//! datasets and models (§6.2).
+//!
+//! Grid: {RE, UP, IP, BAT} × {Games, Beauty, Books, Industry} ×
+//! {Qwen2-1.5B, Qwen2-7B, Llama3-1B}, on the 4-node A100 testbed, offered
+//! load above saturation so completion rate measures capacity.
+//!
+//! Expected shape (paper): BAT highest everywhere — up to ~2.3× RE and up
+//! to ~1.6× UP; hit rate up to ~58 %; UP beats IP only on Games (high user
+//! frequency); on Industry BAT ≈ IP (item cache leaves little user room).
+
+use bat::experiment::{compare_systems, saturation_offered_rate, ComparisonSpec};
+use bat::{ClusterConfig, DatasetConfig, ModelConfig, SystemKind};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(600.0, 60.0);
+    let cluster = ClusterConfig::a100_4node();
+    let systems = [
+        SystemKind::Recompute,
+        SystemKind::UserPrefix,
+        SystemKind::ItemPrefix,
+        SystemKind::Bat,
+    ];
+    let models = if args.quick {
+        vec![ModelConfig::qwen2_1_5b()]
+    } else {
+        ModelConfig::table2_presets()
+    };
+
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    for model in &models {
+        for ds in DatasetConfig::table1_presets() {
+            let rate = saturation_offered_rate(model, &cluster, &ds, 3.0);
+            let spec = ComparisonSpec {
+                model: model.clone(),
+                cluster: cluster.clone(),
+                dataset: ds.clone(),
+                duration_secs: duration,
+                offered_rate: rate,
+                seed: 1,
+            };
+            let stats = compare_systems(&spec, &systems);
+            let re_qps = stats[0].qps();
+            let up_qps = stats[1].qps();
+            for s in &stats {
+                rows.push(vec![
+                    model.name.clone(),
+                    ds.name.clone(),
+                    s.system.clone(),
+                    f1(s.qps()),
+                    f3(s.hit_rate()),
+                    f3(s.computation_savings()),
+                    format!("{:.2}x", s.qps() / re_qps),
+                    format!("{:.2}x", s.qps() / up_qps),
+                ]);
+                artifact.push(serde_json::json!({
+                    "model": model.name, "dataset": ds.name, "system": s.system,
+                    "qps": s.qps(), "hit_rate": s.hit_rate(),
+                    "savings": s.computation_savings(),
+                    "vs_re": s.qps() / re_qps, "vs_up": s.qps() / up_qps,
+                }));
+            }
+        }
+    }
+    println!("Figures 5 & 6: saturation QPS and cache hit rate (4-node A100 testbed)");
+    print_table(
+        &["Model", "Dataset", "System", "QPS", "HitRate", "Savings", "vs RE", "vs UP"],
+        &rows,
+    );
+
+    // Headline shape checks (printed, not asserted — EXPERIMENTS.md records them).
+    let best = artifact
+        .iter()
+        .filter(|v| v["system"] == "BAT")
+        .map(|v| (v["vs_up"].as_f64().unwrap(), v["hit_rate"].as_f64().unwrap()))
+        .fold((0.0f64, 0.0f64), |a, b| (a.0.max(b.0), a.1.max(b.1)));
+    println!("\nBAT max speedup over UP: {:.2}x (paper: up to 1.6x)", best.0);
+    println!("BAT max hit rate:        {:.3}  (paper: up to 58%)", best.1);
+
+    write_artifact("fig5_6_throughput.json", &artifact);
+}

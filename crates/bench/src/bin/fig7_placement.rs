@@ -1,0 +1,144 @@
+//! Figure 7: impact of HRCS item cache placement (§6.4).
+//!
+//! Books dataset, Qwen2-1.5B, 4 nodes × 150 GB KV budget, comparing
+//! BAT (HRCS), BAT-Replicate (full item cache everywhere) and BAT-Hash
+//! (1/N per node) under 10 Gbps and 100 Gbps networks.
+//!
+//! Expected shape (paper): Replicate never touches the network but starves
+//! the user cache; Hash maximizes user-cache space but pays ~31 % of
+//! inference latency in communication at 10 Gbps (dropping it to ~78 % of
+//! Replicate's throughput); HRCS replicates only the hot head and wins at
+//! both bandwidths (+10 % / +16 % over Replicate).
+//!
+//! `--alpha-sweep` additionally prints the replication-ratio sensitivity to
+//! Algorithm 1's α (an ablation of the design knob DESIGN.md calls out).
+
+use bat::experiment::{run_config, ComparisonSpec};
+use bat::{
+    ClusterConfig, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
+    PlacementStrategy, SystemKind,
+};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+use bat_placement::{compute_replication_ratio, HrcsParams};
+use bat_sim::ComputeModel;
+use bat_workload::ZipfLaw;
+
+fn hrcs_ratio(model: &ModelConfig, cluster: &ClusterConfig, ds: &DatasetConfig) -> f64 {
+    let compute = ComputeModel::new(model.clone(), cluster.node.clone());
+    let law = ZipfLaw::new(ds.num_items, ds.item_zipf_exponent);
+    let params = HrcsParams {
+        bandwidth_tokens_per_sec: compute.net_tokens_per_sec(),
+        prefill_time_secs: compute
+            .prefill_estimate_secs(ds.avg_user_tokens as u64, ds.avg_prompt_item_tokens() as u64),
+        alpha: cluster.alpha,
+        candidates_per_request: ds.candidates_per_request,
+        avg_item_tokens: ds.avg_item_tokens as f64,
+        num_workers: cluster.num_nodes,
+    };
+    compute_replication_ratio(&params, &law)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let alpha_sweep = std::env::args().any(|a| a == "--alpha-sweep");
+    let duration = args.scale(1200.0, 60.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let ds = DatasetConfig::books();
+
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    for gbps in [10.0, 100.0] {
+        let mut cluster = ClusterConfig::a100_4node();
+        cluster.node = cluster.node.with_network_gbps(gbps);
+        let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
+        let r = hrcs_ratio(&model, &cluster, &ds);
+        let plans = [
+            (
+                "BAT (HRCS)",
+                ItemPlacementPlan::new(
+                    PlacementStrategy::Hrcs,
+                    ds.num_items,
+                    cluster.num_nodes,
+                    r,
+                    item_kv,
+                ),
+            ),
+            (
+                "BAT-Replicate",
+                ItemPlacementPlan::new(
+                    PlacementStrategy::Replicate,
+                    ds.num_items,
+                    cluster.num_nodes,
+                    1.0,
+                    item_kv,
+                ),
+            ),
+            (
+                "BAT-Hash",
+                ItemPlacementPlan::new(
+                    PlacementStrategy::HashShard,
+                    ds.num_items,
+                    cluster.num_nodes,
+                    0.0,
+                    item_kv,
+                ),
+            ),
+        ];
+        let rate = bat::experiment::saturation_offered_rate(&model, &cluster, &ds, 3.0);
+        let spec = ComparisonSpec {
+            model: model.clone(),
+            cluster: cluster.clone(),
+            dataset: ds.clone(),
+            duration_secs: duration,
+            offered_rate: rate,
+            seed: 7,
+        };
+        for (label, plan) in plans {
+            let cfg = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds)
+                .with_placement(Some(plan.clone()));
+            let cfg = EngineConfig {
+                label: label.to_owned(),
+                ..cfg
+            };
+            let stats = run_config(&spec, cfg).expect("fig7 plans fit the 150GB budget");
+            rows.push(vec![
+                format!("{gbps:.0}Gbps"),
+                label.to_owned(),
+                f3(plan.replication_ratio()),
+                format!("{}", plan.per_worker_bytes()),
+                f1(stats.qps()),
+                f3(stats.hit_rate()),
+                f3(stats.net_over_compute()),
+            ]);
+            artifact.push(serde_json::json!({
+                "network_gbps": gbps, "placement": label,
+                "replication_ratio": plan.replication_ratio(),
+                "item_bytes_per_node": plan.per_worker_bytes().as_u64(),
+                "qps": stats.qps(), "hit_rate": stats.hit_rate(),
+                "net_over_compute": stats.net_over_compute(),
+            }));
+        }
+    }
+    println!("Figure 7: item-cache placement comparison (Books, Qwen2-1.5B, 4 nodes)");
+    print_table(
+        &["Network", "Placement", "ReplRatio", "Item/node", "QPS", "HitRate", "Net/Compute"],
+        &rows,
+    );
+
+    if alpha_sweep {
+        println!("\nAblation: HRCS replication ratio vs α (10Gbps)");
+        let mut cluster = ClusterConfig::a100_4node();
+        cluster.node = cluster.node.with_network_gbps(10.0);
+        let mut rows = Vec::new();
+        for alpha in [0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
+            cluster.alpha = alpha;
+            rows.push(vec![
+                format!("{alpha}"),
+                f3(hrcs_ratio(&model, &cluster, &ds)),
+            ]);
+        }
+        print_table(&["alpha", "replication ratio r"], &rows);
+    }
+
+    write_artifact("fig7_placement.json", &artifact);
+}

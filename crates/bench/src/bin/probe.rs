@@ -1,0 +1,62 @@
+//! Development probe: quick look at Fig 5/6-style numbers (not a paper
+//! harness; see fig5_6_throughput for the real one).
+
+use bat_sim::{EngineConfig, ServingEngine, SystemKind};
+use bat_types::{ClusterConfig, DatasetConfig, ModelConfig};
+use bat_workload::{TraceGenerator, Workload};
+
+fn fig7_debug() {
+    use bat_placement::{ItemPlacementPlan, PlacementStrategy};
+    let model = ModelConfig::qwen2_1_5b();
+    let ds = DatasetConfig::books();
+    let mut cluster = ClusterConfig::a100_4node();
+    cluster.node = cluster.node.with_network_gbps(10.0);
+    let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
+    for (label, strat, r) in [("hrcs", PlacementStrategy::Hrcs, 0.346), ("repl", PlacementStrategy::Replicate, 1.0), ("hash", PlacementStrategy::HashShard, 0.0)] {
+        let plan = ItemPlacementPlan::new(strat, ds.num_items, cluster.num_nodes, r, item_kv);
+        let cfg = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds).with_placement(Some(plan));
+        let user_cap = cfg.user_cache_capacity;
+        let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 1), 2);
+        let trace = gen.generate(1200.0, 320.0);
+        let mut engine = ServingEngine::new(cfg).unwrap();
+        let stats = engine.run(&trace);
+        let uc = engine.planner().user_cache();
+        println!("{label}: user_cap={} used={} cached_users={} up_share={:.3} hit={:.3} qps={:.1}",
+            user_cap, uc.used(), uc.len(), stats.up_share(), stats.hit_rate(), stats.qps());
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--fig7") { fig7_debug(); return; }
+    let cluster = ClusterConfig::a100_4node();
+    let model = ModelConfig::qwen2_1_5b();
+    for ds in [
+        DatasetConfig::games(),
+        DatasetConfig::beauty(),
+        DatasetConfig::books(),
+        DatasetConfig::industry(),
+    ] {
+        println!("=== {} ===", ds.name);
+        for kind in [
+            SystemKind::Recompute,
+            SystemKind::UserPrefix,
+            SystemKind::ItemPrefix,
+            SystemKind::Bat,
+        ] {
+            let cfg = EngineConfig::for_system(kind, model.clone(), cluster.clone(), &ds);
+            let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 1), 2);
+            let trace = gen.generate(120.0, 300.0);
+            let mut engine = ServingEngine::new(cfg).unwrap();
+            let stats = engine.run(&trace);
+            println!(
+                "{:4}  qps={:7.1} hit={:5.3} savings={:5.3} up_share={:4.2} net/comp={:5.3}",
+                stats.system,
+                stats.qps(),
+                stats.hit_rate(),
+                stats.computation_savings(),
+                stats.up_share(),
+                stats.net_over_compute()
+            );
+        }
+    }
+}

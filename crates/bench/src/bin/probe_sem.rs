@@ -1,0 +1,49 @@
+//! Development probe for semantic-world calibration (not a paper harness).
+
+use bat::{MaskScheme, PrefixKind, SemanticConfig, SemanticWorld};
+
+fn hit(r: &[usize], k: usize) -> f64 {
+    r.iter().filter(|&&x| x < k).count() as f64 / r.len() as f64
+}
+
+fn main() {
+    // PIC check on the order-sensitive variant.
+    let n_pic = 40;
+    let cfg = SemanticConfig::table3_world(301).order_biased();
+    let w = SemanticWorld::generate(cfg);
+    let up = w.eval_ranks(PrefixKind::User, MaskScheme::Bipartite, n_pic);
+    let ip = w.eval_ranks(PrefixKind::Item, MaskScheme::Bipartite, n_pic);
+    let pic: Vec<usize> = (0..n_pic)
+        .map(|u| {
+            let t = w.task(u);
+            bat::rank_of(&w.score_with_pic(&t, 0.15), t.truth_pos)
+        })
+        .collect();
+    println!(
+        "sensitive cell: R@10 UP={:.3} IP={:.3} IP+PIC={:.3}",
+        hit(&up, 10),
+        hit(&ip, 10),
+        hit(&pic, 10)
+    );
+
+    let n = 60;
+    for qk in [0.5f32, 0.7, 1.0, 1.4] {
+        let mut up_sum = 0.0;
+        let mut ip_sum = 0.0;
+        for seed in [11u64, 22, 33] {
+            let mut cfg = SemanticConfig::table3_world(seed);
+            cfg.qk_scale = qk;
+            let w = SemanticWorld::generate(cfg);
+            let up = w.eval_ranks(PrefixKind::User, MaskScheme::Bipartite, n);
+            let ip = w.eval_ranks(PrefixKind::Item, MaskScheme::Bipartite, n);
+            up_sum += hit(&up, 10);
+            ip_sum += hit(&ip, 10);
+        }
+        println!(
+            "qk={qk:4}  R@10 UP={:.3} IP={:.3} gap={:+.3}",
+            up_sum / 3.0,
+            ip_sum / 3.0,
+            up_sum / 3.0 - ip_sum / 3.0
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Table 4: ablation of the three techniques (§6.4).
+//!
+//! A = Bipartite Attention (without it: User-as-prefix only),
+//! B = HRCS placement (without it: replicate the item cache — which OOMs at
+//!     the 1M-item scale, where hash sharding is used instead, per the
+//!     paper's footnote),
+//! C = hotness-aware scheduling (without it: cache-agnostic + LRU).
+//!
+//! Expected shape (paper, QPS): ABC ≈ AB > AC > A > None on Books-280K
+//! (user cache is roomy, C matters little); ABC ≈ AC > AB > A > None on
+//! Books-1M (the replicated/hashed item cache squeezes or bypasses memory,
+//! B matters).
+
+use bat::experiment::{run_config, saturation_offered_rate, ComparisonSpec};
+use bat::{
+    AdmissionKind, ClusterConfig, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
+    PlacementStrategy, PolicyKind, SystemKind,
+};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+
+/// Builds the no-B placement: Replicate if it fits the node budget, else
+/// the paper's hash-sharding fallback. Returns the plan and a note.
+fn no_b_placement(
+    model: &ModelConfig,
+    cluster: &ClusterConfig,
+    ds: &DatasetConfig,
+) -> (ItemPlacementPlan, &'static str) {
+    let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
+    let replicate = ItemPlacementPlan::new(
+        PlacementStrategy::Replicate,
+        ds.num_items,
+        cluster.num_nodes,
+        1.0,
+        item_kv,
+    );
+    if replicate.per_worker_bytes() <= cluster.node.kv_cache_capacity {
+        (replicate, "replicate")
+    } else {
+        (
+            ItemPlacementPlan::new(
+                PlacementStrategy::HashShard,
+                ds.num_items,
+                cluster.num_nodes,
+                0.0,
+                item_kv,
+            ),
+            "replicate OOMs -> hash shard",
+        )
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(1200.0, 60.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let cluster = ClusterConfig::a100_4node();
+
+    let mut rows = Vec::new();
+    let mut artifact = Vec::new();
+    for ds in [DatasetConfig::books(), DatasetConfig::books_x(1_000_000)] {
+        let rate = saturation_offered_rate(&model, &cluster, &ds, 3.0);
+        let spec = ComparisonSpec {
+            model: model.clone(),
+            cluster: cluster.clone(),
+            dataset: ds.clone(),
+            duration_secs: duration,
+            offered_rate: rate,
+            seed: 4,
+        };
+        let abc = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds);
+        let (nob_plan, nob_note) = no_b_placement(&model, &cluster, &ds);
+
+        let variants: Vec<(String, EngineConfig)> = vec![
+            ("ABC".into(), abc.clone()),
+            (
+                "AB".into(),
+                EngineConfig {
+                    label: "AB".into(),
+                    policy: PolicyKind::CacheAgnostic,
+                    admission: AdmissionKind::Lru,
+                    ..abc.clone()
+                },
+            ),
+            (
+                format!("AC ({nob_note})"),
+                EngineConfig {
+                    label: "AC".into(),
+                    ..abc.clone()
+                }
+                .with_placement(Some(nob_plan.clone())),
+            ),
+            (
+                format!("A ({nob_note})"),
+                EngineConfig {
+                    label: "A".into(),
+                    policy: PolicyKind::CacheAgnostic,
+                    admission: AdmissionKind::Lru,
+                    ..abc.clone()
+                }
+                .with_placement(Some(nob_plan.clone())),
+            ),
+            (
+                "None (UP)".into(),
+                EngineConfig::for_system(
+                    SystemKind::UserPrefix,
+                    model.clone(),
+                    cluster.clone(),
+                    &ds,
+                ),
+            ),
+        ];
+        for (label, cfg) in variants {
+            let stats = run_config(&spec, cfg).expect("table4 configs validate");
+            rows.push(vec![
+                ds.name.clone(),
+                label.clone(),
+                f1(stats.qps()),
+                f3(stats.hit_rate()),
+            ]);
+            artifact.push(serde_json::json!({
+                "dataset": ds.name, "variant": label,
+                "qps": stats.qps(), "hit_rate": stats.hit_rate(),
+            }));
+        }
+    }
+    println!("Table 4: ablation study (throughput in QPS)");
+    print_table(&["Dataset", "Variant", "QPS", "HitRate"], &rows);
+    println!("\nA = Bipartite Attention, B = HRCS placement, C = hotness-aware scheduling");
+    write_artifact("table4_ablation.json", &artifact);
+}

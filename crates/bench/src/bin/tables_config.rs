@@ -1,0 +1,75 @@
+//! Tables 1 & 2: dataset statistics and model architectures.
+//!
+//! These tables are configuration, not measurement — the harness prints the
+//! presets and asserts the derived quantities the paper quotes in prose
+//! (per-token KV bytes, the 29 MB single-user footprint, the 287 GB / 2.9 PB
+//! corpus footprints of §3.3/§4.3).
+
+use bat_bench::{print_table, write_artifact};
+use bat_types::{DatasetConfig, ModelConfig};
+
+fn main() {
+    println!("Table 1: Detailed Information of Datasets");
+    let datasets = DatasetConfig::table1_presets();
+    let rows: Vec<Vec<String>> = datasets
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                d.num_users.to_string(),
+                d.num_items.to_string(),
+                d.avg_user_tokens.to_string(),
+                d.avg_item_tokens.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Dataset", "User Num.", "Item Num.", "Avg User Tok.", "Avg Item Tok."],
+        &rows,
+    );
+
+    println!("\nTable 2: Model Architecture");
+    let models = ModelConfig::table2_presets();
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.kv_heads.to_string(),
+                m.head_dim.to_string(),
+                m.layers.to_string(),
+                format!("{} Bytes", m.kv_bytes_per_token()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Model", "KV Heads", "Head Dim", "Layers", "KV/token"],
+        &rows,
+    );
+
+    // Prose cross-checks (§3.3.2 / §4.3).
+    let qwen = ModelConfig::qwen2_1_5b();
+    let user_mb = qwen.kv_bytes(1000) as f64 / 1e6;
+    let corpus_1m_gb = qwen.kv_bytes(10) as f64 * 1e6 / 1e9;
+    let users_100m_pb = qwen.kv_bytes(1000) as f64 * 1e8 / 1e15;
+    println!("\nDerived quantities quoted in the paper:");
+    println!("  1000-token user prefix (Qwen2-1.5B): {user_mb:.1} MB   (paper: ~29 MB)");
+    println!("  1M-item corpus @10 tok/item:        {corpus_1m_gb:.0} GB  (paper: ~287 GB)");
+    println!("  1e8 user prefixes @1000 tok:        {users_100m_pb:.1} PB  (paper: ~2.9 PB)");
+    assert!((28.0..30.0).contains(&user_mb));
+    assert!((280.0..295.0).contains(&corpus_1m_gb));
+    assert!((2.8..3.0).contains(&users_100m_pb));
+
+    write_artifact(
+        "tables_config.json",
+        &serde_json::json!({
+            "table1": datasets,
+            "table2": models,
+            "derived": {
+                "user_prefix_mb": user_mb,
+                "item_corpus_1m_gb": corpus_1m_gb,
+                "users_100m_pb": users_100m_pb,
+            }
+        }),
+    );
+}

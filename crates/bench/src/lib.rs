@@ -1,0 +1,117 @@
+//! Shared plumbing for the figure/table regeneration harnesses.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index): it prints the same rows/series the
+//! paper reports and writes a JSON artifact next to `EXPERIMENTS.md` under
+//! `results/`.
+//!
+//! All harnesses accept a `--quick` flag that shrinks trace durations for
+//! smoke runs; published numbers in EXPERIMENTS.md use the default scale.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Parsed common CLI flags.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    /// Shrink experiment scale for a fast smoke run.
+    pub quick: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`. Unknown flags are ignored (criterion et al.
+    /// pass their own).
+    pub fn parse() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        HarnessArgs { quick }
+    }
+
+    /// Picks between the full-scale and quick values.
+    pub fn scale<T>(&self, full: T, quick: T) -> T {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// Directory where JSON artifacts land (`<repo>/results`).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a JSON artifact and reports the path on stdout.
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(name);
+    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    fs::write(&path, json).expect("write artifact");
+    println!("\n[artifact] {}", path.display());
+}
+
+/// Prints a Markdown-style table: header row then aligned value rows.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<w$} |", c, w = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_args_default_full_scale() {
+        let args = HarnessArgs { quick: false };
+        assert_eq!(args.scale(100, 10), 100);
+        let quick = HarnessArgs { quick: true };
+        assert_eq!(quick.scale(100, 10), 10);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f1(12.34), "12.3");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

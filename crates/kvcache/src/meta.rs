@@ -1,0 +1,70 @@
+//! Cache entry identity at user/item granularity (§5.1).
+
+use bat_types::{ItemId, UserId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one logical KV entry in the disaggregated pool.
+///
+/// The paper stores KV entries at *user/item granularity*: "all prefix
+/// tokens of a given user or item form one logical entry" (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CacheKey {
+    /// A user-prefix entry.
+    User(UserId),
+    /// An item-prefix entry.
+    Item(ItemId),
+}
+
+impl CacheKey {
+    /// Whether this is a user-prefix entry.
+    pub fn is_user(self) -> bool {
+        matches!(self, CacheKey::User(_))
+    }
+
+    /// Whether this is an item-prefix entry.
+    pub fn is_item(self) -> bool {
+        matches!(self, CacheKey::Item(_))
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheKey::User(u) => write!(f, "kv:{u}"),
+            CacheKey::Item(i) => write!(f, "kv:{i}"),
+        }
+    }
+}
+
+impl From<UserId> for CacheKey {
+    fn from(u: UserId) -> Self {
+        CacheKey::User(u)
+    }
+}
+
+impl From<ItemId> for CacheKey {
+    fn from(i: ItemId) -> Self {
+        CacheKey::Item(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_kinds() {
+        let u: CacheKey = UserId::new(1).into();
+        let i: CacheKey = ItemId::new(1).into();
+        assert!(u.is_user() && !u.is_item());
+        assert!(i.is_item() && !i.is_user());
+        assert_ne!(u, i, "user and item entries never collide");
+    }
+
+    #[test]
+    fn display_includes_kind_prefix() {
+        assert_eq!(CacheKey::User(UserId::new(2)).to_string(), "kv:u2");
+        assert_eq!(CacheKey::Item(ItemId::new(2)).to_string(), "kv:i2");
+    }
+}

@@ -1,0 +1,170 @@
+//! Fixed-size-page memory pool (PagedAttention-compatible, §5.1).
+//!
+//! KV entries are "physically organized into fixed-size pages compatible
+//! with PagedAttention". The pool tracks page allocation per logical entry;
+//! internal fragmentation (the tail of the last page) is therefore modeled
+//! faithfully: an entry of `b` bytes consumes `ceil(b / page_bytes)` pages.
+
+use crate::meta::CacheKey;
+use bat_types::Bytes;
+use std::collections::HashMap;
+
+/// A paged allocator over a fixed capacity.
+#[derive(Debug, Clone)]
+pub struct PagedPool {
+    page_bytes: u64,
+    total_pages: u64,
+    free_pages: u64,
+    allocations: HashMap<CacheKey, u64>,
+}
+
+impl PagedPool {
+    /// Creates a pool of `capacity` bytes carved into `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
+    pub fn new(capacity: Bytes, page_bytes: u64) -> Self {
+        assert!(page_bytes > 0, "page size must be positive");
+        let total_pages = capacity.as_u64() / page_bytes;
+        PagedPool {
+            page_bytes,
+            total_pages,
+            free_pages: total_pages,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// Pages needed for an entry of `bytes` bytes.
+    #[inline]
+    pub fn pages_for(&self, bytes: Bytes) -> u64 {
+        bytes.as_u64().div_ceil(self.page_bytes)
+    }
+
+    /// Attempts to allocate an entry. Returns `false` (and allocates
+    /// nothing) if the entry is already present or does not fit.
+    pub fn alloc(&mut self, key: CacheKey, bytes: Bytes) -> bool {
+        if self.allocations.contains_key(&key) {
+            return false;
+        }
+        let pages = self.pages_for(bytes);
+        if pages > self.free_pages {
+            return false;
+        }
+        self.free_pages -= pages;
+        self.allocations.insert(key, pages);
+        true
+    }
+
+    /// Frees an entry, returning the number of pages released (0 if the key
+    /// was not allocated).
+    pub fn free(&mut self, key: CacheKey) -> u64 {
+        match self.allocations.remove(&key) {
+            Some(pages) => {
+                self.free_pages += pages;
+                pages
+            }
+            None => 0,
+        }
+    }
+
+    /// Whether `key` is currently allocated.
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.allocations.contains_key(&key)
+    }
+
+    /// Bytes currently allocated (in whole pages).
+    pub fn used(&self) -> Bytes {
+        Bytes::new((self.total_pages - self.free_pages) * self.page_bytes)
+    }
+
+    /// Free capacity (in whole pages).
+    pub fn free_bytes(&self) -> Bytes {
+        Bytes::new(self.free_pages * self.page_bytes)
+    }
+
+    /// Total capacity rounded down to whole pages.
+    pub fn capacity(&self) -> Bytes {
+        Bytes::new(self.total_pages * self.page_bytes)
+    }
+
+    /// Number of allocated entries.
+    pub fn len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// Whether the pool has no allocations.
+    pub fn is_empty(&self) -> bool {
+        self.allocations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_types::UserId;
+    use proptest::prelude::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey::User(UserId::new(i))
+    }
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let mut p = PagedPool::new(Bytes::new(1000), 100);
+        assert!(p.alloc(key(1), Bytes::new(250))); // 3 pages
+        assert_eq!(p.used(), Bytes::new(300));
+        assert_eq!(p.free(key(1)), 3);
+        assert_eq!(p.used(), Bytes::ZERO);
+        assert_eq!(p.free(key(1)), 0, "double free is a no-op");
+    }
+
+    #[test]
+    fn rejects_duplicate_and_overflow() {
+        let mut p = PagedPool::new(Bytes::new(1000), 100);
+        assert!(p.alloc(key(1), Bytes::new(500)));
+        assert!(!p.alloc(key(1), Bytes::new(100)), "duplicate rejected");
+        assert!(!p.alloc(key(2), Bytes::new(600)), "overflow rejected");
+        assert!(p.alloc(key(2), Bytes::new(500)));
+        assert_eq!(p.free_bytes(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn internal_fragmentation_counted() {
+        let mut p = PagedPool::new(Bytes::new(1000), 100);
+        // 1 byte still takes a whole page.
+        assert!(p.alloc(key(1), Bytes::new(1)));
+        assert_eq!(p.used(), Bytes::new(100));
+        assert_eq!(p.pages_for(Bytes::new(0)), 0);
+        assert_eq!(p.pages_for(Bytes::new(100)), 1);
+        assert_eq!(p.pages_for(Bytes::new(101)), 2);
+    }
+
+    #[test]
+    fn capacity_rounds_down_to_pages() {
+        let p = PagedPool::new(Bytes::new(1050), 100);
+        assert_eq!(p.capacity(), Bytes::new(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_rejected() {
+        let _ = PagedPool::new(Bytes::new(100), 0);
+    }
+
+    proptest! {
+        /// Used + free always equals capacity; free never exceeds capacity.
+        #[test]
+        fn conservation(ops in proptest::collection::vec((0u64..20, 0u64..500), 1..60)) {
+            let mut p = PagedPool::new(Bytes::new(2000), 64);
+            for (k, b) in ops {
+                if b % 2 == 0 {
+                    let _ = p.alloc(key(k), Bytes::new(b));
+                } else {
+                    let _ = p.free(key(k));
+                }
+                prop_assert_eq!(p.used() + p.free_bytes(), p.capacity());
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Two-tier user-prefix cache: DRAM + cold storage (§3.3.2 footnote).
+//!
+//! The paper stores KV caches in host memory and notes that "utilizing
+//! cheap local/remote storage can achieve a larger cost-effective storage
+//! space \[but\] might incur harmful access latency... we leave this for our
+//! future exploration." This module explores it: a DRAM tier backed by a
+//! larger, slower cold tier (NVMe or remote memory). Evictions from DRAM
+//! *demote* to the cold tier instead of vanishing; cold hits *promote* back
+//! (possibly demoting someone else), so the hierarchy behaves like a
+//! classic inclusive-on-demotion two-level cache.
+//!
+//! The cold tier trades capacity for load latency — whether the trade wins
+//! depends on the workload's reuse-distance distribution, which is exactly
+//! what the `ablation_tiered_cache` harness measures.
+
+use crate::lru::LruIndex;
+use bat_types::{Bytes, UserId};
+use std::collections::HashMap;
+
+/// Which tier served a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierHit {
+    /// Served from DRAM: PCIe-speed load.
+    Dram,
+    /// Served from the cold tier (and promoted): slow load.
+    Cold,
+}
+
+/// Configuration of the two-tier cache.
+#[derive(Debug, Clone)]
+pub struct TieredConfig {
+    /// DRAM tier capacity.
+    pub dram_capacity: Bytes,
+    /// Cold tier capacity (0 disables the cold tier).
+    pub cold_capacity: Bytes,
+}
+
+/// A two-tier LRU user-prefix cache.
+#[derive(Debug, Clone)]
+pub struct TieredUserCache {
+    cfg: TieredConfig,
+    dram: HashMap<UserId, Bytes>,
+    dram_lru: LruIndex<UserId>,
+    dram_used: Bytes,
+    cold: HashMap<UserId, Bytes>,
+    cold_lru: LruIndex<UserId>,
+    cold_used: Bytes,
+}
+
+impl TieredUserCache {
+    /// Creates an empty two-tier cache.
+    pub fn new(cfg: TieredConfig) -> Self {
+        TieredUserCache {
+            cfg,
+            dram: HashMap::new(),
+            dram_lru: LruIndex::new(),
+            dram_used: Bytes::ZERO,
+            cold: HashMap::new(),
+            cold_lru: LruIndex::new(),
+            cold_used: Bytes::ZERO,
+        }
+    }
+
+    /// Bytes resident in DRAM.
+    pub fn dram_used(&self) -> Bytes {
+        self.dram_used
+    }
+
+    /// Bytes resident in the cold tier.
+    pub fn cold_used(&self) -> Bytes {
+        self.cold_used
+    }
+
+    /// Entries across both tiers.
+    pub fn len(&self) -> usize {
+        self.dram.len() + self.cold.len()
+    }
+
+    /// Whether both tiers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.dram.is_empty() && self.cold.is_empty()
+    }
+
+    /// Looks up `user`; a cold hit promotes the entry to DRAM (demoting
+    /// DRAM victims to the cold tier). Returns the entry size and the tier
+    /// that served it.
+    pub fn lookup(&mut self, user: UserId) -> Option<(Bytes, TierHit)> {
+        if let Some(&bytes) = self.dram.get(&user) {
+            self.dram_lru.touch(user);
+            return Some((bytes, TierHit::Dram));
+        }
+        if let Some(&bytes) = self.cold.get(&user) {
+            self.cold_remove(user);
+            self.dram_insert(user, bytes);
+            return Some((bytes, TierHit::Cold));
+        }
+        None
+    }
+
+    /// Admits a freshly computed entry into DRAM (LRU discipline), demoting
+    /// DRAM victims to the cold tier. Entries larger than DRAM are not
+    /// cached at all.
+    pub fn admit(&mut self, user: UserId, bytes: Bytes) {
+        if bytes > self.cfg.dram_capacity {
+            return;
+        }
+        if self.dram.contains_key(&user) {
+            self.dram_lru.touch(user);
+            return;
+        }
+        // Re-admission from cold happens via lookup's promotion; an admit
+        // for a cold-resident entry replaces it.
+        if self.cold.contains_key(&user) {
+            self.cold_remove(user);
+        }
+        self.dram_insert(user, bytes);
+    }
+
+    fn dram_insert(&mut self, user: UserId, bytes: Bytes) {
+        while self.dram_used + bytes > self.cfg.dram_capacity {
+            let victim = self
+                .dram_lru
+                .pop_lru()
+                .expect("dram_used > 0 implies an entry");
+            let victim_bytes = self.dram.remove(&victim).expect("lru tracks entries");
+            self.dram_used -= victim_bytes;
+            self.demote(victim, victim_bytes);
+        }
+        self.dram.insert(user, bytes);
+        self.dram_used += bytes;
+        self.dram_lru.touch(user);
+    }
+
+    fn demote(&mut self, user: UserId, bytes: Bytes) {
+        if bytes > self.cfg.cold_capacity {
+            return; // cold tier disabled or too small: entry is dropped
+        }
+        while self.cold_used + bytes > self.cfg.cold_capacity {
+            let victim = self
+                .cold_lru
+                .pop_lru()
+                .expect("cold_used > 0 implies an entry");
+            let victim_bytes = self.cold.remove(&victim).expect("lru tracks entries");
+            self.cold_used -= victim_bytes;
+        }
+        self.cold.insert(user, bytes);
+        self.cold_used += bytes;
+        self.cold_lru.touch(user);
+    }
+
+    fn cold_remove(&mut self, user: UserId) {
+        if let Some(bytes) = self.cold.remove(&user) {
+            self.cold_used -= bytes;
+            self.cold_lru.remove(&user);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(i: u64) -> UserId {
+        UserId::new(i)
+    }
+
+    fn cache(dram: u64, cold: u64) -> TieredUserCache {
+        TieredUserCache::new(TieredConfig {
+            dram_capacity: Bytes::new(dram),
+            cold_capacity: Bytes::new(cold),
+        })
+    }
+
+    #[test]
+    fn dram_hit_then_demotion_then_cold_hit() {
+        let mut c = cache(100, 200);
+        c.admit(uid(1), Bytes::new(100));
+        assert_eq!(c.lookup(uid(1)), Some((Bytes::new(100), TierHit::Dram)));
+        // Admitting user 2 evicts user 1 to the cold tier.
+        c.admit(uid(2), Bytes::new(100));
+        assert_eq!(c.dram_used(), Bytes::new(100));
+        assert_eq!(c.cold_used(), Bytes::new(100));
+        // Cold hit promotes user 1 back, demoting user 2.
+        assert_eq!(c.lookup(uid(1)), Some((Bytes::new(100), TierHit::Cold)));
+        assert_eq!(c.lookup(uid(1)), Some((Bytes::new(100), TierHit::Dram)));
+        assert_eq!(c.lookup(uid(2)), Some((Bytes::new(100), TierHit::Cold)));
+    }
+
+    #[test]
+    fn cold_tier_disabled_drops_evictions() {
+        let mut c = cache(100, 0);
+        c.admit(uid(1), Bytes::new(100));
+        c.admit(uid(2), Bytes::new(100));
+        assert_eq!(c.lookup(uid(1)), None, "no cold tier: eviction is final");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cold_tier_evicts_lru_when_full() {
+        let mut c = cache(100, 100);
+        for i in 1..=3 {
+            c.admit(uid(i), Bytes::new(100));
+        }
+        // Users 1 and 2 were demoted in order; cold holds only user 2.
+        assert_eq!(c.lookup(uid(1)), None);
+        assert_eq!(c.lookup(uid(2)), Some((Bytes::new(100), TierHit::Cold)));
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let mut c = cache(100, 100);
+        c.admit(uid(1), Bytes::new(500));
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(uid(1)), None);
+    }
+
+    #[test]
+    fn accounting_stays_within_capacities() {
+        let mut c = cache(250, 400);
+        for i in 0..50u64 {
+            c.admit(uid(i % 13), Bytes::new(40 + (i % 5) * 30));
+            let _ = c.lookup(uid(i % 7));
+            assert!(c.dram_used() <= Bytes::new(250));
+            assert!(c.cold_used() <= Bytes::new(400));
+            let dram_sum: u64 = c.dram.values().map(|b| b.as_u64()).sum();
+            let cold_sum: u64 = c.cold.values().map(|b| b.as_u64()).sum();
+            assert_eq!(dram_sum, c.dram_used().as_u64());
+            assert_eq!(cold_sum, c.cold_used().as_u64());
+        }
+    }
+
+    #[test]
+    fn admit_replaces_cold_resident() {
+        let mut c = cache(100, 100);
+        c.admit(uid(1), Bytes::new(100));
+        c.admit(uid(2), Bytes::new(100)); // demotes 1
+        c.admit(uid(1), Bytes::new(80)); // fresh recompute replaces cold copy
+        assert_eq!(c.lookup(uid(1)), Some((Bytes::new(80), TierHit::Dram)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Evaluation metrics for the BAT reproduction.
+//!
+//! Two metric families back the paper's evaluation:
+//!
+//! * **Ranking quality** ([`ranking`]): Recall@k, MRR@k and NDCG@k over the
+//!   ground-truth item's rank, as used in Table 3 (§6.3).
+//! * **Serving statistics** ([`stats`]): percentile estimation (P99 latency,
+//!   Figure 9), empirical CDFs (Figure 2), and streaming mean/max summaries.
+//!
+//! # Example
+//!
+//! ```
+//! use bat_metrics::ranking::RankingMetrics;
+//!
+//! // Ground-truth ranks (0-based) of four evaluated requests.
+//! let m = RankingMetrics::from_ranks(&[0, 2, 7, 12]);
+//! assert_eq!(m.recall_at(10), 0.75);
+//! assert!(m.mrr_at(10) > 0.3);
+//! ```
+
+pub mod ranking;
+pub mod stats;
+
+pub use ranking::RankingMetrics;
+pub use stats::{Cdf, Percentiles, Summary};

@@ -1,0 +1,248 @@
+//! Ranking-quality metrics: Recall@k, MRR@k, NDCG@k (§6.3).
+//!
+//! The paper's evaluation follows LlamaRec \[82\]: each test request has one
+//! ground-truth item among the candidates, so all three metrics are
+//! functions of the ground-truth item's rank:
+//!
+//! * `Recall@k` — fraction of requests with rank < k;
+//! * `MRR@k` — mean of `1/(rank+1)` for rank < k, else 0;
+//! * `NDCG@k` — mean of `1/log2(rank+2)` for rank < k, else 0
+//!   (IDCG is 1 with a single relevant item).
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated ranking metrics over a set of evaluated requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    /// 0-based rank of the ground-truth item per request.
+    ranks: Vec<usize>,
+}
+
+impl RankingMetrics {
+    /// Builds metrics from 0-based ground-truth ranks (rank 0 = top-1).
+    pub fn from_ranks(ranks: &[usize]) -> Self {
+        RankingMetrics {
+            ranks: ranks.to_vec(),
+        }
+    }
+
+    /// Number of evaluated requests.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether no requests were evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// `Recall@k`: fraction of requests whose ground truth ranks in the
+    /// top `k`.
+    ///
+    /// Returns 0.0 for an empty evaluation set.
+    pub fn recall_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().filter(|&&r| r < k).count() as f64 / self.ranks.len() as f64
+    }
+
+    /// `MRR@k`: mean reciprocal rank, zero beyond the cut-off.
+    pub fn mrr_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks
+            .iter()
+            .map(|&r| if r < k { 1.0 / (r as f64 + 1.0) } else { 0.0 })
+            .sum::<f64>()
+            / self.ranks.len() as f64
+    }
+
+    /// `NDCG@k` with binary relevance and a single relevant item
+    /// (IDCG = 1).
+    pub fn ndcg_at(&self, k: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks
+            .iter()
+            .map(|&r| {
+                if r < k {
+                    1.0 / (r as f64 + 2.0).log2()
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / self.ranks.len() as f64
+    }
+
+    /// Percentile-bootstrap 95 % confidence interval of any metric of this
+    /// evaluation set: resamples the per-request ranks with replacement
+    /// `resamples` times and takes the 2.5/97.5 percentiles of the metric.
+    /// Deterministic in `seed`. Returns `(lo, hi)`, or `(0, 0)` for an
+    /// empty set.
+    ///
+    /// ```
+    /// use bat_metrics::RankingMetrics;
+    ///
+    /// let m = RankingMetrics::from_ranks(&[0, 1, 3, 8, 12, 2, 0, 5]);
+    /// let (lo, hi) = m.bootstrap_ci(|m| m.recall_at(10), 500, 7);
+    /// let point = m.recall_at(10);
+    /// assert!(lo <= point && point <= hi);
+    /// ```
+    pub fn bootstrap_ci(
+        &self,
+        metric: impl Fn(&RankingMetrics) -> f64,
+        resamples: usize,
+        seed: u64,
+    ) -> (f64, f64) {
+        if self.ranks.is_empty() || resamples == 0 {
+            return (0.0, 0.0);
+        }
+        let n = self.ranks.len();
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut stats: Vec<f64> = (0..resamples)
+            .map(|_| {
+                let resample: Vec<usize> =
+                    (0..n).map(|_| self.ranks[(next() % n as u64) as usize]).collect();
+                metric(&RankingMetrics { ranks: resample })
+            })
+            .collect();
+        stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = |q: f64| ((q * resamples as f64) as usize).min(resamples - 1);
+        (stats[idx(0.025)], stats[idx(0.975)])
+    }
+
+    /// The six columns of the paper's Table 3, in paper order:
+    /// `(Recall@10, MRR@10, NDCG@10, Recall@5, MRR@5, NDCG@5)`.
+    pub fn table3_row(&self) -> [f64; 6] {
+        [
+            self.recall_at(10),
+            self.mrr_at(10),
+            self.ndcg_at(10),
+            self.recall_at(5),
+            self.mrr_at(5),
+            self.ndcg_at(5),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let m = RankingMetrics::from_ranks(&[0, 0, 0]);
+        assert_eq!(m.recall_at(10), 1.0);
+        assert_eq!(m.mrr_at(10), 1.0);
+        assert_eq!(m.ndcg_at(10), 1.0);
+    }
+
+    #[test]
+    fn all_misses_score_zero() {
+        let m = RankingMetrics::from_ranks(&[10, 20, 99]);
+        assert_eq!(m.recall_at(10), 0.0);
+        assert_eq!(m.mrr_at(10), 0.0);
+        assert_eq!(m.ndcg_at(10), 0.0);
+    }
+
+    #[test]
+    fn empty_set_scores_zero() {
+        let m = RankingMetrics::from_ranks(&[]);
+        assert!(m.is_empty());
+        assert_eq!(m.recall_at(5), 0.0);
+        assert_eq!(m.mrr_at(5), 0.0);
+        assert_eq!(m.ndcg_at(5), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // rank 1 → RR = 1/2, NDCG = 1/log2(3).
+        let m = RankingMetrics::from_ranks(&[1]);
+        assert!((m.mrr_at(10) - 0.5).abs() < 1e-12);
+        assert!((m.ndcg_at(10) - 1.0 / 3f64.log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_matters() {
+        let m = RankingMetrics::from_ranks(&[7]);
+        assert_eq!(m.recall_at(5), 0.0);
+        assert_eq!(m.recall_at(10), 1.0);
+    }
+
+    #[test]
+    fn table3_row_order() {
+        let m = RankingMetrics::from_ranks(&[0, 6]);
+        let row = m.table3_row();
+        assert_eq!(row[0], m.recall_at(10));
+        assert_eq!(row[3], m.recall_at(5));
+        // Recall@10 ≥ Recall@5 always.
+        assert!(row[0] >= row[3]);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_estimate() {
+        let m = RankingMetrics::from_ranks(&[0, 2, 4, 9, 11, 1, 0, 7, 3, 20]);
+        for metric in [
+            |m: &RankingMetrics| m.recall_at(10),
+            |m: &RankingMetrics| m.mrr_at(10),
+            |m: &RankingMetrics| m.ndcg_at(10),
+        ] {
+            let (lo, hi) = m.bootstrap_ci(metric, 400, 3);
+            let point = metric(&m);
+            assert!(lo <= point + 1e-12 && point <= hi + 1e-12, "{lo} {point} {hi}");
+            assert!(lo >= 0.0 && hi <= 1.0);
+        }
+        // Deterministic in the seed.
+        assert_eq!(
+            m.bootstrap_ci(|m| m.recall_at(10), 200, 5),
+            m.bootstrap_ci(|m| m.recall_at(10), 200, 5)
+        );
+        // Degenerate inputs.
+        assert_eq!(
+            RankingMetrics::from_ranks(&[]).bootstrap_ci(|m| m.recall_at(10), 100, 1),
+            (0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn bootstrap_ci_tightens_with_more_data() {
+        let small = RankingMetrics::from_ranks(&[0, 5, 12, 3]);
+        let ranks: Vec<usize> = (0..400).map(|i| [0, 5, 12, 3][i % 4]).collect();
+        let large = RankingMetrics::from_ranks(&ranks);
+        let (lo_s, hi_s) = small.bootstrap_ci(|m| m.recall_at(10), 400, 9);
+        let (lo_l, hi_l) = large.bootstrap_ci(|m| m.recall_at(10), 400, 9);
+        assert!(hi_l - lo_l < hi_s - lo_s, "more data must tighten the CI");
+    }
+
+    proptest! {
+        /// All metrics lie in [0, 1] and are monotone in k.
+        #[test]
+        fn metrics_bounded_and_monotone(ranks in proptest::collection::vec(0usize..50, 1..100)) {
+            let m = RankingMetrics::from_ranks(&ranks);
+            for k in [1usize, 5, 10, 20] {
+                for v in [m.recall_at(k), m.mrr_at(k), m.ndcg_at(k)] {
+                    prop_assert!((0.0..=1.0).contains(&v));
+                }
+            }
+            prop_assert!(m.recall_at(10) >= m.recall_at(5));
+            prop_assert!(m.mrr_at(10) >= m.mrr_at(5));
+            prop_assert!(m.ndcg_at(10) >= m.ndcg_at(5));
+            // Recall dominates NDCG dominates MRR at any fixed k (since
+            // 1 ≥ 1/log2(r+2) ≥ 1/(r+1) for r ≥ 0).
+            prop_assert!(m.recall_at(10) >= m.ndcg_at(10) - 1e-12);
+            prop_assert!(m.ndcg_at(10) >= m.mrr_at(10) - 1e-12);
+        }
+    }
+}

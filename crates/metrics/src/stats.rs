@@ -1,0 +1,288 @@
+//! Serving statistics: percentiles, CDFs and streaming summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact percentile estimation over a collected sample (used for the P99
+/// latency curves of Figure 9).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN.
+    pub fn record(&mut self, v: f64) {
+        assert!(!v.is_nan(), "percentile samples must not be NaN");
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`) by the nearest-rank method, or `None`
+    /// if no samples were recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// P99, the paper's SLO percentile.
+    pub fn p99(&mut self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// P50 (median).
+    pub fn p50(&mut self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+/// An empirical CDF over `f64` values (Figures 2c/2d report access-frequency
+/// CDFs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (order irrelevant).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted }
+    }
+
+    /// `P(X ≤ x)`; 0.0 for an empty sample.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF: the smallest sample `x` with `P(X ≤ x) ≥ q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or the CDF is empty.
+    pub fn inverse(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(!self.sorted.is_empty(), "inverse of empty CDF");
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
+        self.sorted[idx]
+    }
+
+    /// Evenly-spaced `(x, P(X ≤ x))` points for plotting, `n ≥ 2`.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n < 2 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().unwrap();
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// Streaming count/mean/min/max summary.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut p = Percentiles::new();
+        for v in 1..=100 {
+            p.record(v as f64);
+        }
+        assert_eq!(p.p99(), Some(99.0));
+        assert_eq!(p.p50(), Some(50.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn percentiles_empty_and_single() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.p99(), None);
+        assert_eq!(p.mean(), None);
+        p.record(7.0);
+        assert_eq!(p.p99(), Some(7.0));
+        assert_eq!(p.p50(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn percentiles_reject_nan() {
+        Percentiles::new().record(f64::NAN);
+    }
+
+    #[test]
+    fn cdf_basic_shape() {
+        let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(2.0), 0.5);
+        assert_eq!(cdf.at(10.0), 1.0);
+        assert_eq!(cdf.inverse(0.5), 2.0);
+        assert_eq!(cdf.inverse(1.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let cdf = Cdf::from_samples(&[5.0, 1.0, 3.0, 3.0, 9.0]);
+        let curve = cdf.curve(10);
+        assert_eq!(curve.len(), 10);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_behaviour() {
+        let cdf = Cdf::from_samples(&[]);
+        assert_eq!(cdf.at(1.0), 0.0);
+        assert!(cdf.curve(5).is_empty());
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        for v in [3.0, -1.0, 10.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(10.0));
+        assert_eq!(s.mean(), Some(4.0));
+    }
+
+    proptest! {
+        /// quantile() is monotone in q and bounded by min/max.
+        #[test]
+        fn quantile_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut p = Percentiles::new();
+            for &s in &samples { p.record(s); }
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = i as f64 / 10.0;
+                let v = p.quantile(q).unwrap();
+                prop_assert!(v >= prev);
+                prev = v;
+            }
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p.quantile(0.0).unwrap() >= lo - 1e-9);
+            prop_assert!(p.quantile(1.0).unwrap() <= hi + 1e-9);
+        }
+
+        /// CDF and inverse are consistent: at(inverse(q)) ≥ q.
+        #[test]
+        fn cdf_inverse_consistency(samples in proptest::collection::vec(-100.0f64..100.0, 1..100), q in 0.01f64..1.0) {
+            let cdf = Cdf::from_samples(&samples);
+            let x = cdf.inverse(q);
+            prop_assert!(cdf.at(x) >= q - 1e-9);
+        }
+    }
+}

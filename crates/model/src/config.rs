@@ -1,0 +1,157 @@
+//! Architecture configuration of the runnable (laptop-scale) GR transformer.
+//!
+//! This is distinct from [`bat_types::ModelConfig`]: that type carries the
+//! *paper-scale* hyper-parameters (Table 2) used by the cost and memory
+//! models, while [`GrModelConfig`] describes the small transformer this
+//! crate actually runs forward passes on for the accuracy experiments.
+
+/// Hyper-parameters of the runnable GR transformer.
+///
+/// ```
+/// use bat_model::GrModelConfig;
+///
+/// let cfg = GrModelConfig::tiny(64);
+/// assert_eq!(cfg.kv_dim(), cfg.kv_heads * cfg.head_dim);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrModelConfig {
+    /// Vocabulary size. The first `num_items` token IDs are item-identifier
+    /// tokens `v_i` (§2.2); the rest are attribute/instruction tokens.
+    pub vocab_size: usize,
+    /// Residual-stream width.
+    pub hidden_dim: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Number of query heads.
+    pub query_heads: usize,
+    /// Number of KV heads (GQA: `query_heads % kv_heads == 0`).
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// FFN inner width.
+    pub ffn_dim: usize,
+    /// Maximum position ID (RoPE table size).
+    pub max_positions: usize,
+    /// RoPE frequency base (10 000 in Llama/Qwen).
+    pub rope_base: f32,
+}
+
+impl GrModelConfig {
+    /// A small but non-trivial configuration used by the accuracy
+    /// experiments: 2 layers, 4 query heads, 2 KV heads, hidden 32.
+    pub fn tiny(vocab_size: usize) -> Self {
+        GrModelConfig {
+            vocab_size,
+            hidden_dim: 32,
+            layers: 2,
+            query_heads: 4,
+            kv_heads: 2,
+            head_dim: 16,
+            ffn_dim: 64,
+            max_positions: 4096,
+            rope_base: 10_000.0,
+        }
+    }
+
+    /// A slightly deeper configuration for stress tests.
+    pub fn small(vocab_size: usize) -> Self {
+        GrModelConfig {
+            vocab_size,
+            hidden_dim: 64,
+            layers: 4,
+            query_heads: 8,
+            kv_heads: 4,
+            head_dim: 16,
+            ffn_dim: 128,
+            max_positions: 4096,
+            rope_base: 10_000.0,
+        }
+    }
+
+    /// Total query projection width (`query_heads × head_dim`).
+    #[inline]
+    pub fn q_dim(&self) -> usize {
+        self.query_heads * self.head_dim
+    }
+
+    /// Total KV projection width (`kv_heads × head_dim`).
+    #[inline]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    /// Query heads per KV head (GQA group size).
+    #[inline]
+    pub fn gqa_group(&self) -> usize {
+        self.query_heads / self.kv_heads
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vocab_size == 0 {
+            return Err("vocab_size must be positive".into());
+        }
+        if self.layers == 0 {
+            return Err("layers must be positive".into());
+        }
+        if self.kv_heads == 0 || !self.query_heads.is_multiple_of(self.kv_heads) {
+            return Err(format!(
+                "query_heads ({}) must be a positive multiple of kv_heads ({})",
+                self.query_heads, self.kv_heads
+            ));
+        }
+        if !self.head_dim.is_multiple_of(2) {
+            return Err("head_dim must be even for RoPE".into());
+        }
+        if self.max_positions == 0 {
+            return Err("max_positions must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_config_is_valid() {
+        let cfg = GrModelConfig::tiny(100);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.q_dim(), 64);
+        assert_eq!(cfg.kv_dim(), 32);
+        assert_eq!(cfg.gqa_group(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_gqa() {
+        let mut cfg = GrModelConfig::tiny(100);
+        cfg.kv_heads = 3;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_odd_head_dim() {
+        let mut cfg = GrModelConfig::tiny(100);
+        cfg.head_dim = 7;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_fields() {
+        for f in ["vocab", "layers", "maxpos"] {
+            let mut cfg = GrModelConfig::tiny(100);
+            match f {
+                "vocab" => cfg.vocab_size = 0,
+                "layers" => cfg.layers = 0,
+                _ => cfg.max_positions = 0,
+            }
+            assert!(cfg.validate().is_err(), "{f} should be rejected");
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! KV-cache segments: the unit of prefix reuse.
+//!
+//! A [`KvSegment`] holds the per-layer keys and values of a contiguous block
+//! of prompt tokens, together with the block tags and position IDs they were
+//! computed under. The paper stores KV entries at *user/item granularity*
+//! (§5.1): one segment per user profile, one segment per item. Segments can
+//! be concatenated to assemble the attention context of a prefix-cached
+//! forward pass.
+
+use crate::prompt::SegTag;
+
+/// Converts an `f32` to IEEE-754 half precision (round-to-nearest-even)
+/// and back — the storage precision of the paper's KV cache ("We use FP16
+/// as the data type for KV cache", §6.1).
+///
+/// ```
+/// use bat_model::kv::fp16_round_trip;
+///
+/// // Values representable in fp16 survive exactly.
+/// assert_eq!(fp16_round_trip(0.5), 0.5);
+/// // Others round to the nearest half-precision value.
+/// let v = fp16_round_trip(0.1);
+/// assert!((v - 0.1).abs() < 1e-4);
+/// ```
+pub fn fp16_round_trip(x: f32) -> f32 {
+    f16_to_f32(f32_to_f16(x))
+}
+
+/// `f32` → fp16 bits, round-to-nearest-even, with overflow to ±inf and
+/// flush of sub-half-denormal magnitudes toward zero handled per IEEE.
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN.
+        let payload = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | payload;
+    }
+    // Re-bias exponent: f32 bias 127 → f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal range: keep 10 mantissa bits with round-to-nearest-even.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let shifted = mant >> 13;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = (mant & 0x0fff) != 0;
+        let mut out = sign | half_exp | shifted as u16;
+        if round_bit == 1 && (sticky || (shifted & 1) == 1) {
+            out = out.wrapping_add(1); // may carry into the exponent: fine
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: shift the implicit leading 1 into the mantissa.
+        let full = mant | 0x0080_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let shifted = full >> shift;
+        let round_bit = (full >> (shift - 1)) & 1;
+        let sticky = (full & ((1u32 << (shift - 1)) - 1)) != 0;
+        let mut out = sign | shifted as u16;
+        if round_bit == 1 && (sticky || (shifted & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    sign // underflow → ±0
+}
+
+/// fp16 bits → `f32`.
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize.
+            let lead = m.leading_zeros() - 22; // zeros within the 10-bit field
+            let exp32 = 127 - 15 - lead;
+            let mant32 = (m << (lead + 1)) & 0x03ff;
+            sign | (exp32 << 23) | (mant32 << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Keys and values of one transformer layer for a block of tokens, stored
+/// flat as `[token × kv_dim]` row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerKv {
+    kv_dim: usize,
+    keys: Vec<f32>,
+    values: Vec<f32>,
+}
+
+impl LayerKv {
+    /// Creates an empty layer store for the given KV width.
+    pub fn new(kv_dim: usize) -> Self {
+        LayerKv {
+            kv_dim,
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Number of tokens stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len() / self.kv_dim.max(1)
+    }
+
+    /// Whether no tokens are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Appends one token's key and value rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows do not have width `kv_dim`.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
+        self.keys.extend_from_slice(key);
+        self.values.extend_from_slice(value);
+    }
+
+    /// Key row of token `t`.
+    #[inline]
+    pub fn key(&self, t: usize) -> &[f32] {
+        &self.keys[t * self.kv_dim..(t + 1) * self.kv_dim]
+    }
+
+    /// Value row of token `t`.
+    #[inline]
+    pub fn value(&self, t: usize) -> &[f32] {
+        &self.values[t * self.kv_dim..(t + 1) * self.kv_dim]
+    }
+
+    /// Overwrites token `t`'s key and value rows (used by the PIC repair
+    /// pass to splice recomputed entries into a cached segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range or the rows have the wrong width.
+    pub fn set_row(&mut self, t: usize, key: &[f32], value: &[f32]) {
+        assert!(t < self.len(), "token index out of range");
+        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
+        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
+        self.keys[t * self.kv_dim..(t + 1) * self.kv_dim].copy_from_slice(key);
+        self.values[t * self.kv_dim..(t + 1) * self.kv_dim].copy_from_slice(value);
+    }
+
+    /// Appends all rows of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn extend(&mut self, other: &LayerKv) {
+        assert_eq!(self.kv_dim, other.kv_dim, "kv width mismatch");
+        self.keys.extend_from_slice(&other.keys);
+        self.values.extend_from_slice(&other.values);
+    }
+}
+
+/// The KV cache of a contiguous token block across all layers, plus the
+/// block tags and positions the block was computed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvSegment {
+    /// Per-layer key/value rows.
+    pub layers: Vec<LayerKv>,
+    /// Block tag of each token (needed to rebuild attention masks when the
+    /// segment is spliced into a later prompt).
+    pub segs: Vec<SegTag>,
+    /// Position ID each token's RoPE rotation was computed at.
+    pub pos: Vec<u32>,
+}
+
+impl KvSegment {
+    /// Creates an empty segment for a model with `layers` layers of width
+    /// `kv_dim`.
+    pub fn empty(layers: usize, kv_dim: usize) -> Self {
+        KvSegment {
+            layers: (0..layers).map(|_| LayerKv::new(kv_dim)).collect(),
+            segs: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    /// Number of tokens in the segment.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether the segment holds no tokens.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Concatenates segments in order into a single context segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if segments disagree on layer count or KV width.
+    pub fn concat(parts: &[&KvSegment]) -> KvSegment {
+        assert!(!parts.is_empty(), "concat needs at least one segment");
+        let mut out = parts[0].clone();
+        for part in &parts[1..] {
+            assert_eq!(out.layers.len(), part.layers.len(), "layer count mismatch");
+            for (dst, src) in out.layers.iter_mut().zip(&part.layers) {
+                dst.extend(src);
+            }
+            out.segs.extend_from_slice(&part.segs);
+            out.pos.extend_from_slice(&part.pos);
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference from `other`, or `None` if
+    /// shapes differ. Used by tests asserting cache-reuse exactness and by
+    /// the PIC drift selector.
+    pub fn max_abs_diff(&self, other: &KvSegment) -> Option<f32> {
+        if self.len() != other.len() || self.layers.len() != other.layers.len() {
+            return None;
+        }
+        let mut max = 0.0f32;
+        for (a, b) in self.layers.iter().zip(&other.layers) {
+            if a.kv_dim != b.kv_dim {
+                return None;
+            }
+            for (x, y) in a.keys.iter().zip(&b.keys) {
+                max = max.max((x - y).abs());
+            }
+            for (x, y) in a.values.iter().zip(&b.values) {
+                max = max.max((x - y).abs());
+            }
+        }
+        Some(max)
+    }
+
+    /// Quantizes every key/value element through fp16 storage precision
+    /// (§6.1: the KV cache is stored as FP16). Returns the maximum absolute
+    /// quantization error introduced.
+    pub fn quantize_fp16(&mut self) -> f32 {
+        let mut max_err = 0.0f32;
+        for layer in &mut self.layers {
+            for v in layer.keys.iter_mut().chain(layer.values.iter_mut()) {
+                let q = fp16_round_trip(*v);
+                max_err = max_err.max((q - *v).abs());
+                *v = q;
+            }
+        }
+        max_err
+    }
+
+    /// Per-token KV drift against `other`: the max absolute difference of
+    /// token `t`'s keys/values across all layers. Drives PIC selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn token_drift(&self, other: &KvSegment) -> Vec<f32> {
+        assert_eq!(self.len(), other.len(), "token count mismatch");
+        assert_eq!(self.layers.len(), other.layers.len(), "layer mismatch");
+        let mut drift = vec![0.0f32; self.len()];
+        for (a, b) in self.layers.iter().zip(&other.layers) {
+            for (t, slot) in drift.iter_mut().enumerate() {
+                let d = a
+                    .key(t)
+                    .iter()
+                    .zip(b.key(t))
+                    .chain(a.value(t).iter().zip(b.value(t)))
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f32, f32::max);
+                *slot = slot.max(d);
+            }
+        }
+        drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(vals: &[(f32, f32)]) -> KvSegment {
+        let mut s = KvSegment::empty(1, 2);
+        for &(k, v) in vals {
+            s.layers[0].push(&[k, k], &[v, v]);
+            s.segs.push(SegTag::User);
+            s.pos.push(s.pos.len() as u32);
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let mut l = LayerKv::new(3);
+        l.push(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        l.push(&[7.0, 8.0, 9.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.key(1), &[7.0, 8.0, 9.0]);
+        assert_eq!(l.value(0), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_rejects_wrong_width() {
+        let mut l = LayerKv::new(3);
+        l.push(&[1.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = seg(&[(1.0, 10.0)]);
+        let b = seg(&[(2.0, 20.0), (3.0, 30.0)]);
+        let c = KvSegment::concat(&[&a, &b]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.layers[0].key(1), &[2.0, 2.0]);
+        assert_eq!(c.layers[0].value(2), &[30.0, 30.0]);
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let a = seg(&[(1.0, 1.0), (2.0, 2.0)]);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), Some(0.0));
+        b.layers[0] = {
+            let mut l = LayerKv::new(2);
+            l.push(&[1.0, 1.0], &[1.0, 1.0]);
+            l.push(&[2.5, 2.0], &[2.0, 2.0]);
+            l
+        };
+        assert_eq!(a.max_abs_diff(&b), Some(0.5));
+        let drift = a.token_drift(&b);
+        assert_eq!(drift[0], 0.0);
+        assert_eq!(drift[1], 0.5);
+    }
+
+    #[test]
+    fn fp16_conversion_properties() {
+        // Exactly representable values survive.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0] {
+            assert_eq!(fp16_round_trip(v), v, "{v}");
+        }
+        // Specials.
+        assert_eq!(fp16_round_trip(f32::INFINITY), f32::INFINITY);
+        assert_eq!(fp16_round_trip(f32::NEG_INFINITY), f32::NEG_INFINITY);
+        assert!(fp16_round_trip(f32::NAN).is_nan());
+        // Overflow saturates to infinity; deep underflow flushes to zero.
+        assert_eq!(fp16_round_trip(1e6), f32::INFINITY);
+        assert_eq!(fp16_round_trip(1e-10), 0.0);
+        // Subnormal half range is preserved approximately.
+        let sub = 3.0e-7f32;
+        let q = fp16_round_trip(sub);
+        assert!(q > 0.0 && (q - sub).abs() / sub < 0.25, "{q}");
+        // Idempotence and relative error bound (2^-11) in the normal range.
+        for i in 0..2000 {
+            let v = (i as f32 - 1000.0) * 0.0137 + 0.0071;
+            let q = fp16_round_trip(v);
+            assert_eq!(fp16_round_trip(q), q, "idempotent at {v}");
+            if v.abs() > 1e-4 {
+                assert!(((q - v) / v).abs() < 5e-4, "rel err at {v}: {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_fp16_bounds_error_and_is_idempotent() {
+        let mut seg = seg(&[(0.1234567, 0.7654321), (1.5, -2.25)]);
+        let err = seg.quantize_fp16();
+        assert!(err > 0.0 && err < 1e-3, "quantization error {err}");
+        let mut again = seg.clone();
+        assert_eq!(again.quantize_fp16(), 0.0, "already quantized");
+        assert_eq!(again, seg);
+    }
+
+    #[test]
+    fn diff_rejects_shape_mismatch() {
+        let a = seg(&[(1.0, 1.0)]);
+        let b = seg(&[(1.0, 1.0), (2.0, 2.0)]);
+        assert!(a.max_abs_diff(&b).is_none());
+    }
+}

@@ -1,0 +1,470 @@
+//! The GR transformer forward pass, with prefix-cache splicing.
+//!
+//! [`GrModel::forward`] runs the suffix tokens of a prompt against an
+//! optional pre-computed [`KvSegment`] prefix, exactly as a serving engine
+//! with prefix caching does (§3.2): projections are computed **only for the
+//! suffix tokens**, and attention runs over the concatenation of cached and
+//! fresh keys/values.
+
+use crate::config::GrModelConfig;
+use crate::kv::KvSegment;
+use crate::prompt::{SegTag, TokenSeq};
+use crate::weights::Weights;
+use bat_tensor::ops::{axpy, dot, rms_norm, silu, stable_softmax_in_place};
+use bat_tensor::RopeTable;
+
+/// Result of a forward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardOutput {
+    /// Final (RMS-normalized) hidden state of the last suffix token — the
+    /// discriminant token of the single-discriminant ranking prompt (§4.2).
+    pub hidden_last: Vec<f32>,
+    /// Final (RMS-normalized) hidden states of **all** suffix tokens; the
+    /// multi-discriminant extension reads per-item scores from these.
+    pub hidden_all: Vec<Vec<f32>>,
+    /// KV cache of the suffix tokens, ready to be stored for reuse.
+    pub suffix_kv: KvSegment,
+    /// Vocabulary logits of the last token (tied output head).
+    pub logits: Vec<f32>,
+}
+
+impl ForwardOutput {
+    /// The paper's relevance scores (§2.2): softmax over the logits of the
+    /// candidate identifier tokens `v_i`, in candidate order.
+    pub fn candidate_scores(&self, candidate_tokens: &[u32]) -> Vec<f32> {
+        let mut s: Vec<f32> = candidate_tokens
+            .iter()
+            .map(|&t| self.logits[t as usize])
+            .collect();
+        stable_softmax_in_place(&mut s);
+        s
+    }
+}
+
+/// A runnable Generative Recommender.
+///
+/// ```
+/// use bat_model::{GrModel, GrModelConfig, MaskScheme, PromptLayout, Weights};
+/// use bat_types::PrefixKind;
+///
+/// let model = GrModel::new(Weights::random(GrModelConfig::tiny(64), 1));
+/// let layout = PromptLayout::new(MaskScheme::Bipartite);
+/// let seq = layout.build(
+///     PrefixKind::Item,
+///     &[40, 41],                       // user profile tokens
+///     &[vec![0, 50], vec![1, 51]],     // candidate items
+///     &[60, 61],                       // instruction block
+/// );
+/// let scores = model.forward(&seq, None).candidate_scores(&[0, 1]);
+/// assert!((scores.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrModel {
+    weights: Weights,
+    rope: RopeTable,
+}
+
+impl GrModel {
+    /// Wraps weights into a runnable model, precomputing the RoPE table.
+    pub fn new(weights: Weights) -> Self {
+        let rope = RopeTable::new(
+            weights.cfg.head_dim,
+            weights.cfg.max_positions,
+            weights.cfg.rope_base,
+        );
+        GrModel { weights, rope }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &GrModelConfig {
+        &self.weights.cfg
+    }
+
+    /// Computes the KV segment of a standalone token block (offline item or
+    /// user prefix pre-computation, §5.2 Step 3).
+    pub fn compute_kv(&self, seq: &TokenSeq) -> KvSegment {
+        self.forward(seq, None).suffix_kv
+    }
+
+    /// Runs the transformer over `suffix`, optionally splicing a cached
+    /// `prefix` KV segment in front of it.
+    ///
+    /// The attention mask is rebuilt from the block tags stored in the
+    /// prefix segment plus the suffix tags, under the suffix's
+    /// [`crate::MaskScheme`]; cached keys keep the position IDs they were computed
+    /// at, which is sound precisely because the bipartite scheme fixes each
+    /// block's base position (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suffix` is empty, if a position ID exceeds the RoPE table,
+    /// or if the prefix segment's layer count does not match the model.
+    pub fn forward(&self, suffix: &TokenSeq, prefix: Option<&KvSegment>) -> ForwardOutput {
+        assert!(!suffix.is_empty(), "forward needs at least one token");
+        let cfg = &self.weights.cfg;
+        if let Some(p) = prefix {
+            assert_eq!(p.layers.len(), cfg.layers, "prefix layer count mismatch");
+        }
+        let p_len = prefix.map_or(0, KvSegment::len);
+        let s_len = suffix.len();
+
+        // Combined tag/pos views over [prefix ++ suffix].
+        let tag_at = |g: usize| -> SegTag {
+            if g < p_len {
+                prefix.unwrap().segs[g]
+            } else {
+                suffix.segs[g - p_len]
+            }
+        };
+
+        // Hidden states of suffix tokens only.
+        let mut h: Vec<Vec<f32>> = suffix
+            .tokens
+            .iter()
+            .map(|&t| self.weights.embedding.row(t as usize).to_vec())
+            .collect();
+
+        let mut suffix_kv = KvSegment::empty(cfg.layers, cfg.kv_dim());
+        suffix_kv.segs = suffix.segs.clone();
+        suffix_kv.pos = suffix.pos.clone();
+
+        let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+        let group = cfg.gqa_group();
+
+        for (l, lw) in self.weights.layers.iter().enumerate() {
+            // Projections for every suffix token first (they only depend on
+            // the previous layer's hidden states).
+            let mut qs: Vec<Vec<f32>> = Vec::with_capacity(s_len);
+            for (t, ht) in h.iter().enumerate() {
+                let xn = rms_norm(ht, &lw.attn_norm, 1e-6);
+                let mut q = lw.wq.vecmul(&xn);
+                let mut k = lw.wk.vecmul(&xn);
+                let v = lw.wv.vecmul(&xn);
+                let pos = suffix.pos[t] as usize;
+                for qh in 0..cfg.query_heads {
+                    self.rope
+                        .apply(&mut q[qh * cfg.head_dim..(qh + 1) * cfg.head_dim], pos);
+                }
+                for kh in 0..cfg.kv_heads {
+                    self.rope
+                        .apply(&mut k[kh * cfg.head_dim..(kh + 1) * cfg.head_dim], pos);
+                }
+                suffix_kv.layers[l].push(&k, &v);
+                qs.push(q);
+            }
+
+            // Attention + FFN per suffix token.
+            for t in 0..s_len {
+                let g_q = p_len + t;
+                let q = &qs[t];
+                let mut attn_out = vec![0.0f32; cfg.q_dim()];
+                for qh in 0..cfg.query_heads {
+                    let kv_head = qh / group;
+                    let q_slice = &q[qh * cfg.head_dim..(qh + 1) * cfg.head_dim];
+                    // Gather logits over allowed keys.
+                    let mut idx: Vec<usize> = Vec::with_capacity(g_q + 1);
+                    let mut logits: Vec<f32> = Vec::with_capacity(g_q + 1);
+                    for g_k in 0..=g_q {
+                        if !allowed(suffix.scheme, tag_at(g_q), tag_at(g_k)) {
+                            continue;
+                        }
+                        let key_row = if g_k < p_len {
+                            prefix.unwrap().layers[l].key(g_k)
+                        } else {
+                            suffix_kv.layers[l].key(g_k - p_len)
+                        };
+                        let ks =
+                            &key_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
+                        idx.push(g_k);
+                        logits.push(dot(q_slice, ks) * scale);
+                    }
+                    stable_softmax_in_place(&mut logits);
+                    let out =
+                        &mut attn_out[qh * cfg.head_dim..(qh + 1) * cfg.head_dim];
+                    for (w, &g_k) in logits.iter().zip(&idx) {
+                        if *w == 0.0 {
+                            continue;
+                        }
+                        let val_row = if g_k < p_len {
+                            prefix.unwrap().layers[l].value(g_k)
+                        } else {
+                            suffix_kv.layers[l].value(g_k - p_len)
+                        };
+                        let vs =
+                            &val_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
+                        axpy(out, *w, vs);
+                    }
+                }
+                let proj = lw.wo.vecmul(&attn_out);
+                for (a, b) in h[t].iter_mut().zip(&proj) {
+                    *a += b;
+                }
+
+                // SwiGLU FFN.
+                let xn2 = rms_norm(&h[t], &lw.ffn_norm, 1e-6);
+                let gate = lw.w_gate.vecmul(&xn2);
+                let up = lw.w_up.vecmul(&xn2);
+                let act: Vec<f32> = gate
+                    .iter()
+                    .zip(&up)
+                    .map(|(&g, &u)| silu(g) * u)
+                    .collect();
+                let down = lw.w_down.vecmul(&act);
+                for (a, b) in h[t].iter_mut().zip(&down) {
+                    *a += b;
+                }
+            }
+        }
+
+        let hidden_all: Vec<Vec<f32>> = h
+            .iter()
+            .map(|ht| rms_norm(ht, &self.weights.final_norm, 1e-6))
+            .collect();
+        let hidden_last = hidden_all.last().cloned().unwrap();
+        // Tied output head: logit_i = ⟨E[i], h⟩.
+        let logits: Vec<f32> = (0..cfg.vocab_size)
+            .map(|i| dot(self.weights.embedding.row(i), &hidden_last))
+            .collect();
+
+        ForwardOutput {
+            hidden_last,
+            hidden_all,
+            suffix_kv,
+            logits,
+        }
+    }
+
+    /// The multi-discriminant read-out (§4.2's "one discriminant token per
+    /// item" extension): for a suffix laid out by
+    /// [`crate::PromptLayout::build_per_item_discriminants`], scores
+    /// candidate `i` as `softmax_i ⟨E[v_i], h(Disc(i))⟩` — each candidate
+    /// from its own discriminant's hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suffix does not contain exactly one [`SegTag::Disc`]
+    /// token per candidate.
+    pub fn candidate_scores_per_discriminant(
+        &self,
+        suffix: &TokenSeq,
+        out: &ForwardOutput,
+        candidate_tokens: &[u32],
+    ) -> Vec<f32> {
+        let mut scores = vec![f32::NEG_INFINITY; candidate_tokens.len()];
+        let mut found = 0usize;
+        for (t, &tag) in suffix.segs.iter().enumerate() {
+            if let SegTag::Disc(i) = tag {
+                let i = i as usize;
+                assert!(i < candidate_tokens.len(), "discriminant beyond candidates");
+                scores[i] = dot(
+                    self.weights.embedding.row(candidate_tokens[i] as usize),
+                    &out.hidden_all[t],
+                );
+                found += 1;
+            }
+        }
+        assert_eq!(
+            found,
+            candidate_tokens.len(),
+            "one discriminant per candidate required"
+        );
+        stable_softmax_in_place(&mut scores);
+        scores
+    }
+}
+
+use crate::prompt::allowed_tags as allowed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompt::{MaskScheme, PromptLayout};
+    use bat_types::PrefixKind;
+
+    fn tiny_model(seed: u64) -> GrModel {
+        GrModel::new(Weights::random(GrModelConfig::tiny(64), seed))
+    }
+
+    fn parts() -> (Vec<u32>, Vec<Vec<u32>>, Vec<u32>) {
+        (
+            vec![40, 41, 42, 43, 44],
+            vec![vec![0, 50], vec![1, 51], vec![2, 52], vec![3, 53]],
+            vec![60, 61],
+        )
+    }
+
+    fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn forward_produces_finite_logits() {
+        let model = tiny_model(3);
+        let (u, i, s) = parts();
+        let seq = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::User, &u, &i, &s);
+        let out = model.forward(&seq, None);
+        assert_eq!(out.logits.len(), 64);
+        assert!(out.logits.iter().all(|v| v.is_finite()));
+        let scores = out.candidate_scores(&[0, 1, 2, 3]);
+        assert!((scores.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    /// The fundamental prefix-caching identity (§3.2): computing the prompt
+    /// in one shot equals computing the prefix KV first and splicing it.
+    #[test]
+    fn prefix_cached_forward_equals_recompute_up() {
+        let model = tiny_model(11);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::User, &u, &i, &s);
+
+        let full = model.forward(&seq, None);
+
+        let (user_block, rest) = seq.split_at(u.len());
+        let prefix_kv = model.compute_kv(&user_block);
+        let cached = model.forward(&rest, Some(&prefix_kv));
+
+        assert!(max_diff(&full.hidden_last, &cached.hidden_last) < 1e-4);
+        assert!(max_diff(&full.logits, &cached.logits) < 1e-3);
+    }
+
+    /// Same identity in the Item-as-prefix ordering, with the item block as
+    /// the cached prefix.
+    #[test]
+    fn prefix_cached_forward_equals_recompute_ip() {
+        let model = tiny_model(12);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::Item, &u, &i, &s);
+        let item_block_len = i.iter().map(Vec::len).sum::<usize>();
+
+        let full = model.forward(&seq, None);
+        let (item_block, rest) = seq.split_at(item_block_len);
+        let prefix_kv = model.compute_kv(&item_block);
+        let cached = model.forward(&rest, Some(&prefix_kv));
+
+        assert!(max_diff(&full.hidden_last, &cached.hidden_last) < 1e-4);
+        assert!(max_diff(&full.logits, &cached.logits) < 1e-3);
+    }
+
+    /// §4.2/§4.3: under the bipartite scheme, an item's KV computed
+    /// standalone equals its KV inside the full IP prompt — the property
+    /// that makes cross-user item-cache sharing sound.
+    #[test]
+    fn item_kv_is_context_independent_under_bipartite() {
+        let model = tiny_model(13);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::Item, &u, &i, &s);
+        let full = model.forward(&seq, None);
+
+        // Item 2 occupies tokens 4..6 of the prompt.
+        let standalone = layout.item_standalone(2, &i[2], 0);
+        let solo_kv = model.compute_kv(&standalone);
+        for l in 0..model.config().layers {
+            for (t, g) in (4..6).enumerate() {
+                assert!(
+                    max_diff(full.suffix_kv.layers[l].key(g), solo_kv.layers[l].key(t)) < 1e-5
+                );
+                assert!(
+                    max_diff(
+                        full.suffix_kv.layers[l].value(g),
+                        solo_kv.layers[l].value(t)
+                    ) < 1e-5
+                );
+            }
+        }
+    }
+
+    /// Under the naive causal scheme the same item's KV *does* depend on
+    /// context (positions shift and earlier tokens leak in), which is the
+    /// paper's §3.3 argument for why vanilla prefix caching cannot share
+    /// item caches.
+    #[test]
+    fn item_kv_is_context_dependent_under_naive() {
+        let model = tiny_model(13);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::NaiveCausal);
+        let seq = layout.build(PrefixKind::Item, &u, &i, &s);
+        let full = model.forward(&seq, None);
+
+        let standalone = layout.item_standalone(2, &i[2], 0);
+        let solo_kv = model.compute_kv(&standalone);
+        // Item 2 occupies tokens 4..6; its position there is 4, not 0.
+        let mut differs = false;
+        for l in 0..model.config().layers {
+            if max_diff(full.suffix_kv.layers[l].key(4), solo_kv.layers[l].key(0)) > 1e-3 {
+                differs = true;
+            }
+        }
+        assert!(differs, "naive-causal item KV should be context-dependent");
+    }
+
+    /// Candidate order inside the item block must not matter under the
+    /// bipartite scheme: permuting items permutes scores identically.
+    #[test]
+    fn item_permutation_invariance_of_scores() {
+        let model = tiny_model(21);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+
+        let seq = layout.build(PrefixKind::Item, &u, &i, &s);
+        let scores = model.forward(&seq, None).candidate_scores(&[0, 1, 2, 3]);
+
+        let permuted: Vec<Vec<u32>> = vec![i[2].clone(), i[0].clone(), i[3].clone(), i[1].clone()];
+        let seq_p = layout.build(PrefixKind::Item, &u, &permuted, &s);
+        let scores_p = model.forward(&seq_p, None).candidate_scores(&[2, 0, 3, 1]);
+
+        assert!(max_diff(&[scores[2], scores[0], scores[3], scores[1]], &scores_p) < 1e-4);
+    }
+
+    /// §6.1 stores KV in FP16: a prefix cache quantized to half precision
+    /// must not change candidate scores materially.
+    #[test]
+    fn fp16_prefix_cache_barely_moves_scores() {
+        let model = tiny_model(17);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::Item, &u, &i, &s);
+        let item_block: usize = i.iter().map(Vec::len).sum();
+        let (head, rest) = seq.split_at(item_block);
+
+        let exact_kv = model.compute_kv(&head);
+        let mut fp16_kv = exact_kv.clone();
+        let err = fp16_kv.quantize_fp16();
+        assert!(err > 0.0, "quantization should not be a no-op");
+
+        let exact = model.forward(&rest, Some(&exact_kv)).candidate_scores(&[0, 1, 2, 3]);
+        let quant = model.forward(&rest, Some(&fp16_kv)).candidate_scores(&[0, 1, 2, 3]);
+        let drift = max_diff(&exact, &quant);
+        assert!(drift < 1e-3, "fp16 KV drifted scores by {drift}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn empty_suffix_rejected() {
+        let model = tiny_model(1);
+        let seq = TokenSeq {
+            tokens: vec![],
+            segs: vec![],
+            pos: vec![],
+            scheme: MaskScheme::Bipartite,
+        };
+        let _ = model.forward(&seq, None);
+    }
+
+    #[test]
+    fn gqa_and_mha_configs_both_run() {
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::User, &u, &i, &s);
+        for cfg in [GrModelConfig::tiny(64), GrModelConfig::small(64)] {
+            let model = GrModel::new(Weights::random(cfg, 5));
+            let out = model.forward(&seq, None);
+            assert!(out.logits.iter().all(|v| v.is_finite()));
+        }
+    }
+}

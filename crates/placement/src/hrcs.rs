@@ -1,0 +1,152 @@
+//! Algorithm 1: HRCS replication-ratio computation.
+//!
+//! The algorithm bounds the fraction of item-KV bytes a request may pull
+//! over the network: communication time must stay below `α` of the
+//! request's prefill time. With `B` the network bandwidth in tokens/second,
+//! `t` the estimated prefill time, `c` candidates of `S_item` tokens each,
+//! and `N` cache workers (a remote fetch is needed for the `(N−1)/N` of
+//! sharded items living elsewhere), the maximum tolerable *remote* fraction
+//! is
+//!
+//! `R_max = α · t · B · (N−1) / (c · S_item · N)`,
+//!
+//! and the replication ratio `r` is the smallest head fraction of the item
+//! popularity CDF whose mass reaches `1 − R_max` — so that at most `R_max`
+//! of accesses fall on sharded (possibly remote) items.
+
+use bat_workload::ZipfLaw;
+use serde::{Deserialize, Serialize};
+
+/// Inputs of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HrcsParams {
+    /// Measured network bandwidth converted to tokens/second (`B`).
+    pub bandwidth_tokens_per_sec: f64,
+    /// Estimated prefill time of one request, seconds (`t`, from the
+    /// offline polynomial/analytic cost model).
+    pub prefill_time_secs: f64,
+    /// Communication-over-computation tolerance (`α`).
+    pub alpha: f64,
+    /// Candidate items per request (`c`).
+    pub candidates_per_request: u32,
+    /// Average item token count (`S_item = τ_i`).
+    pub avg_item_tokens: f64,
+    /// Number of KV cache workers (`N`).
+    pub num_workers: usize,
+}
+
+impl HrcsParams {
+    /// The maximum allowed remote-access ratio `R_max`, clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive (a single worker is allowed:
+    /// `R_max` is then unbounded and replication unnecessary).
+    pub fn max_remote_ratio(&self) -> f64 {
+        assert!(self.bandwidth_tokens_per_sec > 0.0, "bandwidth must be positive");
+        assert!(self.prefill_time_secs > 0.0, "prefill time must be positive");
+        assert!(self.alpha > 0.0, "alpha must be positive");
+        assert!(self.candidates_per_request > 0, "candidates must be positive");
+        assert!(self.avg_item_tokens > 0.0, "item tokens must be positive");
+        assert!(self.num_workers > 0, "need at least one worker");
+        if self.num_workers == 1 {
+            // All items are local; nothing ever crosses the network.
+            return 1.0;
+        }
+        let n = self.num_workers as f64;
+        let r = self.alpha * self.prefill_time_secs * self.bandwidth_tokens_per_sec * (n - 1.0)
+            / (self.candidates_per_request as f64 * self.avg_item_tokens * n);
+        r.clamp(0.0, 1.0)
+    }
+}
+
+/// Runs Algorithm 1 against an item-popularity law, returning the
+/// replication ratio `r ∈ [0, 1]`: the head fraction of items (by
+/// popularity rank) replicated on every worker.
+pub fn compute_replication_ratio(params: &HrcsParams, popularity: &ZipfLaw) -> f64 {
+    let r_max = params.max_remote_ratio();
+    if r_max >= 1.0 {
+        // Even an all-sharded layout meets the communication budget.
+        return 0.0;
+    }
+    let target_mass = 1.0 - r_max;
+    let head = popularity.ranks_for_mass(target_mass);
+    head as f64 / popularity.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> HrcsParams {
+        HrcsParams {
+            // 100Gbps ≈ 12.5 GB/s over 28672-byte tokens ≈ 436k tokens/s.
+            bandwidth_tokens_per_sec: 12.5e9 / 28672.0,
+            prefill_time_secs: 0.050,
+            alpha: 0.05,
+            candidates_per_request: 100,
+            avg_item_tokens: 10.0,
+            num_workers: 4,
+        }
+    }
+
+    #[test]
+    fn r_max_matches_closed_form() {
+        let p = params();
+        let expect: f64 = 0.05 * 0.050 * (12.5e9 / 28672.0) * 3.0 / (100.0 * 10.0 * 4.0);
+        assert!((p.max_remote_ratio() - expect.clamp(0.0, 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_worker_needs_no_replication() {
+        let mut p = params();
+        p.num_workers = 1;
+        assert_eq!(p.max_remote_ratio(), 1.0);
+        let law = ZipfLaw::new(1_000_000, 1.05);
+        assert_eq!(compute_replication_ratio(&p, &law), 0.0);
+    }
+
+    #[test]
+    fn skew_keeps_replication_small() {
+        // With Figure 2d's skew, covering ~80% of accesses needs only a few
+        // percent of items replicated.
+        let p = params();
+        let law = ZipfLaw::new(1_000_000, 1.05);
+        let r = compute_replication_ratio(&p, &law);
+        assert!(r > 0.0, "some replication needed under a 100Gbps budget");
+        assert!(r < 0.5, "skew should keep the replicated set small, got {r}");
+        // The replicated head must actually cover the required mass.
+        let covered = law.head_mass((r * law.n() as f64) as u64);
+        assert!(covered >= 1.0 - p.max_remote_ratio() - 1e-6);
+    }
+
+    #[test]
+    fn slower_network_replicates_more() {
+        let fast = params();
+        let mut slow = params();
+        slow.bandwidth_tokens_per_sec /= 10.0; // 10Gbps
+        let law = ZipfLaw::new(1_000_000, 1.05);
+        let r_fast = compute_replication_ratio(&fast, &law);
+        let r_slow = compute_replication_ratio(&slow, &law);
+        assert!(
+            r_slow >= r_fast,
+            "10Gbps ({r_slow}) must replicate at least as much as 100Gbps ({r_fast})"
+        );
+    }
+
+    #[test]
+    fn generous_budget_means_full_sharding() {
+        let mut p = params();
+        p.alpha = 10.0; // absurdly tolerant
+        let law = ZipfLaw::new(10_000, 1.0);
+        assert_eq!(compute_replication_ratio(&p, &law), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn invalid_params_rejected() {
+        let mut p = params();
+        p.bandwidth_tokens_per_sec = 0.0;
+        let _ = p.max_remote_ratio();
+    }
+}

@@ -1,0 +1,22 @@
+//! Item KV cache placement (§5.2).
+//!
+//! The item-prefix cache must hold up to millions of item KV entries across
+//! the cache workers' pooled memory. Three strategies are compared in the
+//! paper (Figure 7, Table 4):
+//!
+//! * **HRCS** (hot-replicated cold-sharded, Algorithm 1): replicate the
+//!   hottest items on every worker, shard the long tail — [`hrcs`];
+//! * **Replicate** (BAT-Replicate): the full item cache on every machine,
+//!   maximizing locality but squeezing the user cache;
+//! * **HashShard** (BAT-Hash): `1/N` of the item cache per machine,
+//!   maximizing user-cache space but paying network transfers.
+//!
+//! [`plan::ItemPlacementPlan`] materializes a strategy into per-worker
+//! memory accounting and an `O(1)` location oracle used by the serving
+//! simulator.
+
+pub mod hrcs;
+pub mod plan;
+
+pub use hrcs::{compute_replication_ratio, HrcsParams};
+pub use plan::{ItemLocation, ItemPlacementPlan, PlacementStrategy};

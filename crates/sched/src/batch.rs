@@ -1,0 +1,166 @@
+//! The max-batched-tokens batch former.
+//!
+//! §5.1: "To meet the latency SLA, we enforce a *max-batched-tokens* limit,
+//! e.g. 4000 tokens, with the value determined via offline profiling."
+//! Inference workers process the prefill queue in batches whose **newly
+//! computed** token counts sum to at most the limit; a single request whose
+//! suffix alone exceeds the limit still runs (alone) — the limit bounds
+//! batching, it does not reject work.
+
+use bat_types::RequestId;
+
+/// Forms batches under a token budget, preserving arrival order (FIFO — the
+/// paper's scheduler dispatches load-balanced FIFO batches).
+///
+/// ```
+/// use bat_sched::BatchFormer;
+/// use bat_types::RequestId;
+///
+/// let former = BatchFormer::new(4000);
+/// let queue = [(RequestId::new(1), 2500), (RequestId::new(2), 1200),
+///              (RequestId::new(3), 900)];
+/// let batches = former.form(&queue);
+/// // 2500 + 1200 fits; 900 starts the next batch.
+/// assert_eq!(batches.len(), 2);
+/// assert_eq!(batches[0].len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchFormer {
+    max_tokens: u32,
+}
+
+impl BatchFormer {
+    /// Creates a former with the given per-batch token budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tokens` is zero.
+    pub fn new(max_tokens: u32) -> Self {
+        assert!(max_tokens > 0, "token budget must be positive");
+        BatchFormer { max_tokens }
+    }
+
+    /// The configured budget.
+    pub fn max_tokens(&self) -> u32 {
+        self.max_tokens
+    }
+
+    /// Greedily packs `(request, computed_tokens)` pairs into consecutive
+    /// batches: a request joins the current batch if it fits, otherwise it
+    /// starts a new one. Oversized requests form singleton batches.
+    pub fn form(&self, queue: &[(RequestId, u32)]) -> Vec<Vec<(RequestId, u32)>> {
+        let mut batches: Vec<Vec<(RequestId, u32)>> = Vec::new();
+        let mut current: Vec<(RequestId, u32)> = Vec::new();
+        let mut current_tokens = 0u32;
+        for &(id, tokens) in queue {
+            if !current.is_empty() && current_tokens.saturating_add(tokens) > self.max_tokens {
+                batches.push(std::mem::take(&mut current));
+                current_tokens = 0;
+            }
+            current.push((id, tokens));
+            current_tokens += tokens;
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        batches
+    }
+
+    /// Takes as many leading requests as fit one batch from a FIFO queue,
+    /// returning how many to pop (at least 1 if non-empty: oversized heads
+    /// run alone).
+    pub fn take_batch(&self, queue: &[u32]) -> usize {
+        let mut total = 0u32;
+        let mut n = 0usize;
+        for &tokens in queue {
+            if n > 0 && total.saturating_add(tokens) > self.max_tokens {
+                break;
+            }
+            total = total.saturating_add(tokens);
+            n += 1;
+            if total >= self.max_tokens {
+                break;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rid(i: u64) -> RequestId {
+        RequestId::new(i)
+    }
+
+    #[test]
+    fn packs_under_budget() {
+        let f = BatchFormer::new(100);
+        let q = [(rid(1), 40), (rid(2), 50), (rid(3), 30)];
+        let batches = f.form(&q);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 2); // 40 + 50
+        assert_eq!(batches[1].len(), 1); // 30
+    }
+
+    #[test]
+    fn oversized_request_runs_alone() {
+        let f = BatchFormer::new(100);
+        let q = [(rid(1), 250), (rid(2), 10)];
+        let batches = f.form(&q);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0], vec![(rid(1), 250)]);
+    }
+
+    #[test]
+    fn order_is_preserved() {
+        let f = BatchFormer::new(50);
+        let q: Vec<_> = (0..10).map(|i| (rid(i), 20u32)).collect();
+        let flat: Vec<u64> = f
+            .form(&q)
+            .into_iter()
+            .flatten()
+            .map(|(id, _)| id.as_u64())
+            .collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_batch_matches_form_head() {
+        let f = BatchFormer::new(100);
+        let tokens = [40u32, 50, 30, 90];
+        assert_eq!(f.take_batch(&tokens), 2);
+        assert_eq!(f.take_batch(&tokens[2..]), 1);
+        assert_eq!(f.take_batch(&[]), 0);
+        assert_eq!(f.take_batch(&[500]), 1, "oversized head still runs");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = BatchFormer::new(0);
+    }
+
+    proptest! {
+        /// No batch except singletons exceeds the budget, and every request
+        /// appears exactly once.
+        #[test]
+        fn batches_respect_budget(tokens in proptest::collection::vec(1u32..3000, 0..50), budget in 1u32..5000) {
+            let f = BatchFormer::new(budget);
+            let q: Vec<_> = tokens.iter().enumerate().map(|(i, &t)| (rid(i as u64), t)).collect();
+            let batches = f.form(&q);
+            let mut count = 0;
+            for b in &batches {
+                prop_assert!(!b.is_empty());
+                let sum: u32 = b.iter().map(|&(_, t)| t).sum();
+                if b.len() > 1 {
+                    prop_assert!(sum <= budget);
+                }
+                count += b.len();
+            }
+            prop_assert_eq!(count, q.len());
+        }
+    }
+}

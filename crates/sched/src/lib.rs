@@ -1,0 +1,15 @@
+//! The hotness-aware prompt scheduler (§5.3).
+//!
+//! Bipartite Attention turns prefix selection into a per-request decision:
+//! *User-as-prefix* saves more tokens for long-profile users whose cache
+//! entry will be reused soon; *Item-as-prefix* reuses the shared item pool
+//! and is the safe default for cold or short-profile users. This crate
+//! implements the paper's decision policies ([`policy`]) and the
+//! max-batched-tokens batch former used by the inference workers
+//! ([`batch`]).
+
+pub mod batch;
+pub mod policy;
+
+pub use batch::BatchFormer;
+pub use policy::{CacheAgnosticPolicy, HotnessAwarePolicy, OraclePolicy, PromptPolicy, StaticPolicy};

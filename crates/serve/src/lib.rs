@@ -1,0 +1,24 @@
+//! The multi-threaded serving runtime.
+//!
+//! `bat-sim` proves the design in virtual time; this crate runs the same
+//! components on real OS threads, mirroring Figure 3's deployment:
+//!
+//! * a **scheduler thread** replays the trace open-loop, drives the shared
+//!   [`bat_sim::RequestPlanner`] (policy decision + cache transactions) and
+//!   dispatches jobs to the least-loaded worker;
+//! * one **inference-worker thread per node** consumes its queue over a
+//!   crossbeam channel, batches opportunistically under the
+//!   max-batched-tokens limit, and "executes" each batch by sleeping the
+//!   cost model's duration (scaled by [`ServeOptions::time_scale`] so tests
+//!   run in milliseconds);
+//! * the **collector** aggregates completions into the same [`bat_sim::RunStats`]
+//!   the simulator emits.
+//!
+//! Because both stacks share the planner, their cache behavior (hit rates,
+//! prefix decisions, computed tokens) is identical by construction; the
+//! runtime additionally validates the concurrency architecture — channel
+//! backpressure, shared meta-service locking, shutdown.
+
+pub mod runtime;
+
+pub use runtime::{ServeOptions, ServeRuntime};

@@ -1,0 +1,773 @@
+//! The event-driven serving engine.
+//!
+//! One engine instance simulates the full BAT deployment of Figure 3: a
+//! centralized hotness-aware prompt scheduler, `N` inference workers (one
+//! per node, FIFO prefill queues batched under max-batched-tokens), `N`
+//! cache workers whose memory is split between a statically-placed item
+//! region and a pooled user region, and the cache meta service (user-cache
+//! index + frequency estimates).
+//!
+//! What is modeled analytically: GPU kernel time, PCIe loads, network
+//! transfers ([`crate::compute`]). What runs for real: every scheduling
+//! decision, cache lookup, admission, eviction and placement-driven
+//! transfer, request by request.
+//!
+//! Simplifications (documented in DESIGN.md): requests are routed with
+//! cache affinity, so user-prefix reads are local PCIe loads; background
+//! item-cache refresh (hourly timescale, §5.2 Step 3) is not simulated;
+//! KV write-back happens off the critical path (§5.1) and is not charged.
+
+use crate::compute::ComputeModel;
+use crate::planner::RequestPlanner;
+use crate::stats::RunStats;
+use bat_metrics::Percentiles;
+use bat_placement::{compute_replication_ratio, HrcsParams, ItemPlacementPlan, PlacementStrategy};
+use bat_sched::BatchFormer;
+use bat_types::{
+    BatError, Bytes, ClusterConfig, DatasetConfig, ModelConfig, PrefixKind, RankRequest,
+};
+use bat_workload::ZipfLaw;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// The four systems compared throughout §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// RE: no prefix caching at all.
+    Recompute,
+    /// UP: User-as-prefix for every request, LRU user cache.
+    UserPrefix,
+    /// IP: Item-as-prefix for every request, HRCS item cache.
+    ItemPrefix,
+    /// BAT: Bipartite Attention + HRCS placement + hotness-aware scheduling.
+    Bat,
+}
+
+impl SystemKind {
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Recompute => "RE",
+            SystemKind::UserPrefix => "UP",
+            SystemKind::ItemPrefix => "IP",
+            SystemKind::Bat => "BAT",
+        }
+    }
+}
+
+/// Prefix-selection policy choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Always User-as-prefix.
+    StaticUser,
+    /// Always Item-as-prefix.
+    StaticItem,
+    /// Longer-block-wins (§5.3's cache-agnostic baseline).
+    CacheAgnostic,
+    /// BAT's hotness-aware rule (§5.3).
+    HotnessAware,
+}
+
+/// User-cache admission discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionKind {
+    /// Always admit, evicting LRU entries (the baselines).
+    Lru,
+    /// Admit only users hotter than the coldest residents (BAT).
+    HotnessAware,
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Label used in reports ("RE", "UP", "IP", "BAT", or custom).
+    pub label: String,
+    /// Model architecture (Table 2 presets).
+    pub model: ModelConfig,
+    /// Cluster hardware (Table testbeds).
+    pub cluster: ClusterConfig,
+    /// Prefix-selection policy.
+    pub policy: PolicyKind,
+    /// User-cache admission discipline.
+    pub admission: AdmissionKind,
+    /// Whether prefix caching is enabled at all (false = RE).
+    pub caching: bool,
+    /// Item cache placement; `None` disables the item cache (RE/UP).
+    pub placement: Option<ItemPlacementPlan>,
+    /// Pooled user-cache capacity across the cluster.
+    pub user_cache_capacity: Bytes,
+    /// Sliding window of the frequency estimator, seconds.
+    pub freq_window_secs: f64,
+    /// Fixed per-batch overhead (kernel launches, sync), seconds.
+    pub batch_overhead_secs: f64,
+    /// Record per-request telemetry ([`crate::stats::RequestRecord`]),
+    /// retrievable via [`ServingEngine::take_records`] after a run.
+    pub record_requests: bool,
+    /// Track per-item access frequency for the §5.2 Step 3 background
+    /// refresh (off by default: the paper's placement is computed offline).
+    pub track_item_hotness: bool,
+    /// Interval of the background hot-item re-replication, seconds
+    /// (requires `track_item_hotness`). `None` disables refresh.
+    pub item_refresh_interval_secs: Option<f64>,
+}
+
+impl EngineConfig {
+    /// Builds the paper's configuration for one of the four systems on a
+    /// dataset: Algorithm 1 decides the HRCS replication ratio, the item
+    /// region is capped to the per-node budget, and the user region gets
+    /// the remainder (§5.1 "Offline Initialization").
+    pub fn for_system(
+        kind: SystemKind,
+        model: ModelConfig,
+        cluster: ClusterConfig,
+        ds: &DatasetConfig,
+    ) -> Self {
+        let compute = ComputeModel::new(model.clone(), cluster.node.clone());
+        let needs_items = matches!(kind, SystemKind::ItemPrefix | SystemKind::Bat);
+        let placement = needs_items.then(|| {
+            let law = ZipfLaw::new(ds.num_items, ds.item_zipf_exponent);
+            let params = HrcsParams {
+                bandwidth_tokens_per_sec: compute.net_tokens_per_sec(),
+                prefill_time_secs: compute.prefill_estimate_secs(
+                    ds.avg_user_tokens as u64,
+                    ds.avg_prompt_item_tokens() as u64,
+                ),
+                alpha: cluster.alpha,
+                candidates_per_request: ds.candidates_per_request,
+                avg_item_tokens: ds.avg_item_tokens as f64,
+                num_workers: cluster.num_nodes,
+            };
+            let r = compute_replication_ratio(&params, &law);
+            let avg_item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
+            // The item region may take at most 80% of each node's budget —
+            // some user region must survive (§6.2's Industry discussion
+            // notes the user cache gets whatever the item cache leaves).
+            let item_cap = Bytes::new(cluster.node.kv_cache_capacity.as_u64() * 4 / 5);
+            ItemPlacementPlan::new(
+                PlacementStrategy::Hrcs,
+                ds.num_items,
+                cluster.num_nodes,
+                r,
+                avg_item_kv,
+            )
+            .fit_to_capacity(item_cap)
+        });
+        let per_node_items = placement
+            .as_ref()
+            .map_or(Bytes::ZERO, ItemPlacementPlan::per_worker_bytes);
+        let user_capacity = cluster
+            .node
+            .kv_cache_capacity
+            .saturating_sub(per_node_items)
+            * cluster.num_nodes as u64;
+        EngineConfig {
+            label: kind.label().to_owned(),
+            policy: match kind {
+                SystemKind::Recompute | SystemKind::UserPrefix => PolicyKind::StaticUser,
+                SystemKind::ItemPrefix => PolicyKind::StaticItem,
+                SystemKind::Bat => PolicyKind::HotnessAware,
+            },
+            admission: match kind {
+                SystemKind::Bat => AdmissionKind::HotnessAware,
+                _ => AdmissionKind::Lru,
+            },
+            caching: kind != SystemKind::Recompute,
+            placement,
+            user_cache_capacity: user_capacity,
+            freq_window_secs: 600.0,
+            batch_overhead_secs: 0.003,
+            record_requests: false,
+            track_item_hotness: false,
+            item_refresh_interval_secs: None,
+            model,
+            cluster,
+        }
+    }
+
+    /// Replaces the item placement (Figure 7 / Table 4 ablations), resizing
+    /// the user region to the leftover memory.
+    pub fn with_placement(mut self, placement: Option<ItemPlacementPlan>) -> Self {
+        let per_node = placement
+            .as_ref()
+            .map_or(Bytes::ZERO, ItemPlacementPlan::per_worker_bytes);
+        self.user_cache_capacity = self
+            .cluster
+            .node
+            .kv_cache_capacity
+            .saturating_sub(per_node)
+            * self.cluster.num_nodes as u64;
+        self.placement = placement;
+        self
+    }
+
+    /// Overrides the user-cache capacity (Figure 8 sweeps it directly).
+    pub fn with_user_cache_capacity(mut self, capacity: Bytes) -> Self {
+        self.user_cache_capacity = capacity;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatError::CapacityExceeded`] if the item region does not
+    /// fit the per-node budget (the Table 4 "replication causes OOM" case),
+    /// and [`BatError::InvalidConfig`] for inconsistent knobs.
+    pub fn validate(&self) -> Result<(), BatError> {
+        if let Some(plan) = &self.placement {
+            if plan.per_worker_bytes() > self.cluster.node.kv_cache_capacity {
+                return Err(BatError::CapacityExceeded(format!(
+                    "item region needs {} per node, budget is {}",
+                    plan.per_worker_bytes(),
+                    self.cluster.node.kv_cache_capacity
+                )));
+            }
+        }
+        if !self.caching && self.placement.is_some() {
+            return Err(BatError::InvalidConfig(
+                "item placement configured but caching disabled".to_owned(),
+            ));
+        }
+        if self.freq_window_secs <= 0.0 {
+            return Err(BatError::InvalidConfig(
+                "frequency window must be positive".to_owned(),
+            ));
+        }
+        if self.item_refresh_interval_secs.is_some() && !self.track_item_hotness {
+            return Err(BatError::InvalidConfig(
+                "item refresh requires track_item_hotness".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One unit of scheduled work.
+#[derive(Debug, Clone)]
+struct Job {
+    idx: usize,
+    prefix: PrefixKind,
+    suffix_tokens: u64,
+    context_tokens: u64,
+    local_load: Bytes,
+    remote: Bytes,
+    arrival_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct WorkerState {
+    queue: VecDeque<Job>,
+    queued_tokens: u64,
+    inflight: Vec<Job>,
+    inflight_tokens: u64,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Batch completion on worker `w`.
+    Done { worker: usize },
+    /// Arrival of request `idx` in the trace.
+    Arrive { idx: usize },
+}
+
+/// The serving engine.
+pub struct ServingEngine {
+    cfg: EngineConfig,
+    planner: RequestPlanner,
+    batcher: BatchFormer,
+    records: Vec<crate::stats::RequestRecord>,
+}
+
+impl ServingEngine {
+    /// Builds an engine from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineConfig::validate`] failures.
+    pub fn new(cfg: EngineConfig) -> Result<Self, BatError> {
+        cfg.validate()?;
+        let planner = RequestPlanner::from_config(&cfg);
+        let batcher = BatchFormer::new(cfg.cluster.max_batched_tokens);
+        Ok(ServingEngine {
+            planner,
+            batcher,
+            cfg,
+            records: Vec::new(),
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The request planner (cache state inspection after a run).
+    pub fn planner(&self) -> &RequestPlanner {
+        &self.planner
+    }
+
+    /// Replaces the prefix-selection policy before a run (the scheduling
+    /// ablation injects the clairvoyant oracle this way).
+    pub fn set_policy(&mut self, policy: Box<dyn bat_sched::PromptPolicy>) {
+        self.planner.set_policy(policy);
+    }
+
+    /// Drains the telemetry recorded by the last run (empty unless
+    /// [`EngineConfig::record_requests`] is set).
+    pub fn take_records(&mut self) -> Vec<crate::stats::RequestRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Runs the engine over an arrival-ordered trace, to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is not sorted by arrival time.
+    pub fn run(&mut self, trace: &[RankRequest]) -> RunStats {
+        for w in trace.windows(2) {
+            assert!(
+                w[1].arrival >= w[0].arrival,
+                "trace must be sorted by arrival"
+            );
+        }
+        self.records.clear();
+        let n_workers = self.cfg.cluster.num_nodes;
+        let mut workers: Vec<WorkerState> = (0..n_workers).map(|_| WorkerState::default()).collect();
+
+        // Event queue keyed by (time, sequence) for determinism.
+        let mut events: BinaryHeap<Reverse<(u64, u64, EventKind)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let to_key = |t: f64| -> u64 { (t * 1e9) as u64 };
+        for (idx, req) in trace.iter().enumerate() {
+            events.push(Reverse((to_key(req.arrival.as_secs()), seq, EventKind::Arrive { idx })));
+            seq += 1;
+        }
+
+        let mut latencies = Percentiles::new();
+        let mut total_tokens = 0u64;
+        let mut reused_tokens = 0u64;
+        let mut computed_tokens = 0u64;
+        let mut remote_bytes = Bytes::ZERO;
+        let mut compute_secs = 0.0f64;
+        let mut net_secs = 0.0f64;
+        let mut load_secs = 0.0f64;
+        let mut up_requests = 0usize;
+        let mut ip_requests = 0usize;
+        let mut completed = 0usize;
+        let mut first_arrival = f64::INFINITY;
+        let mut last_completion = 0.0f64;
+        let mut next_refresh = self.cfg.item_refresh_interval_secs.unwrap_or(0.0);
+
+        while let Some(Reverse((tkey, _, ev))) = events.pop() {
+            let now = tkey as f64 / 1e9;
+            match ev {
+                EventKind::Arrive { idx } => {
+                    let req = &trace[idx];
+                    first_arrival = first_arrival.min(now);
+                    if let Some(interval) = self.cfg.item_refresh_interval_secs {
+                        if now >= next_refresh {
+                            self.planner.refresh_item_replication(now);
+                            next_refresh = now + interval;
+                        }
+                    }
+                    let planned = self.planner.plan(req, now);
+                    let job = Job {
+                        idx,
+                        prefix: planned.prefix,
+                        suffix_tokens: planned.suffix_tokens,
+                        context_tokens: planned.context_tokens,
+                        local_load: planned.local_load,
+                        remote: planned.remote_bytes,
+                        arrival_secs: now,
+                    };
+                    total_tokens += req.total_tokens() as u64;
+                    reused_tokens += planned.reused_tokens();
+                    computed_tokens += job.suffix_tokens;
+                    remote_bytes += job.remote;
+                    if self.cfg.caching {
+                        match planned.prefix {
+                            PrefixKind::User => up_requests += 1,
+                            PrefixKind::Item => ip_requests += 1,
+                        }
+                    }
+                    // Load balancing: least outstanding work — queued plus
+                    // in-flight tokens (§5.1).
+                    let w = (0..n_workers)
+                        .min_by_key(|&i| workers[i].queued_tokens + workers[i].inflight_tokens)
+                        .expect("at least one worker");
+                    workers[w].queued_tokens += job.suffix_tokens;
+                    workers[w].queue.push_back(job);
+                    if !workers[w].busy {
+                        let service = self.start_batch(
+                            &mut workers[w],
+                            &mut compute_secs,
+                            &mut net_secs,
+                            &mut load_secs,
+                        );
+                        events.push(Reverse((to_key(now + service), seq, EventKind::Done { worker: w })));
+                        seq += 1;
+                    }
+                }
+                EventKind::Done { worker } => {
+                    let w = &mut workers[worker];
+                    for job in w.inflight.drain(..) {
+                        latencies.record(now - job.arrival_secs);
+                        completed += 1;
+                        last_completion = last_completion.max(now);
+                        if self.cfg.record_requests {
+                            self.records.push(crate::stats::RequestRecord {
+                                id: trace[job.idx].id,
+                                arrival_secs: job.arrival_secs,
+                                completion_secs: now,
+                                prefix: job.prefix,
+                                reused_tokens: job.context_tokens - job.suffix_tokens,
+                                computed_tokens: job.suffix_tokens,
+                                remote_bytes: job.remote,
+                            });
+                        }
+                    }
+                    w.inflight_tokens = 0;
+                    w.busy = false;
+                    if !w.queue.is_empty() {
+                        let service = self.start_batch(
+                            &mut workers[worker],
+                            &mut compute_secs,
+                            &mut net_secs,
+                            &mut load_secs,
+                        );
+                        events.push(Reverse((to_key(now + service), seq, EventKind::Done { worker })));
+                        seq += 1;
+                    }
+                }
+            }
+        }
+
+        let span = if completed == 0 {
+            0.0
+        } else {
+            (last_completion - first_arrival).max(1e-9)
+        };
+        RunStats::from_counters(
+            self.cfg.label.clone(),
+            completed,
+            span,
+            total_tokens,
+            reused_tokens,
+            computed_tokens,
+            remote_bytes,
+            compute_secs,
+            net_secs,
+            load_secs,
+            up_requests,
+            ip_requests,
+            &mut latencies,
+        )
+    }
+
+    /// Dequeues one batch on `w` and returns its service time.
+    fn start_batch(
+        &mut self,
+        w: &mut WorkerState,
+        compute_secs: &mut f64,
+        net_secs: &mut f64,
+        load_secs: &mut f64,
+    ) -> f64 {
+        let tokens: Vec<u32> = w
+            .queue
+            .iter()
+            .map(|j| j.suffix_tokens.min(u32::MAX as u64) as u32)
+            .collect();
+        let n = self.batcher.take_batch(&tokens).max(1);
+        let mut service = self.cfg.batch_overhead_secs;
+        for _ in 0..n {
+            let job = w.queue.pop_front().expect("batch within queue bounds");
+            w.queued_tokens -= job.suffix_tokens;
+            w.inflight_tokens += job.suffix_tokens;
+            let c = self
+                .planner
+                .compute()
+                .prefill_secs(job.suffix_tokens, job.context_tokens);
+            let l = self.planner.compute().kv_load_secs(job.local_load);
+            let t = self.planner.compute().net_transfer_secs(job.remote);
+            *compute_secs += c;
+            *load_secs += l;
+            *net_secs += t;
+            service += c + l + t;
+            w.inflight.push(job);
+        }
+        w.busy = true;
+        service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_workload::{TraceGenerator, Workload};
+
+    fn small_cluster() -> ClusterConfig {
+        let mut c = ClusterConfig::a100_4node();
+        c.num_nodes = 2;
+        c.node.kv_cache_capacity = Bytes::from_gb(20);
+        c
+    }
+
+    fn trace(ds: &DatasetConfig, secs: f64, rate: f64) -> Vec<RankRequest> {
+        let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+        g.generate(secs, rate)
+    }
+
+    fn run_system(kind: SystemKind, ds: &DatasetConfig, secs: f64, rate: f64) -> RunStats {
+        let cfg =
+            EngineConfig::for_system(kind, ModelConfig::qwen2_1_5b(), small_cluster(), ds);
+        let mut engine = ServingEngine::new(cfg).unwrap();
+        engine.run(&trace(ds, secs, rate))
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let ds = DatasetConfig::games();
+        for kind in [
+            SystemKind::Recompute,
+            SystemKind::UserPrefix,
+            SystemKind::ItemPrefix,
+            SystemKind::Bat,
+        ] {
+            let stats = run_system(kind, &ds, 4.0, 10.0);
+            let expected = trace(&ds, 4.0, 10.0).len();
+            assert_eq!(stats.completed, expected, "{}", kind.label());
+            assert!(stats.p99_latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn recompute_reuses_nothing() {
+        let stats = run_system(SystemKind::Recompute, &DatasetConfig::games(), 4.0, 10.0);
+        assert_eq!(stats.reused_tokens, 0);
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.computed_tokens, stats.total_tokens);
+    }
+
+    #[test]
+    fn caching_systems_beat_recompute() {
+        // A compressed Games-like dataset: few users, so the short test
+        // trace revisits them (the paper's traces run for minutes).
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let re = run_system(SystemKind::Recompute, &ds, 8.0, 20.0);
+        let up = run_system(SystemKind::UserPrefix, &ds, 8.0, 20.0);
+        let ip = run_system(SystemKind::ItemPrefix, &ds, 8.0, 20.0);
+        let bat = run_system(SystemKind::Bat, &ds, 8.0, 20.0);
+        assert!(up.hit_rate() > 0.05, "UP hit rate {}", up.hit_rate());
+        assert!(ip.hit_rate() > 0.2, "IP hit rate {}", ip.hit_rate());
+        assert!(
+            bat.computed_tokens < re.computed_tokens,
+            "BAT must compute fewer tokens than RE"
+        );
+        assert!(
+            bat.hit_rate() >= up.hit_rate().min(ip.hit_rate()),
+            "BAT at least matches the weaker static policy"
+        );
+    }
+
+    #[test]
+    fn ip_pays_network_for_sharded_items() {
+        let ds = DatasetConfig::books();
+        // A generous communication budget makes Algorithm 1 shard most of
+        // the corpus, so requests must touch remote shards on 2 nodes.
+        let mut cluster = small_cluster();
+        cluster.alpha = 0.5;
+        let cfg = EngineConfig::for_system(
+            SystemKind::ItemPrefix,
+            ModelConfig::qwen2_1_5b(),
+            cluster,
+            &ds,
+        );
+        let mut engine = ServingEngine::new(cfg).unwrap();
+        let ip = engine.run(&trace(&ds, 4.0, 10.0));
+        assert!(ip.remote_bytes > Bytes::ZERO);
+        assert!(ip.net_secs > 0.0);
+    }
+
+    #[test]
+    fn saturation_qps_is_bounded_by_compute() {
+        let ds = DatasetConfig::games();
+        // Offered far above capacity: completion rate ≈ capacity.
+        let re = run_system(SystemKind::Recompute, &ds, 10.0, 200.0);
+        let model = ModelConfig::qwen2_1_5b();
+        let cm = ComputeModel::new(model, small_cluster().node);
+        let per_req = cm.prefill_secs(2400, 2400);
+        let upper = 2.0 / per_req * 1.2; // 2 nodes + slack
+        assert!(re.qps() < upper, "qps {} vs bound {}", re.qps(), upper);
+        assert!(re.qps() > 0.2 / per_req);
+    }
+
+    #[test]
+    fn latency_grows_with_offered_load() {
+        let ds = DatasetConfig::games();
+        let light = run_system(SystemKind::Bat, &ds, 10.0, 2.0);
+        let heavy = run_system(SystemKind::Bat, &ds, 10.0, 300.0);
+        assert!(
+            heavy.p99_latency_ms > light.p99_latency_ms * 2.0,
+            "overload must inflate P99: {} vs {}",
+            heavy.p99_latency_ms,
+            light.p99_latency_ms
+        );
+    }
+
+    #[test]
+    fn bat_splits_traffic_between_prefixes() {
+        let ds = DatasetConfig::industry();
+        let bat = run_system(SystemKind::Bat, &ds, 6.0, 20.0);
+        assert!(bat.ip_requests > 0, "some requests must go item-as-prefix");
+        assert!(
+            bat.up_requests + bat.ip_requests == bat.completed,
+            "every request gets a prefix decision"
+        );
+    }
+
+    #[test]
+    fn oversized_item_region_is_rejected() {
+        let ds = DatasetConfig::books();
+        let cluster = small_cluster();
+        let kv = ModelConfig::qwen2_1_5b().kv_bytes(ds.avg_item_tokens as u64);
+        let plan = ItemPlacementPlan::new(
+            PlacementStrategy::Replicate,
+            ds.num_items,
+            cluster.num_nodes,
+            1.0,
+            kv,
+        );
+        let cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            cluster,
+            &ds,
+        );
+        // Books: 280K items × ~120KB ≈ 34GB per node > 20GB budget.
+        let cfg = EngineConfig {
+            placement: Some(plan),
+            ..cfg
+        };
+        assert!(matches!(
+            ServingEngine::new(cfg),
+            Err(BatError::CapacityExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn with_placement_resizes_user_region() {
+        let ds = DatasetConfig::games();
+        let cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        );
+        let full = cfg.clone().with_placement(None);
+        assert!(full.user_cache_capacity > cfg.user_cache_capacity);
+        assert_eq!(
+            full.user_cache_capacity,
+            Bytes::from_gb(20) * 2
+        );
+    }
+
+    #[test]
+    fn telemetry_records_cover_every_request() {
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let mut cfg =
+            EngineConfig::for_system(SystemKind::Bat, ModelConfig::qwen2_1_5b(), small_cluster(), &ds);
+        cfg.record_requests = true;
+        let t = trace(&ds, 4.0, 20.0);
+        let mut engine = ServingEngine::new(cfg).unwrap();
+        let stats = engine.run(&t);
+        let records = engine.take_records();
+        assert_eq!(records.len(), stats.completed);
+        // Records agree with the aggregate counters exactly.
+        let reused: u64 = records.iter().map(|r| r.reused_tokens).sum();
+        let computed: u64 = records.iter().map(|r| r.computed_tokens).sum();
+        assert_eq!(reused, stats.reused_tokens);
+        assert_eq!(computed, stats.computed_tokens);
+        for r in &records {
+            assert!(r.completion_secs >= r.arrival_secs);
+        }
+        // take_records drains.
+        assert!(engine.take_records().is_empty());
+        let rows = crate::stats::breakdown_by_prefix(&records);
+        assert!(!rows.is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// Conservation and completeness hold for arbitrary small
+            /// workloads and all four systems.
+            #[test]
+            fn engine_invariants(
+                seed in 0u64..500,
+                rate in 5.0f64..60.0,
+                users in 50u64..2000,
+                kind_idx in 0usize..4,
+            ) {
+                let kind = [
+                    SystemKind::Recompute,
+                    SystemKind::UserPrefix,
+                    SystemKind::ItemPrefix,
+                    SystemKind::Bat,
+                ][kind_idx];
+                let ds = DatasetConfig { num_users: users, ..DatasetConfig::games() };
+                let mut gen = bat_workload::TraceGenerator::new(
+                    bat_workload::Workload::new(ds.clone(), seed),
+                    seed ^ 1,
+                );
+                let trace = gen.generate(3.0, rate);
+                prop_assume!(!trace.is_empty());
+                let cfg = EngineConfig::for_system(
+                    kind,
+                    ModelConfig::qwen2_1_5b(),
+                    small_cluster(),
+                    &ds,
+                );
+                let mut engine = ServingEngine::new(cfg).unwrap();
+                let stats = engine.run(&trace);
+                prop_assert_eq!(stats.completed, trace.len());
+                prop_assert_eq!(
+                    stats.reused_tokens + stats.computed_tokens,
+                    stats.total_tokens
+                );
+                prop_assert!(stats.hit_rate() <= 1.0);
+                prop_assert!(stats.p99_latency_ms >= stats.p50_latency_ms);
+                prop_assert!(stats.qps() > 0.0);
+                if kind == SystemKind::Recompute {
+                    prop_assert_eq!(stats.reused_tokens, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_validation_catches_inconsistency() {
+        let ds = DatasetConfig::games();
+        let mut cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        );
+        cfg.caching = false;
+        assert!(matches!(
+            cfg.validate(),
+            Err(BatError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,363 @@
+//! Request planning: the scheduler's per-request cache transaction.
+//!
+//! [`RequestPlanner`] encapsulates what the centralized scheduler does for
+//! one arriving request (§5.1): consult the policy for the prefix decision,
+//! perform the user-cache lookup/admission, resolve item placement, and
+//! emit the resulting compute job (suffix tokens, context size, KV bytes to
+//! load locally and to pull over the network). Both the discrete-event
+//! engine (`bat-sim`) and the threaded runtime (`bat-serve`) drive the same
+//! planner, so their cache behavior is identical by construction.
+
+use crate::compute::ComputeModel;
+use crate::engine::{AdmissionKind, EngineConfig, PolicyKind};
+use bat_kvcache::{UserCache, UserCacheConfig};
+use bat_placement::{ItemLocation, ItemPlacementPlan};
+use bat_sched::{CacheAgnosticPolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy};
+use bat_types::{Bytes, PrefixKind, RankRequest, WorkerId};
+
+/// The planned compute job for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedJob {
+    /// Prefix decision taken (meaningless when caching is disabled).
+    pub prefix: PrefixKind,
+    /// Tokens that must be computed.
+    pub suffix_tokens: u64,
+    /// Total attention context (= prompt length).
+    pub context_tokens: u64,
+    /// KV bytes loaded from local host memory over PCIe.
+    pub local_load: Bytes,
+    /// KV bytes pulled from remote cache workers.
+    pub remote_bytes: Bytes,
+}
+
+impl PlannedJob {
+    /// Tokens reused from cache.
+    pub fn reused_tokens(&self) -> u64 {
+        self.context_tokens - self.suffix_tokens
+    }
+}
+
+/// Stateful per-request planner shared by the simulator and the runtime.
+pub struct RequestPlanner {
+    compute: ComputeModel,
+    user_cache: UserCache,
+    policy: Box<dyn PromptPolicy>,
+    placement: Option<ItemPlacementPlan>,
+    admission: AdmissionKind,
+    caching: bool,
+    /// Item access-frequency estimator for the §5.2 Step 3 background
+    /// refresh; populated only when tracking is enabled.
+    item_freq: Option<bat_kvcache::FreqEstimator<bat_types::ItemId>>,
+}
+
+impl RequestPlanner {
+    /// Builds a planner from an engine configuration (assumed validated).
+    pub fn from_config(cfg: &EngineConfig) -> Self {
+        let compute = ComputeModel::new(cfg.model.clone(), cfg.cluster.node.clone());
+        let user_cache = UserCache::new(UserCacheConfig {
+            capacity: cfg.user_cache_capacity,
+            freq_window_secs: cfg.freq_window_secs,
+            min_freq_sample: 8,
+            page_bytes: 16 * cfg.model.kv_bytes_per_token(),
+        });
+        let policy: Box<dyn PromptPolicy> = match cfg.policy {
+            PolicyKind::StaticUser => Box::new(StaticPolicy(PrefixKind::User)),
+            PolicyKind::StaticItem => Box::new(StaticPolicy(PrefixKind::Item)),
+            PolicyKind::CacheAgnostic => Box::new(CacheAgnosticPolicy),
+            PolicyKind::HotnessAware => {
+                Box::new(HotnessAwarePolicy::new(cfg.model.kv_bytes_per_token()))
+            }
+        };
+        RequestPlanner {
+            compute,
+            user_cache,
+            policy,
+            placement: cfg.placement.clone(),
+            admission: cfg.admission,
+            caching: cfg.caching,
+            item_freq: cfg
+                .track_item_hotness
+                .then(|| bat_kvcache::FreqEstimator::new(cfg.freq_window_secs)),
+        }
+    }
+
+    /// Re-replicates the hottest observed items into the placement plan's
+    /// replicated area (§5.2 Step 3's background update). No-op unless item
+    /// hotness tracking is enabled and an item placement exists.
+    pub fn refresh_item_replication(&mut self, now: f64) {
+        let (Some(freq), Some(plan)) = (&self.item_freq, &mut self.placement) else {
+            return;
+        };
+        let cap = plan.replicated_items() as usize;
+        if cap == 0 {
+            return;
+        }
+        let mut rates: Vec<(bat_types::ItemId, f64)> = freq
+            .iter_keys()
+            .map(|&item| (item, freq.rate(&item, now)))
+            .collect();
+        rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Hottest observed items first; any leftover area capacity keeps the
+        // offline plan's rank-prefix members (unobserved ≠ cold — the
+        // offline CDF put them there for a reason).
+        let mut members: Vec<bat_types::ItemId> =
+            rates.into_iter().take(cap).map(|(i, _)| i).collect();
+        let chosen: std::collections::HashSet<bat_types::ItemId> =
+            members.iter().copied().collect();
+        let mut fill = 0u64;
+        while members.len() < cap && fill < plan.num_items() {
+            let candidate = bat_types::ItemId::new(fill);
+            if !chosen.contains(&candidate) {
+                members.push(candidate);
+            }
+            fill += 1;
+        }
+        plan.refresh_replicated(members);
+    }
+
+    /// The cost model the planner prices jobs with.
+    pub fn compute(&self) -> &ComputeModel {
+        &self.compute
+    }
+
+    /// Read access to the user cache (tests, reporting).
+    pub fn user_cache(&self) -> &UserCache {
+        &self.user_cache
+    }
+
+    /// Replaces the prefix-selection policy (e.g. with the clairvoyant
+    /// [`bat_sched::OraclePolicy`] for the scheduling ablation).
+    pub fn set_policy(&mut self, policy: Box<dyn PromptPolicy>) {
+        self.policy = policy;
+    }
+
+    /// Plans one request arriving at `now` (seconds).
+    ///
+    /// The prefix decision is made on the *pre-access* frequency estimate:
+    /// `f_u` predicts the user's future rate from past behavior (§5.3), so
+    /// the current arrival must not count toward its own admission —
+    /// otherwise every first-time user looks hot and pollutes the cache
+    /// with compulsory misses, the precise failure §5.3 attributes to
+    /// cache-agnostic scheduling.
+    pub fn plan(&mut self, req: &RankRequest, now: f64) -> PlannedJob {
+        let total = req.total_tokens() as u64;
+        let mut job = PlannedJob {
+            prefix: PrefixKind::User,
+            suffix_tokens: total,
+            context_tokens: total,
+            local_load: Bytes::ZERO,
+            remote_bytes: Bytes::ZERO,
+        };
+        if !self.caching {
+            return job;
+        }
+        let kind = self.policy.decide(req, &mut self.user_cache, now);
+        self.user_cache.record_access(req.user, now);
+        job.prefix = kind;
+        match kind {
+            PrefixKind::User => {
+                let user_bytes = self.compute.kv_bytes(req.user_tokens as u64);
+                if self.user_cache.lookup(req.user, now).is_some() {
+                    // Prefix hit: only items + instructions are computed.
+                    job.suffix_tokens = total - req.user_tokens as u64;
+                    job.local_load = user_bytes;
+                } else {
+                    // Miss: recompute everything, then admit the new prefix.
+                    match self.admission {
+                        AdmissionKind::Lru => {
+                            let _ = self.user_cache.admit_lru(req.user, user_bytes);
+                        }
+                        AdmissionKind::HotnessAware => {
+                            let _ = self.user_cache.admit_if_hotter(req.user, user_bytes, now);
+                        }
+                    }
+                }
+            }
+            PrefixKind::Item => {
+                if let Some(freq) = &mut self.item_freq {
+                    for &item in &req.candidates {
+                        freq.record(item, now);
+                    }
+                }
+                if let Some(plan) = &self.placement {
+                    // Affinity view: locations are owner-relative to the
+                    // worker the request will land on; worker 0 is
+                    // representative because sharding is round-robin.
+                    let local = WorkerId::new(0);
+                    let mut reused = 0u64;
+                    for (i, &item) in req.candidates.iter().enumerate() {
+                        let tokens = req.candidate_tokens[i] as u64;
+                        let bytes = self.compute.kv_bytes(tokens);
+                        match plan.locate(item, local) {
+                            ItemLocation::LocalReplica | ItemLocation::LocalShard => {
+                                reused += tokens;
+                                job.local_load += bytes;
+                            }
+                            ItemLocation::Remote(_) => {
+                                reused += tokens;
+                                job.remote_bytes += bytes;
+                            }
+                            ItemLocation::Uncached => {}
+                        }
+                    }
+                    job.suffix_tokens = total - reused;
+                }
+            }
+        }
+        job
+    }
+
+    /// Prices a planned job: `(compute_secs, pcie_load_secs, net_secs)`.
+    pub fn price(&self, job: &PlannedJob) -> (f64, f64, f64) {
+        (
+            self.compute
+                .prefill_secs(job.suffix_tokens, job.context_tokens),
+            self.compute.kv_load_secs(job.local_load),
+            self.compute.net_transfer_secs(job.remote_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, SystemKind};
+    use bat_types::{ClusterConfig, DatasetConfig, ItemId, ModelConfig, RequestId, SimTime, UserId};
+
+    fn req(user: u64, user_tokens: u32) -> RankRequest {
+        RankRequest {
+            id: RequestId::new(0),
+            user: UserId::new(user),
+            user_tokens,
+            candidates: (0..100).map(ItemId::new).collect(),
+            candidate_tokens: vec![10; 100],
+            instruction_tokens: 32,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    fn planner(kind: SystemKind) -> RequestPlanner {
+        let ds = DatasetConfig::industry();
+        let cfg = EngineConfig::for_system(
+            kind,
+            ModelConfig::qwen2_1_5b(),
+            ClusterConfig::a100_4node(),
+            &ds,
+        );
+        RequestPlanner::from_config(&cfg)
+    }
+
+    #[test]
+    fn recompute_plans_full_suffix() {
+        let mut p = planner(SystemKind::Recompute);
+        let r = req(1, 1500);
+        let job = p.plan(&r, 0.0);
+        assert_eq!(job.suffix_tokens, r.total_tokens() as u64);
+        assert_eq!(job.reused_tokens(), 0);
+    }
+
+    #[test]
+    fn up_miss_then_hit() {
+        let mut p = planner(SystemKind::UserPrefix);
+        let r = req(1, 1500);
+        let miss = p.plan(&r, 0.0);
+        assert_eq!(miss.reused_tokens(), 0, "first request misses");
+        let hit = p.plan(&r, 1.0);
+        assert_eq!(hit.reused_tokens(), 1500, "second request hits the user prefix");
+        assert!(hit.local_load > Bytes::ZERO);
+    }
+
+    #[test]
+    fn ip_reuses_hot_items_immediately() {
+        let mut p = planner(SystemKind::ItemPrefix);
+        let r = req(1, 1500);
+        let job = p.plan(&r, 0.0);
+        // Candidates 0..100 are the hottest (replicated) items: all reused.
+        assert_eq!(job.reused_tokens(), 1000);
+        assert_eq!(job.prefix, PrefixKind::Item);
+    }
+
+    #[test]
+    fn bat_first_timer_goes_item_returning_user_goes_user() {
+        // Constrain the user region to two entries so admission must choose.
+        let ds = DatasetConfig::industry();
+        let cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            ClusterConfig::a100_4node(),
+            &ds,
+        )
+        .with_user_cache_capacity(bat_types::Bytes::from_mb(120));
+        let mut p = RequestPlanner::from_config(&cfg);
+
+        // Warm the cache to capacity with returning residents (free space
+        // admits anyone — there is nothing to pollute).
+        for user in [1u64, 2] {
+            let resident = req(user, 2000);
+            for i in 0..4 {
+                let _ = p.plan(&resident, i as f64 * 5.0 + user as f64);
+            }
+            assert!(p.user_cache().contains(resident.user));
+        }
+
+        // A first-time user has a zero pre-access frequency estimate: it
+        // must not displace the residents, and falls back to Item-as-prefix.
+        let newcomer = req(42, 2000);
+        let first = p.plan(&newcomer, 20.0);
+        assert_eq!(
+            first.prefix,
+            PrefixKind::Item,
+            "unknown user must not pollute the cache"
+        );
+        // The newcomer returns repeatedly: prediction rises, UP gets chosen.
+        let mut kinds = Vec::new();
+        for i in 1..6 {
+            kinds.push(p.plan(&newcomer, 20.0 + i as f64 * 10.0).prefix);
+        }
+        assert!(
+            kinds.contains(&PrefixKind::User),
+            "a frequently returning user should eventually be scheduled UP: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn item_refresh_replicates_observed_hotspot() {
+        let ds = DatasetConfig::industry();
+        let mut cfg = EngineConfig::for_system(
+            SystemKind::ItemPrefix,
+            ModelConfig::qwen2_1_5b(),
+            ClusterConfig::a100_4node(),
+            &ds,
+        );
+        cfg.track_item_hotness = true;
+        let mut p = RequestPlanner::from_config(&cfg);
+        // Burst hotspot: a request repeatedly hitting a cold-band item.
+        let cold_item = ItemId::new(900_000);
+        let mut r = req(1, 1500);
+        r.candidates[0] = cold_item;
+        let before = p.plan(&r, 0.0);
+        for t in 1..50 {
+            let _ = p.plan(&r, t as f64);
+        }
+        p.refresh_item_replication(50.0);
+        let after = p.plan(&r, 51.0);
+        // The hot cold-band item moved into the replicated area: remote
+        // traffic cannot be higher than before the refresh.
+        assert!(after.remote_bytes <= before.remote_bytes);
+    }
+
+    #[test]
+    fn pricing_is_consistent_with_cost_model() {
+        let mut p = planner(SystemKind::Recompute);
+        let r = req(1, 1500);
+        let job = p.plan(&r, 0.0);
+        let (c, l, n) = p.price(&job);
+        assert!(c > 0.0);
+        assert_eq!(l, 0.0);
+        assert_eq!(n, 0.0);
+        let direct = p
+            .compute()
+            .prefill_secs(job.suffix_tokens, job.context_tokens);
+        assert_eq!(c, direct);
+    }
+}

@@ -1,0 +1,27 @@
+//! Minimal dense linear-algebra kernels for the GR transformer.
+//!
+//! `bat-model` needs exactly four primitives to run a transformer forward
+//! pass: a row-major matrix with matmul, numerically-stable (masked)
+//! softmax, RMS normalization, and rotary position embeddings (RoPE, [Su et
+//! al. 2024], the position encoding the paper adjusts in §4.2). This crate
+//! implements them from scratch in portable f32 — no BLAS, no SIMD
+//! intrinsics — because the accuracy experiments run at laptop-scale
+//! dimensions where clarity beats throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use bat_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! assert_eq!(a.matmul(&b), a);
+//! ```
+
+pub mod matrix;
+pub mod ops;
+pub mod rope;
+
+pub use matrix::Matrix;
+pub use ops::{rms_norm, silu, softmax_masked_in_place, stable_softmax_in_place};
+pub use rope::RopeTable;

@@ -1,0 +1,276 @@
+//! A row-major `f32` matrix.
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// ```
+/// use bat_tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// assert_eq!(m.get(1, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix with entries drawn i.i.d. from
+    /// `Uniform(-scale, scale)`; used for seeded weight initialization.
+    pub fn random<R: Rng>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {}x{} × {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `vec × self` where `vec` has length `self.rows()`; returns a vector of
+    /// length `self.cols()`. This is the hot path of the per-token forward
+    /// pass (hidden-state row times weight matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.rows()`.
+    pub fn vecmul(&self, vec: &[f32]) -> Vec<f32> {
+        assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (k, &a) in vec.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (o, &b) in out.iter_mut().zip(self.row(k)) {
+                *o += a * b;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference from `other`; `None` if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Option<f32> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(3)), a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn vecmul_matches_matmul() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = Matrix::random(5, 3, 1.0, &mut rng);
+        let v = vec![0.3, -0.2, 1.0, 0.5, -0.7];
+        let via_mat = Matrix::from_vec(1, 5, v.clone()).matmul(&w);
+        let via_vec = w.vecmul(&v);
+        for (a, b) in via_mat.row(0).iter().zip(&via_vec) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = Matrix::random(4, 7, 1.0, &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_shape_mismatch() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.max_abs_diff(&b).is_none());
+        assert_eq!(a.max_abs_diff(&a), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    proptest! {
+        /// (A·B)ᵀ = Bᵀ·Aᵀ for random matrices.
+        #[test]
+        fn transpose_of_product(seed in 0u64..1000, n in 1usize..6, m in 1usize..6, k in 1usize..6) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = Matrix::random(n, m, 1.0, &mut rng);
+            let b = Matrix::random(m, k, 1.0, &mut rng);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+        }
+
+        /// Matmul distributes over identity padding: A·I = I·A = A.
+        #[test]
+        fn identity_both_sides(seed in 0u64..1000, n in 1usize..8) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let a = Matrix::random(n, n, 1.0, &mut rng);
+            let i = Matrix::identity(n);
+            prop_assert!(a.matmul(&i).max_abs_diff(&a).unwrap() < 1e-6);
+            prop_assert!(i.matmul(&a).max_abs_diff(&a).unwrap() < 1e-6);
+        }
+    }
+}

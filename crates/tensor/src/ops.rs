@@ -1,0 +1,199 @@
+//! Elementwise and reduction kernels: softmax, RMSNorm, SiLU.
+
+/// Numerically-stable in-place softmax over `logits`.
+///
+/// Subtracts the maximum before exponentiating, so arbitrarily large logits
+/// do not overflow. An all-`-inf` row (fully masked) becomes all zeros
+/// rather than NaN.
+///
+/// ```
+/// let mut v = vec![1.0f32, 2.0, 3.0];
+/// bat_tensor::stable_softmax_in_place(&mut v);
+/// assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+/// assert!(v[2] > v[1] && v[1] > v[0]);
+/// ```
+pub fn stable_softmax_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        logits.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        logits.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+/// Masked softmax: positions where `allowed[i]` is false receive probability
+/// zero; the remainder normalizes over the allowed set.
+///
+/// This is the kernel behind Bipartite Attention's cross-item masking: a
+/// query token's attention row is computed over exactly the positions its
+/// mask admits.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != allowed.len()`.
+pub fn softmax_masked_in_place(logits: &mut [f32], allowed: &[bool]) {
+    assert_eq!(logits.len(), allowed.len(), "mask arity mismatch");
+    for (v, &ok) in logits.iter_mut().zip(allowed) {
+        if !ok {
+            *v = f32::NEG_INFINITY;
+        }
+    }
+    stable_softmax_in_place(logits);
+}
+
+/// Root-mean-square layer normalization (as in Llama/Qwen):
+/// `x_i ← x_i / rms(x) · gain_i`, `rms(x) = sqrt(mean(x²) + ε)`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != gain.len()`.
+pub fn rms_norm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "rms_norm arity mismatch");
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len().max(1) as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+}
+
+/// SiLU (swish) activation `x · sigmoid(x)`, used in the SwiGLU FFN.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot arity mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out += scale * v` elementwise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(out: &mut [f32], scale: f32, v: &[f32]) {
+    assert_eq!(out.len(), v.len(), "axpy arity mismatch");
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o += scale * x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut v = vec![0.5f32, 1.5, -2.0];
+        stable_softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v[1] > v[0] && v[0] > v[2]);
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let mut v = vec![1e30f32, 1e30, 0.0];
+        stable_softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_masked_row_is_zero() {
+        let mut v = vec![3.0f32, 1.0];
+        softmax_masked_in_place(&mut v, &[false, false]);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mask_zeroes_disallowed_positions() {
+        let mut v = vec![1.0f32, 5.0, 1.0];
+        softmax_masked_in_place(&mut v, &[true, false, true]);
+        assert_eq!(v[1], 0.0);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!((v[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_softmax_is_noop() {
+        let mut v: Vec<f32> = vec![];
+        stable_softmax_in_place(&mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn rms_norm_produces_unit_scale() {
+        let x = vec![3.0f32, 4.0];
+        let g = vec![1.0f32, 1.0];
+        let y = rms_norm(&x, &g, 1e-6);
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert!((y[0] - 3.0 / rms).abs() < 1e-5);
+        assert!((y[1] - 4.0 / rms).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731_058_6).abs() < 1e-5);
+        assert!(silu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut out = vec![1.0f32, 2.0];
+        axpy(&mut out, 2.0, &[0.5, 0.5]);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    proptest! {
+        /// Softmax is invariant to adding a constant to all logits.
+        #[test]
+        fn softmax_shift_invariance(xs in proptest::collection::vec(-20.0f32..20.0, 1..16), shift in -50.0f32..50.0) {
+            let mut a = xs.clone();
+            let mut b: Vec<f32> = xs.iter().map(|v| v + shift).collect();
+            stable_softmax_in_place(&mut a);
+            stable_softmax_in_place(&mut b);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Softmax output is a probability distribution.
+        #[test]
+        fn softmax_is_distribution(xs in proptest::collection::vec(-30.0f32..30.0, 1..32)) {
+            let mut v = xs;
+            stable_softmax_in_place(&mut v);
+            prop_assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+            prop_assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+
+        /// RMSNorm output has RMS ≈ 1 when gain is all-ones.
+        #[test]
+        fn rms_norm_unit_rms(xs in proptest::collection::vec(-10.0f32..10.0, 2..32)) {
+            // Avoid the degenerate all-zeros vector.
+            prop_assume!(xs.iter().any(|v| v.abs() > 1e-3));
+            let g = vec![1.0f32; xs.len()];
+            let y = rms_norm(&xs, &g, 1e-8);
+            let rms = (y.iter().map(|v| v * v).sum::<f32>() / y.len() as f32).sqrt();
+            prop_assert!((rms - 1.0).abs() < 1e-2);
+        }
+    }
+}

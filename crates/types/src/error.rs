@@ -1,0 +1,51 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the BAT serving stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatError {
+    /// A ranking request failed validation.
+    InvalidRequest(String),
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A cache operation referenced an entry that does not exist.
+    CacheMiss(String),
+    /// A cache worker ran out of capacity and could not admit an entry.
+    CapacityExceeded(String),
+    /// The serving runtime shut down before the operation completed.
+    Shutdown(String),
+}
+
+impl fmt::Display for BatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            BatError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BatError::CacheMiss(msg) => write!(f, "cache miss: {msg}"),
+            BatError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
+            BatError::Shutdown(msg) => write!(f, "runtime shut down: {msg}"),
+        }
+    }
+}
+
+impl Error for BatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = BatError::InvalidRequest("no candidates".into());
+        assert_eq!(e.to_string(), "invalid request: no candidates");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BatError>();
+    }
+}

@@ -1,0 +1,129 @@
+//! Strongly-typed identifiers.
+//!
+//! The serving system moves four kinds of entities around: users, items,
+//! requests, and cluster nodes/workers. Newtypes keep them from being mixed
+//! up (a `UserId` can never be used where an `ItemId` is expected), at zero
+//! runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            ///
+            /// ```
+            /// # use bat_types::id::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.as_u64(), 7);
+            /// ```
+            #[inline]
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            #[inline]
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// Returns the raw value as a `usize` index (for dense tables).
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a user in the recommendation system.
+    UserId,
+    "u"
+);
+define_id!(
+    /// Identifier of an item in the recommendation corpus.
+    ItemId,
+    "i"
+);
+define_id!(
+    /// Identifier of a single ranking request.
+    RequestId,
+    "r"
+);
+define_id!(
+    /// Identifier of a physical machine in the cluster.
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifier of an inference or cache worker.
+    WorkerId,
+    "w"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_u64() {
+        let u = UserId::new(42);
+        assert_eq!(u64::from(u), 42);
+        assert_eq!(UserId::from(42u64), u);
+        assert_eq!(u.index(), 42usize);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(UserId::new(3).to_string(), "u3");
+        assert_eq!(ItemId::new(3).to_string(), "i3");
+        assert_eq!(RequestId::new(3).to_string(), "r3");
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(WorkerId::new(3).to_string(), "w3");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ItemId::new(1));
+        set.insert(ItemId::new(1));
+        set.insert(ItemId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(ItemId::new(1) < ItemId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(UserId::default(), UserId::new(0));
+    }
+}

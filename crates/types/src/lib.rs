@@ -1,0 +1,36 @@
+//! Foundational types for the BAT reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: strongly-typed identifiers, the model-architecture presets of
+//! the paper's Table 2, the dataset presets of Table 1, cluster hardware
+//! descriptions, ranking requests, and the prefix-selection enum at the heart
+//! of Bipartite Attention.
+//!
+//! # Example
+//!
+//! ```
+//! use bat_types::{ModelConfig, DatasetConfig};
+//!
+//! let model = ModelConfig::qwen2_1_5b();
+//! // Table 2: Qwen2-1.5B stores 28672 bytes of KV cache per token.
+//! assert_eq!(model.kv_bytes_per_token(), 28672);
+//!
+//! let ds = DatasetConfig::industry();
+//! assert_eq!(ds.num_items, 1_000_000);
+//! ```
+
+pub mod cluster;
+pub mod dataset;
+pub mod error;
+pub mod id;
+pub mod model;
+pub mod request;
+pub mod units;
+
+pub use cluster::{ClusterConfig, NodeConfig};
+pub use dataset::DatasetConfig;
+pub use error::BatError;
+pub use id::{ItemId, NodeId, RequestId, UserId, WorkerId};
+pub use model::ModelConfig;
+pub use request::{PrefixKind, RankRequest};
+pub use units::{Bytes, SimTime, TokenCount};

@@ -1,0 +1,192 @@
+//! Model-architecture descriptions (the paper's Table 2).
+//!
+//! A [`ModelConfig`] carries the hyper-parameters that determine the two
+//! quantities the serving system cares about:
+//!
+//! * **KV cache bytes per token** — `2 × kv_heads × head_dim × layers ×
+//!   sizeof(fp16)` (§3.3.2), which drives memory-capacity planning, and
+//! * **prefill FLOPs** — which drives the compute-latency model in `bat-sim`.
+//!
+//! The three presets reproduce Table 2 exactly: Qwen2-1.5B, Qwen2-7B and
+//! Llama3-1B.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of an fp16 value in bytes; the paper stores KV cache in FP16.
+pub const FP16_BYTES: u64 = 2;
+
+/// Architecture of a transformer used as a Generative Recommender.
+///
+/// ```
+/// use bat_types::ModelConfig;
+///
+/// // Table 2 values.
+/// assert_eq!(ModelConfig::qwen2_1_5b().kv_bytes_per_token(), 28672);
+/// assert_eq!(ModelConfig::qwen2_7b().kv_bytes_per_token(), 57344);
+/// assert_eq!(ModelConfig::llama3_1b().kv_bytes_per_token(), 32768);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name, e.g. `"Qwen2-1.5B"`.
+    pub name: String,
+    /// Total parameter count (drives the linear term of prefill FLOPs).
+    pub params: u64,
+    /// Number of transformer layers (`L` in the paper).
+    pub layers: u32,
+    /// Number of KV heads per layer (`H` in the paper; GQA models have fewer
+    /// KV heads than query heads).
+    pub kv_heads: u32,
+    /// Number of query heads per layer.
+    pub query_heads: u32,
+    /// Per-head dimension (`D` in the paper).
+    pub head_dim: u32,
+    /// Model (residual-stream) hidden dimension.
+    pub hidden_dim: u32,
+}
+
+impl ModelConfig {
+    /// Qwen2-1.5B: L=28, H=2 KV heads, D=128 (Table 2).
+    pub fn qwen2_1_5b() -> Self {
+        ModelConfig {
+            name: "Qwen2-1.5B".to_owned(),
+            params: 1_500_000_000,
+            layers: 28,
+            kv_heads: 2,
+            query_heads: 12,
+            head_dim: 128,
+            hidden_dim: 1536,
+        }
+    }
+
+    /// Qwen2-7B: L=28, H=4 KV heads, D=128 (Table 2).
+    pub fn qwen2_7b() -> Self {
+        ModelConfig {
+            name: "Qwen2-7B".to_owned(),
+            params: 7_000_000_000,
+            layers: 28,
+            kv_heads: 4,
+            query_heads: 28,
+            head_dim: 128,
+            hidden_dim: 3584,
+        }
+    }
+
+    /// Llama3-1B: L=16, H=8 KV heads, D=64 (Table 2).
+    pub fn llama3_1b() -> Self {
+        ModelConfig {
+            name: "Llama3-1B".to_owned(),
+            params: 1_000_000_000,
+            layers: 16,
+            kv_heads: 8,
+            query_heads: 32,
+            head_dim: 64,
+            hidden_dim: 2048,
+        }
+    }
+
+    /// All three Table 2 presets, in the order the paper lists them.
+    pub fn table2_presets() -> Vec<ModelConfig> {
+        vec![Self::qwen2_1_5b(), Self::qwen2_7b(), Self::llama3_1b()]
+    }
+
+    /// KV cache footprint of a single token, in bytes:
+    /// `2 (K and V) × H × D × L × sizeof(FP16)` (§3.3.2).
+    #[inline]
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.kv_heads as u64 * self.head_dim as u64 * self.layers as u64 * FP16_BYTES
+    }
+
+    /// KV cache footprint of an entry holding `tokens` tokens.
+    #[inline]
+    pub fn kv_bytes(&self, tokens: u64) -> u64 {
+        tokens * self.kv_bytes_per_token()
+    }
+
+    /// Prefill FLOPs for computing `suffix` new tokens against a total
+    /// attention context of `context` tokens (`context >= suffix`).
+    ///
+    /// Two terms, matching the standard dense-transformer cost model:
+    ///
+    /// * the weight-matmul term `2 × params × suffix` (every parameter is
+    ///   touched once per token by a multiply-accumulate), and
+    /// * the attention term `4 × layers × hidden_dim × suffix × context`
+    ///   (QKᵀ and attention×V each cost `2 × S × T × d` per layer).
+    ///
+    /// With a prefix cache hit of `P` tokens on a prompt of `T` tokens, call
+    /// this with `suffix = T - P, context = T`; full recomputation is
+    /// `suffix = context = T`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `suffix > context`: a request can never compute more new
+    /// tokens than its total context holds.
+    pub fn prefill_flops(&self, suffix: u64, context: u64) -> f64 {
+        assert!(
+            suffix <= context,
+            "suffix ({suffix}) cannot exceed context ({context})"
+        );
+        let weight = 2.0 * self.params as f64 * suffix as f64;
+        let attn =
+            4.0 * self.layers as f64 * self.hidden_dim as f64 * suffix as f64 * context as f64;
+        weight + attn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_kv_bytes_match_paper() {
+        // The three "KV Cache Size per Token" rows of Table 2.
+        assert_eq!(ModelConfig::qwen2_1_5b().kv_bytes_per_token(), 28_672);
+        assert_eq!(ModelConfig::qwen2_7b().kv_bytes_per_token(), 57_344);
+        assert_eq!(ModelConfig::llama3_1b().kv_bytes_per_token(), 32_768);
+    }
+
+    #[test]
+    fn single_user_kv_footprint_matches_paper_example() {
+        // §3.3.2: "a single user [1000 tokens, Qwen2-1.5B] occupies
+        // approximately 29MB KV cache".
+        let mb = ModelConfig::qwen2_1_5b().kv_bytes(1000) as f64 / 1e6;
+        assert!((28.0..30.0).contains(&mb), "expected ~29MB, got {mb}MB");
+    }
+
+    #[test]
+    fn industry_item_corpus_matches_paper_example() {
+        // §4.3: 1M items × ~10 tokens with Qwen2-1.5B ≈ 287GB.
+        let gb = ModelConfig::qwen2_1_5b().kv_bytes(10) as f64 * 1e6 / 1e9;
+        assert!((280.0..295.0).contains(&gb), "expected ~287GB, got {gb}GB");
+    }
+
+    #[test]
+    fn prefill_flops_scales_superlinearly() {
+        let m = ModelConfig::qwen2_1_5b();
+        let f1 = m.prefill_flops(1024, 1024);
+        let f2 = m.prefill_flops(2048, 2048);
+        assert!(f2 > 2.0 * f1, "attention term must be super-linear");
+    }
+
+    #[test]
+    fn prefix_hit_reduces_flops() {
+        let m = ModelConfig::qwen2_1_5b();
+        let full = m.prefill_flops(2048, 2048);
+        let cached = m.prefill_flops(1024, 2048);
+        assert!(cached < full / 1.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed context")]
+    fn prefill_flops_rejects_bad_suffix() {
+        let _ = ModelConfig::qwen2_1_5b().prefill_flops(10, 5);
+    }
+
+    #[test]
+    fn presets_roundtrip_serde() {
+        for m in ModelConfig::table2_presets() {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: ModelConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+}

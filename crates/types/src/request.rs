@@ -1,0 +1,143 @@
+//! Ranking requests and prefix selection.
+//!
+//! A [`RankRequest`] is what the retrieval stage hands to the ranking stage:
+//! a user plus ~100 candidate items (§2.2), stamped with an arrival time.
+//! [`PrefixKind`] is the decision Bipartite Attention introduces: which token
+//! block — the user profile or the candidate items — is treated as the
+//! cacheable prompt prefix.
+
+use crate::id::{ItemId, RequestId, UserId};
+use crate::units::{SimTime, TokenCount};
+use serde::{Deserialize, Serialize};
+
+/// Which block of the prompt acts as the (cacheable) prefix.
+///
+/// The prompt for a ranking request contains three blocks: user profile
+/// tokens `U`, candidate item tokens `I_1..I_N`, and instruction tokens.
+/// Bipartite Attention (§4.2) allows either ordering:
+///
+/// * [`PrefixKind::User`]: `[U, I_1..I_N, Instr]` — the conventional layout;
+///   only `U` can be cached, and only across the same user's requests.
+/// * [`PrefixKind::Item`]: `[I_1..I_N, U, Instr]` — item KV entries are
+///   cached independently (one entry per item) and shared across all users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefixKind {
+    /// *User-as-prefix* attention (UP).
+    User,
+    /// *Item-as-prefix* attention (IP).
+    Item,
+}
+
+impl PrefixKind {
+    /// Short label used in experiment tables ("UP" / "IP").
+    pub fn label(self) -> &'static str {
+        match self {
+            PrefixKind::User => "UP",
+            PrefixKind::Item => "IP",
+        }
+    }
+}
+
+impl std::fmt::Display for PrefixKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One ranking request produced by the retrieval stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankRequest {
+    /// Unique request identifier.
+    pub id: RequestId,
+    /// The requesting user.
+    pub user: UserId,
+    /// Number of tokens in this user's profile block.
+    pub user_tokens: TokenCount,
+    /// Retrieved candidate items, in retrieval order.
+    pub candidates: Vec<ItemId>,
+    /// Token count of each candidate (parallel to `candidates`).
+    pub candidate_tokens: Vec<TokenCount>,
+    /// System-instruction token count (never cacheable: it trails the
+    /// prompt in both layouts).
+    pub instruction_tokens: TokenCount,
+    /// Arrival time of the request at the scheduler.
+    pub arrival: SimTime,
+}
+
+impl RankRequest {
+    /// Total item tokens in the prompt (`τ_i(r)` aggregated over candidates).
+    #[inline]
+    pub fn item_tokens(&self) -> TokenCount {
+        self.candidate_tokens.iter().sum()
+    }
+
+    /// Total prompt length `T` = user + item + instruction tokens.
+    #[inline]
+    pub fn total_tokens(&self) -> TokenCount {
+        self.user_tokens + self.item_tokens() + self.instruction_tokens
+    }
+
+    /// Validates internal consistency (candidate/token arity, non-empty
+    /// candidate set).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::BatError::InvalidRequest`] if the candidate list is
+    /// empty or the token list arity does not match.
+    pub fn validate(&self) -> Result<(), crate::BatError> {
+        if self.candidates.is_empty() {
+            return Err(crate::BatError::InvalidRequest(
+                "request has no candidate items".to_owned(),
+            ));
+        }
+        if self.candidates.len() != self.candidate_tokens.len() {
+            return Err(crate::BatError::InvalidRequest(format!(
+                "candidate arity mismatch: {} ids vs {} token counts",
+                self.candidates.len(),
+                self.candidate_tokens.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RankRequest {
+        RankRequest {
+            id: RequestId::new(1),
+            user: UserId::new(7),
+            user_tokens: 1500,
+            candidates: vec![ItemId::new(1), ItemId::new(2)],
+            candidate_tokens: vec![10, 12],
+            instruction_tokens: 32,
+            arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn token_accounting() {
+        let r = sample();
+        assert_eq!(r.item_tokens(), 22);
+        assert_eq!(r.total_tokens(), 1500 + 22 + 32);
+    }
+
+    #[test]
+    fn validation_catches_arity_mismatch() {
+        let mut r = sample();
+        r.candidate_tokens.pop();
+        assert!(r.validate().is_err());
+        r.candidate_tokens.clear();
+        r.candidates.clear();
+        assert!(r.validate().is_err());
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    fn prefix_kind_labels() {
+        assert_eq!(PrefixKind::User.label(), "UP");
+        assert_eq!(PrefixKind::Item.to_string(), "IP");
+    }
+}

@@ -1,0 +1,120 @@
+//! Trace persistence: save and replay request traces.
+//!
+//! Serving experiments gain a lot from replaying *identical* traces across
+//! systems, machines and code versions (the paper replays sampled
+//! production logs). These helpers serialize a generated trace to
+//! newline-delimited JSON and load it back, validating each request.
+
+use bat_types::{BatError, RankRequest};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Saves a trace as newline-delimited JSON (one request per line).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn save_trace(path: impl AsRef<Path>, trace: &[RankRequest]) -> std::io::Result<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    for req in trace {
+        let line = serde_json::to_string(req).expect("RankRequest serializes");
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+/// Loads a trace saved by [`save_trace`], validating every request and the
+/// arrival ordering.
+///
+/// # Errors
+///
+/// Returns an I/O error for unreadable files, and
+/// [`BatError::InvalidRequest`] (wrapped in `io::Error`) for malformed
+/// content, invalid requests, or out-of-order arrivals.
+pub fn load_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<RankRequest>> {
+    let invalid = |msg: String| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            BatError::InvalidRequest(msg),
+        )
+    };
+    let reader = BufReader::new(File::open(path)?);
+    let mut trace: Vec<RankRequest> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req: RankRequest = serde_json::from_str(&line)
+            .map_err(|e| invalid(format!("line {}: {e}", i + 1)))?;
+        req.validate()
+            .map_err(|e| invalid(format!("line {}: {e}", i + 1)))?;
+        if let Some(prev) = trace.last() {
+            if req.arrival < prev.arrival {
+                return Err(invalid(format!(
+                    "line {}: arrivals out of order",
+                    i + 1
+                )));
+            }
+        }
+        trace.push(req);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceGenerator, Workload};
+    use bat_types::DatasetConfig;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("bat_trace_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_the_trace() {
+        let mut gen = TraceGenerator::new(Workload::new(DatasetConfig::games(), 3), 4);
+        let trace = gen.generate(5.0, 30.0);
+        let path = tmp("roundtrip");
+        save_trace(&path, &trace).unwrap();
+        let loaded = load_trace(&path).unwrap();
+        assert_eq!(trace.len(), loaded.len());
+        for (a, b) in trace.iter().zip(&loaded) {
+            assert_eq!(a, b, "mismatch at request {}", a.id);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let path = tmp("empty");
+        save_trace(&path, &[]).unwrap();
+        assert!(load_trace(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        let path = tmp("malformed");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_rejected() {
+        let mut gen = TraceGenerator::new(Workload::new(DatasetConfig::games(), 3), 4);
+        let mut trace = gen.generate(5.0, 10.0);
+        assert!(trace.len() >= 2, "need at least two requests");
+        trace.swap(0, 1);
+        let path = tmp("order");
+        save_trace(&path, &trace).unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert!(err.to_string().contains("out of order"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,216 @@
+//! Analytic Zipf popularity law.
+//!
+//! Item accesses in the paper's traces are highly skewed: "roughly 90% of
+//! accesses focus on the top 10% of hot items" (Figure 2d, §4.1). We model
+//! popularity with a continuous power law `p(x) ∝ x^{-s}` over ranks
+//! `[1, n]`, which admits closed-form CDF, inverse CDF and head-mass — no
+//! per-item state, so it scales to the 100M-item corpus of Figure 10.
+
+use serde::{Deserialize, Serialize};
+
+/// A Zipf-like power law over ranks `1..=n` with exponent `s`.
+///
+/// ```
+/// use bat_workload::ZipfLaw;
+///
+/// let law = ZipfLaw::new(1_000_000, 1.05);
+/// // Figure 2d: top 10% of items draw ~90% of accesses.
+/// let head = law.head_mass(100_000);
+/// assert!(head > 0.8 && head < 0.95);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfLaw {
+    n: u64,
+    s: f64,
+}
+
+impl ZipfLaw {
+    /// Creates a law over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf law needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be ≥ 0");
+        ZipfLaw { n, s }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// `∫_1^{x} t^{-s} dt`, the unnormalized mass of ranks `≤ x` in the
+    /// continuous relaxation (with the `s = 1` logarithmic special case).
+    fn integral(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    fn total_mass(&self) -> f64 {
+        // +1 so rank n itself carries mass (integrate to n+1).
+        self.integral(self.n as f64 + 1.0)
+    }
+
+    /// Fraction of total accesses going to the hottest `k` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn head_mass(&self, k: u64) -> f64 {
+        assert!(k <= self.n, "head size exceeds rank count");
+        if k == 0 {
+            return 0.0;
+        }
+        self.integral(k as f64 + 1.0) / self.total_mass()
+    }
+
+    /// Smallest `k` such that the hottest `k` ranks carry at least
+    /// `mass` (∈ [0, 1]) of the accesses. Binary search on the closed form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mass` is outside `[0, 1]`.
+    pub fn ranks_for_mass(&self, mass: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&mass), "mass must be in [0, 1]");
+        if mass <= 0.0 {
+            return 0;
+        }
+        let (mut lo, mut hi) = (1u64, self.n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.head_mass(mid) >= mass {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        lo
+    }
+
+    /// Maps a uniform `u ∈ (0, 1)` to a 1-based rank by inverse-CDF
+    /// sampling; rank 1 is the hottest.
+    pub fn sample_rank(&self, u: f64) -> u64 {
+        let u = u.clamp(1e-12, 1.0 - 1e-12);
+        let target = u * self.total_mass();
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            target.exp()
+        } else {
+            (1.0 + (1.0 - self.s) * target).powf(1.0 / (1.0 - self.s))
+        };
+        (x.floor() as u64).clamp(1, self.n)
+    }
+
+    /// Relative access probability of rank `r` (unnormalized `r^{-s}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is 0 or exceeds `n`.
+    pub fn weight(&self, r: u64) -> f64 {
+        assert!(r >= 1 && r <= self.n, "rank out of range");
+        (r as f64).powf(-self.s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashing::uniform01;
+    use proptest::prelude::*;
+
+    #[test]
+    fn uniform_law_has_linear_head_mass() {
+        let law = ZipfLaw::new(1000, 0.0);
+        assert!((law.head_mass(100) - 0.1).abs() < 0.01);
+        assert!((law.head_mass(500) - 0.5).abs() < 0.01);
+        assert_eq!(law.head_mass(1000), 1.0);
+        assert_eq!(law.head_mass(0), 0.0);
+    }
+
+    #[test]
+    fn industry_skew_matches_figure_2d() {
+        // §4.1: ~90% of accesses on the top ~10% of items.
+        let law = ZipfLaw::new(1_000_000, 1.05);
+        let mass = law.head_mass(100_000);
+        assert!(
+            (0.82..0.95).contains(&mass),
+            "top-10% mass {mass} outside Figure 2d's regime"
+        );
+    }
+
+    #[test]
+    fn ranks_for_mass_inverts_head_mass() {
+        let law = ZipfLaw::new(100_000, 1.0);
+        for mass in [0.1, 0.5, 0.9, 0.99] {
+            let k = law.ranks_for_mass(mass);
+            assert!(law.head_mass(k) >= mass);
+            if k > 1 {
+                assert!(law.head_mass(k - 1) < mass);
+            }
+        }
+        assert_eq!(law.ranks_for_mass(0.0), 0);
+        assert_eq!(law.ranks_for_mass(1.0), law.n());
+    }
+
+    #[test]
+    fn sampling_matches_analytic_head_mass() {
+        let law = ZipfLaw::new(10_000, 1.05);
+        let n_samples = 50_000u64;
+        let head_k = 1000;
+        let hits = (0..n_samples)
+            .filter(|&i| law.sample_rank(uniform01(3, i, 0)) <= head_k)
+            .count() as f64
+            / n_samples as f64;
+        let analytic = law.head_mass(head_k);
+        assert!(
+            (hits - analytic).abs() < 0.02,
+            "empirical {hits} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn s_equals_one_special_case() {
+        let law = ZipfLaw::new(1000, 1.0);
+        assert!(law.head_mass(100) > 0.6, "log law front-loads mass");
+        assert_eq!(law.sample_rank(1e-15), 1);
+        assert_eq!(law.sample_rank(1.0 - 1e-15), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = ZipfLaw::new(0, 1.0);
+    }
+
+    proptest! {
+        /// head_mass is monotone in k and within [0, 1].
+        #[test]
+        fn head_mass_monotone(n in 2u64..100_000, s in 0.0f64..2.0, k in 1u64..1000) {
+            let law = ZipfLaw::new(n, s);
+            let k = k.min(n);
+            let a = law.head_mass(k.saturating_sub(1));
+            let b = law.head_mass(k);
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(b >= a);
+        }
+
+        /// sample_rank always lands in [1, n] and is monotone in u.
+        #[test]
+        fn sample_in_range_and_monotone(n in 1u64..1_000_000, s in 0.0f64..2.0, u1 in 0.001f64..0.999, u2 in 0.001f64..0.999) {
+            let law = ZipfLaw::new(n, s);
+            let (a, b) = (law.sample_rank(u1.min(u2)), law.sample_rank(u1.max(u2)));
+            prop_assert!(a >= 1 && a <= n);
+            prop_assert!(b >= 1 && b <= n);
+            prop_assert!(a <= b, "inverse CDF must be monotone");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Ranking-accuracy demo: Bipartite Attention on a real transformer.
+//!
+//! Generates a planted-preference semantic world, runs the actual
+//! transformer forward pass under both prompt orderings, and shows
+//!
+//! 1. UP vs IP ranking metrics for an order-robust model (they match),
+//! 2. the degradation of an order-sensitive model under IP, and
+//! 3. the CacheBlend-style PIC repair pass narrowing that gap (§4.2/§6.3);
+//! 4. the *exactness* of item-KV reuse: scores from cached item prefixes
+//!    are identical to full recomputation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p bat --example ranking_accuracy
+//! ```
+
+use bat::{
+    rank_of, MaskScheme, PrefixKind, RankingMetrics, SemanticConfig, SemanticWorld,
+};
+
+fn report(label: &str, m: &RankingMetrics) {
+    let row = m.table3_row();
+    println!(
+        "{label:<22} R@10={:.3}  MRR@10={:.3}  NDCG@10={:.3}  R@5={:.3}",
+        row[0], row[1], row[2], row[3]
+    );
+}
+
+fn main() {
+    let n_users = 40;
+
+    println!("== Order-robust GR (sharp routing) ==");
+    let world = SemanticWorld::generate(SemanticConfig::table3_world(7));
+    let up = world.eval_ranks(PrefixKind::User, MaskScheme::Bipartite, n_users);
+    let ip = world.eval_ranks(PrefixKind::Item, MaskScheme::Bipartite, n_users);
+    report("User-as-prefix", &RankingMetrics::from_ranks(&up));
+    report("Item-as-prefix", &RankingMetrics::from_ranks(&ip));
+
+    println!("\n== Order-sensitive GR (weak routing, §4.2) ==");
+    let sensitive = SemanticWorld::generate(SemanticConfig::table3_world(7).order_biased());
+    let up = sensitive.eval_ranks(PrefixKind::User, MaskScheme::Bipartite, n_users);
+    let ip = sensitive.eval_ranks(PrefixKind::Item, MaskScheme::Bipartite, n_users);
+    report("User-as-prefix", &RankingMetrics::from_ranks(&up));
+    report("Item-as-prefix", &RankingMetrics::from_ranks(&ip));
+
+    // PIC: selectively recompute the highest-drift item tokens with the
+    // user context visible.
+    let pic_ranks: Vec<usize> = (0..n_users)
+        .map(|u| {
+            let task = sensitive.task(u);
+            rank_of(&sensitive.score_with_pic(&task, 0.15), task.truth_pos)
+        })
+        .collect();
+    report("Item-as-prefix + PIC", &RankingMetrics::from_ranks(&pic_ranks));
+
+    println!("\n== Exactness of item-prefix cache reuse ==");
+    // Score one task with the full prompt, then again with every item's KV
+    // served from a standalone (shareable) cache entry.
+    let task = world.task(0);
+    let full = world.score(&task, PrefixKind::Item, MaskScheme::Bipartite);
+    let cached = world.score_with_pic(&task, 0.0); // 0% recompute = pure cache
+    let max_diff = full
+        .iter()
+        .zip(&cached)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "max |score(full recompute) − score(cached item prefixes)| = {max_diff:.2e}"
+    );
+    assert!(max_diff < 1e-4, "bipartite item caches must be exact");
+    println!("Bipartite masks + per-item position reset make item KV entries");
+    println!("context-independent, so sharing them across users is lossless.");
+}

@@ -1,0 +1,179 @@
+//! Integration tests of the cache + placement + scheduling stack under the
+//! serving engine: cross-crate invariants that no unit test can see.
+
+use bat::experiment::{compare_systems, ComparisonSpec};
+use bat::{
+    Bytes, ClusterConfig, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
+    PlacementStrategy, ServingEngine, SystemKind,
+};
+use bat_sim::{AdmissionKind, PolicyKind};
+
+fn small_cluster(nodes: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::a100_4node().with_nodes(nodes);
+    c.node.kv_cache_capacity = Bytes::from_gb(20);
+    c
+}
+
+fn spec(ds: DatasetConfig, nodes: usize, secs: f64, rate: f64) -> ComparisonSpec {
+    ComparisonSpec {
+        model: ModelConfig::qwen2_1_5b(),
+        cluster: small_cluster(nodes),
+        dataset: ds,
+        duration_secs: secs,
+        offered_rate: rate,
+        seed: 77,
+    }
+}
+
+/// Token conservation: reused + computed = total, for every system.
+#[test]
+fn token_accounting_conserves() {
+    let spec = spec(DatasetConfig::games(), 2, 6.0, 30.0);
+    let all = [
+        SystemKind::Recompute,
+        SystemKind::UserPrefix,
+        SystemKind::ItemPrefix,
+        SystemKind::Bat,
+    ];
+    for stats in compare_systems(&spec, &all) {
+        assert_eq!(
+            stats.reused_tokens + stats.computed_tokens,
+            stats.total_tokens,
+            "{}",
+            stats.system
+        );
+        assert!(stats.hit_rate() <= 1.0);
+        assert!(stats.computation_savings() <= stats.hit_rate() + 1e-9);
+    }
+}
+
+/// The serving hierarchy the paper reports everywhere: every caching system
+/// computes no more than recomputation, and BAT computes the least.
+#[test]
+fn serving_hierarchy_holds() {
+    let spec = spec(
+        DatasetConfig {
+            num_users: 500,
+            ..DatasetConfig::games()
+        },
+        2,
+        20.0,
+        60.0,
+    );
+    let all = [
+        SystemKind::Recompute,
+        SystemKind::UserPrefix,
+        SystemKind::ItemPrefix,
+        SystemKind::Bat,
+    ];
+    let stats = compare_systems(&spec, &all);
+    let (re, up, ip, bat) = (&stats[0], &stats[1], &stats[2], &stats[3]);
+    assert!(up.computed_tokens <= re.computed_tokens);
+    assert!(ip.computed_tokens <= re.computed_tokens);
+    assert!(
+        bat.computed_tokens <= up.computed_tokens.min(ip.computed_tokens) + re.computed_tokens / 20,
+        "BAT ({}) should compute no more than the better static policy (UP {}, IP {})",
+        bat.computed_tokens,
+        up.computed_tokens,
+        ip.computed_tokens
+    );
+}
+
+/// Placement strategies and network accounting interact correctly: only
+/// sharded placements produce remote traffic, and replication eliminates it.
+#[test]
+fn placement_controls_network_traffic() {
+    let ds = DatasetConfig::games();
+    let cluster = small_cluster(4);
+    let model = ModelConfig::qwen2_1_5b();
+    let base = EngineConfig::for_system(SystemKind::ItemPrefix, model.clone(), cluster.clone(), &ds);
+    let spec = spec(ds.clone(), 4, 5.0, 30.0);
+    let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
+
+    let replicate = ItemPlacementPlan::new(
+        PlacementStrategy::Replicate,
+        ds.num_items,
+        cluster.num_nodes,
+        1.0,
+        item_kv,
+    );
+    let hash = ItemPlacementPlan::new(
+        PlacementStrategy::HashShard,
+        ds.num_items,
+        cluster.num_nodes,
+        0.0,
+        item_kv,
+    );
+    let trace = spec.trace();
+
+    let mut engine =
+        ServingEngine::new(base.clone().with_placement(Some(replicate))).unwrap();
+    let rep_stats = engine.run(&trace);
+    assert_eq!(rep_stats.remote_bytes, Bytes::ZERO);
+    assert_eq!(rep_stats.net_secs, 0.0);
+
+    let mut engine = ServingEngine::new(base.with_placement(Some(hash))).unwrap();
+    let hash_stats = engine.run(&trace);
+    assert!(hash_stats.remote_bytes > Bytes::ZERO);
+    assert!(hash_stats.net_secs > 0.0);
+    // Same items are cached either way: identical reuse.
+    assert_eq!(rep_stats.reused_tokens, hash_stats.reused_tokens);
+}
+
+/// Determinism: identical spec → identical stats, end to end.
+#[test]
+fn end_to_end_determinism() {
+    let spec = spec(DatasetConfig::beauty(), 2, 5.0, 25.0);
+    let a = compare_systems(&spec, &[SystemKind::Bat]);
+    let b = compare_systems(&spec, &[SystemKind::Bat]);
+    assert_eq!(a[0].completed, b[0].completed);
+    assert_eq!(a[0].reused_tokens, b[0].reused_tokens);
+    assert_eq!(a[0].p99_latency_ms, b[0].p99_latency_ms);
+    assert_eq!(a[0].remote_bytes, b[0].remote_bytes);
+}
+
+/// The admission discipline changes behavior only through the user cache:
+/// with an effectively unlimited region both disciplines admit everyone.
+#[test]
+fn admission_disciplines_agree_with_unbounded_cache() {
+    let ds = DatasetConfig {
+        num_users: 200,
+        ..DatasetConfig::games()
+    };
+    let spec = spec(ds.clone(), 2, 10.0, 40.0);
+    let trace = spec.trace();
+    let mut variants = Vec::new();
+    for admission in [AdmissionKind::Lru, AdmissionKind::HotnessAware] {
+        let cfg = EngineConfig {
+            admission,
+            policy: PolicyKind::StaticUser,
+            ..EngineConfig::for_system(
+                SystemKind::UserPrefix,
+                spec.model.clone(),
+                spec.cluster.clone(),
+                &ds,
+            )
+        }
+        .with_user_cache_capacity(Bytes::from_gb(1000));
+        let mut engine = ServingEngine::new(cfg).unwrap();
+        variants.push(engine.run(&trace).reused_tokens);
+    }
+    assert_eq!(
+        variants[0], variants[1],
+        "unbounded cache admits everyone under either discipline"
+    );
+}
+
+/// Scaling sanity: doubling nodes under saturation roughly doubles QPS.
+#[test]
+fn node_scaling_is_monotone() {
+    let ds = DatasetConfig::games();
+    let mut qps = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        let spec = spec(ds.clone(), nodes, 8.0, 400.0);
+        let stats = compare_systems(&spec, &[SystemKind::Bat]);
+        qps.push(stats[0].qps());
+    }
+    assert!(qps[1] > qps[0] * 1.5, "2 nodes ≥ 1.5x of 1 node: {qps:?}");
+    assert!(qps[2] > qps[1] * 1.5, "4 nodes ≥ 1.5x of 2 nodes: {qps:?}");
+}
