@@ -1,0 +1,424 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's `Value`-based traits, without `syn`/`quote`: the
+//! item's token stream is walked by hand, and the impl is generated as a
+//! string and re-parsed. Supported shapes — the ones this workspace uses:
+//!
+//! * named-field structs, with `#[serde(default)]` on individual fields;
+//! * single-field tuple structs (serialized transparently, matching both
+//!   `#[serde(transparent)]` and serde's newtype-struct behavior);
+//! * enums with fieldless variants (→ `"Variant"`), single-field tuple
+//!   variants (→ `{"Variant": inner}`), and struct variants
+//!   (→ `{"Variant": {fields…}}`) — serde's externally-tagged format.
+//!
+//! Generics and multi-field tuple structs/variants are rejected with a
+//! panic at expansion time so misuse fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field.
+struct Field {
+    name: String,
+    /// `#[serde(default)]` — missing in input ⇒ `Default::default()`.
+    default: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    /// A fieldless `Variant`.
+    Unit,
+    /// A single-field tuple `Variant(T)`.
+    Newtype,
+    /// A named-field `Variant { a: A, b: B }`.
+    Struct(Vec<Field>),
+}
+
+/// The shapes the derive supports.
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (the vendored shim's `to_value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", pairs.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.shape {
+                    VariantShape::Unit => format!(
+                        "{t}::{v} => ::serde::Value::Str(\"{v}\".to_string()),",
+                        t = item.name,
+                        v = v.name
+                    ),
+                    VariantShape::Newtype => format!(
+                        "{t}::{v}(inner) => ::serde::Value::Obj(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_value(inner))]),",
+                        t = item.name,
+                        v = v.name
+                    ),
+                    VariantShape::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let pairs: Vec<String> = names
+                            .iter()
+                            .map(|n| {
+                                format!("(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))")
+                            })
+                            .collect();
+                        format!(
+                            "{t}::{v} {{ {binds} }} => ::serde::Value::Obj(vec![(\
+                             \"{v}\".to_string(), ::serde::Value::Obj(vec![{pairs}]))]),",
+                            t = item.name,
+                            v = v.name,
+                            binds = names.join(", "),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name,
+        body = body
+    );
+    out.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored shim's `from_value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))",
+            name = item.name
+        ),
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::DeError::msg(\
+                             \"missing field `{n}` in {t}\"))",
+                            n = f.name,
+                            t = item.name
+                        )
+                    };
+                    format!(
+                        "{n}: match v.get(\"{n}\") {{ \
+                           ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?, \
+                           ::std::option::Option::None => {missing}, \
+                         }},",
+                        n = f.name,
+                        missing = missing
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_obj().is_none() {{ \
+                   return ::std::result::Result::Err(::serde::DeError::msg(\
+                     \"expected object for {name}\")); \
+                 }} \
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                name = item.name,
+                inits = inits.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({t}::{v}),",
+                        t = item.name,
+                        v = v.name
+                    )
+                })
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Newtype => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({t}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),",
+                        t = item.name,
+                        v = v.name
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{n}: match inner.get(\"{n}\") {{ \
+                                       ::std::option::Option::Some(x) => \
+                                         ::serde::Deserialize::from_value(x)?, \
+                                       ::std::option::Option::None => \
+                                         return ::std::result::Result::Err(\
+                                           ::serde::DeError::msg(\
+                                             \"missing field `{n}` in {t}::{v}\")), \
+                                     }},",
+                                    n = f.name,
+                                    t = item.name,
+                                    v = v.name
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({t}::{v} {{ {inits} }}),",
+                            t = item.name,
+                            v = v.name,
+                            inits = inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            let err = format!(
+                "::std::result::Result::Err(::serde::DeError::msg(\
+                 \"unrecognized {name} variant\"))",
+                name = item.name
+            );
+            let mut arms = Vec::new();
+            if !unit_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {} _ => {err} }},",
+                    unit_arms.join(" "),
+                    err = err
+                ));
+            }
+            if !newtype_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Obj(fields) if fields.len() == 1 => {{ \
+                       let (tag, inner) = &fields[0]; \
+                       match tag.as_str() {{ {} _ => {err} }} \
+                     }},",
+                    newtype_arms.join(" "),
+                    err = err
+                ));
+            }
+            arms.push(format!("_ => {err},", err = err));
+            format!("match v {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+             {{ {body} }}\n\
+         }}",
+        name = item.name,
+        body = body
+    );
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (including expanded doc comments) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = expect_ident(&tokens, i);
+    i += 1;
+    let name = expect_ident(&tokens, i);
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported ({name})");
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive shim: expected body for {name}, found {other:?}"),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => {
+            let fields = split_top_commas(body.stream());
+            if fields.len() != 1 {
+                panic!(
+                    "serde_derive shim: tuple struct {name} must have exactly 1 field, \
+                     found {}",
+                    fields.len()
+                );
+            }
+            Shape::Newtype
+        }
+        ("enum", Delimiter::Brace) => Shape::Enum(parse_variants(body.stream())),
+        _ => panic!("serde_derive shim: unsupported item shape for {name}"),
+    };
+
+    Item { name, shape }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: usize) -> String {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Splits a group's stream on top-level commas. Commas nested in `(...)`,
+/// `[...]`, `{...}` arrive pre-grouped; commas inside generic angle brackets
+/// are excluded by tracking `<`/`>` depth.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Skips leading `#[...]` attributes in a token slice, returning the index
+/// past them and whether any was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree]) -> (usize, bool) {
+    let mut i = 0;
+    let mut has_default = false;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            if attr_is_serde_default(g.stream()) {
+                has_default = true;
+            }
+        }
+        i += 2;
+    }
+    (i, has_default)
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(path)), Some(TokenTree::Group(args)))
+            if path.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (mut i, default) = skip_attrs(&chunk);
+            if matches!(chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Field {
+                name: expect_ident(&chunk, i),
+                default,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_commas(stream)
+        .into_iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let (i, _) = skip_attrs(&chunk);
+            let name = expect_ident(&chunk, i);
+            let shape = match chunk.get(i + 1) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields = split_top_commas(g.stream());
+                    if fields.len() != 1 {
+                        panic!(
+                            "serde_derive shim: tuple variant {name} must have exactly 1 \
+                             field, found {}",
+                            fields.len()
+                        );
+                    }
+                    VariantShape::Newtype
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                Some(other) => {
+                    panic!("serde_derive shim: unexpected token after variant {name}: {other:?}")
+                }
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}

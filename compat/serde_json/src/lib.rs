@@ -1,0 +1,575 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the JSON text layer over the vendored `serde` shim's [`Value`]
+//! model: [`to_string`] (compact, `"key":value` with no spaces, matching
+//! serde_json), [`to_string_pretty`] (two-space indents), [`from_str`], an
+//! insertion-ordered [`Map`], and a [`json!`] macro supporting object
+//! literals (including nested ones), array literals, and arbitrary
+//! `Serialize` expressions as values.
+//!
+//! Floats are written with Rust's shortest-roundtrip `{}` formatting, so
+//! values survive a serialize→parse round trip exactly; whole floats print
+//! without a trailing `.0`, which parses back as an integer `Number` and
+//! still deserializes into any float field.
+
+pub use serde::{DeError, Number, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// An insertion-ordered string→value map, mirroring
+/// `serde_json::Map<String, Value>`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts a key/value pair, replacing (in place) any existing entry
+    /// with the same key. Returns the previous value if there was one.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a value by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.entries.clone())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indents).
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Parses JSON text and deserializes it into `T`.
+///
+/// # Errors
+///
+/// Returns a parse error for malformed JSON and a conversion error when the
+/// parsed value does not fit `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Renders any serializable value into the [`Value`] data model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    serde::to_value(value)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal. Object values may be nested
+/// object literals, array literals, or arbitrary `Serialize` expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut, clippy::vec_init_then_push)]
+        let mut obj: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_internal!(obj; $($body)*);
+        $crate::Value::Obj(obj)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs.
+/// Brace-group values are matched structurally *before* the `expr` rules so
+/// nested object literals never reach the expression parser.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::json!({ $($inner)* }))]);
+        $crate::json_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* }) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::json!({ $($inner)* }))]);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::json!([ $($inner)* ]))]);
+        $crate::json_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ]) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::json!([ $($inner)* ]))]);
+    };
+    ($obj:ident; $key:literal : null , $($rest:tt)*) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::Value::Null)]);
+        $crate::json_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : null) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::Value::Null)]);
+    };
+    ($obj:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::to_value(&$val))]);
+        $crate::json_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $val:expr) => {
+        ::std::iter::Extend::extend(&mut $obj, [($key.to_string(), $crate::to_value(&$val))]);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_escaped(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, depth: usize) {
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push(']');
+        }
+        Value::Obj(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, depth + 1);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, out, depth + 1);
+            }
+            out.push('\n');
+            push_indent(out, depth);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    use std::fmt::Write;
+    match n {
+        Number::U(v) => write!(out, "{v}").unwrap(),
+        Number::I(v) => write!(out, "{v}").unwrap(),
+        // `{}` is Rust's shortest round-trip float formatting.
+        Number::F(v) => write!(out, "{v}").unwrap(),
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs (the shim's own writer never
+                            // emits them, but accept well-formed input).
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                let combined =
+                                    0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        self.pos += 1; // past 'u'
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let num = if is_float {
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
+        } else if let Ok(u) = text.parse::<u64>() {
+            Number::U(u)
+        } else if let Ok(i) = text.parse::<i64>() {
+            Number::I(i)
+        } else {
+            Number::F(
+                text.parse::<f64>()
+                    .map_err(|_| self.err("invalid number"))?,
+            )
+        };
+        Ok(Value::Num(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_output_has_no_spaces() {
+        let v = Value::Obj(vec![
+            ("system".to_string(), Value::Str("BAT".to_string())),
+            ("n".to_string(), Value::Num(Number::U(3))),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"system":"BAT","n":3}"#);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({
+            "name": "x",
+            "vals": [1.5, 2, -3],
+            "nested": { "ok": true, "none": null },
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+
+        let pretty = to_string_pretty(&v).unwrap();
+        let back_pretty: Value = from_str(&pretty).unwrap();
+        assert_eq!(back_pretty, v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e-12, 123456.789, -2.5e10] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nquote\" slash\\ tab\t".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b", Value::Num(Number::U(1)));
+        m.insert("a", Value::Num(Number::U(2)));
+        m.insert("b", Value::Num(Number::U(3)));
+        assert_eq!(to_string(&m).unwrap(), r#"{"b":3,"a":2}"#);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(from_str::<Value>("{not json}").is_err());
+        assert!(from_str::<Value>(r#"{"a": }"#).is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn json_macro_supports_expressions_and_nesting() {
+        let mean = 0.25f64;
+        let points = vec![1u64, 2, 3];
+        let v = json!({ "mean": mean, "points": points, "inner": { "k": "v" } });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"mean":0.25,"points":[1,2,3],"inner":{"k":"v"}}"#
+        );
+    }
+}

@@ -168,13 +168,7 @@ fn bench_cache(c: &mut Criterion) {
 }
 
 fn bench_placement(c: &mut Criterion) {
-    let plan = ItemPlacementPlan::new(
-        PlacementStrategy::Hrcs,
-        100_000_000,
-        16,
-        0.1,
-        28_672 * 10,
-    );
+    let plan = ItemPlacementPlan::new(PlacementStrategy::Hrcs, 100_000_000, 16, 0.1, 28_672 * 10);
     c.bench_function("placement_locate", |b| {
         let mut i = 0u64;
         b.iter(|| {

@@ -21,7 +21,11 @@ fn main() {
     } else {
         &[100, 500, 1000, 5000, 10000]
     };
-    let systems = [SystemKind::UserPrefix, SystemKind::ItemPrefix, SystemKind::Bat];
+    let systems = [
+        SystemKind::UserPrefix,
+        SystemKind::ItemPrefix,
+        SystemKind::Bat,
+    ];
 
     let mut rows = Vec::new();
     let mut artifact = Vec::new();

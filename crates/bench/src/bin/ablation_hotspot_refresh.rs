@@ -31,8 +31,7 @@ fn main() {
     // Popularity shifts a quarter of the way in: ranks rotate halfway
     // around the corpus, so the offline hot head goes cold.
     let shift_at = duration / 4.0;
-    let workload =
-        Workload::new(ds.clone(), 77).with_hotspot_shift(shift_at, ds.num_items / 2);
+    let workload = Workload::new(ds.clone(), 77).with_hotspot_shift(shift_at, ds.num_items / 2);
     let mut gen = TraceGenerator::new(workload, 78);
     let trace = gen.generate(duration, rate);
     println!(

@@ -35,7 +35,10 @@ fn main() {
     let trace = spec.trace();
     let base = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster, &ds);
 
-    println!("Scheduling-policy ladder (Books, Qwen2-1.5B, {} requests)", trace.len());
+    println!(
+        "Scheduling-policy ladder (Books, Qwen2-1.5B, {} requests)",
+        trace.len()
+    );
     let mut rows = Vec::new();
     let mut artifact = Vec::new();
     let ladder: Vec<(&str, PolicyKind, bool)> = vec![

@@ -60,8 +60,8 @@ fn main() {
                 }
                 Some((bytes, TierHit::Cold)) => {
                     cold_hits += 1;
-                    total_secs += compute.prefill_secs(total - user_tokens, total)
-                        + bytes / cold_bw;
+                    total_secs +=
+                        compute.prefill_secs(total - user_tokens, total) + bytes / cold_bw;
                 }
                 None => {
                     misses += 1;
@@ -90,7 +90,13 @@ fn main() {
         }));
     }
     print_table(
-        &["Configuration", "DRAM hit", "Cold hit", "Miss", "Mean req (ms)"],
+        &[
+            "Configuration",
+            "DRAM hit",
+            "Cold hit",
+            "Miss",
+            "Mean req (ms)",
+        ],
         &rows,
     );
     println!("\n(cold capacity converts misses into slow hits; whether mean request time");

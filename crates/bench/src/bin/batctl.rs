@@ -8,6 +8,8 @@
 //! batctl trace    --dataset games --duration 30 --rate 50 --out trace.jsonl
 //! batctl info     --trace trace.jsonl
 //! batctl breakdown --dataset industry --duration 30 --rate 80
+//! batctl faults   --dataset games --duration 60 --rate 120 \
+//!                 [--crash 1 --at 20 --down 10 | --crashes 2 --seed 1]
 //! ```
 //!
 //! Everything is offline and deterministic; see `README.md` for the
@@ -15,9 +17,9 @@
 
 use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
 use bat::{
-    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
-    PlacementStrategy, PrefixKind, SemanticConfig, ServingEngine, SystemKind, TraceGenerator,
-    Workload, ZipfLaw,
+    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, FaultSchedule, ItemPlacementPlan,
+    ModelConfig, PlacementStrategy, PrefixKind, SemanticConfig, ServingEngine, SystemKind,
+    TraceGenerator, WorkerId, Workload, ZipfLaw,
 };
 use bat_bench::{f1, f3, print_table};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -35,7 +37,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
                 .filter(|v| !v.starts_with("--"))
                 .cloned()
                 .unwrap_or_else(|| "true".to_owned());
-            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+            let consumed = if value == "true" && args.get(i + 1).is_none_or(|v| v.starts_with("--"))
+            {
                 1
             } else {
                 2
@@ -64,7 +67,9 @@ fn dataset(name: &str) -> Result<DatasetConfig, String> {
                 let n = parse_count(items)?;
                 return Ok(DatasetConfig::books_x(n));
             }
-            Err(format!("unknown dataset '{other}' (games|beauty|books|industry[-N])"))
+            Err(format!(
+                "unknown dataset '{other}' (games|beauty|books|industry[-N])"
+            ))
         }
     }
 }
@@ -85,7 +90,9 @@ fn model(name: &str) -> Result<ModelConfig, String> {
         "qwen2-1.5b" | "qwen" => Ok(ModelConfig::qwen2_1_5b()),
         "qwen2-7b" => Ok(ModelConfig::qwen2_7b()),
         "llama3-1b" | "llama" => Ok(ModelConfig::llama3_1b()),
-        other => Err(format!("unknown model '{other}' (qwen2-1.5b|qwen2-7b|llama3-1b)")),
+        other => Err(format!(
+            "unknown model '{other}' (qwen2-1.5b|qwen2-7b|llama3-1b)"
+        )),
     }
 }
 
@@ -132,7 +139,10 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
         seed,
     };
     let stats = compare_systems(&spec, &systems);
-    println!("{} on {} nodes, {duration:.0}s at {rate:.0} req/s:", ds.name, nodes);
+    println!(
+        "{} on {} nodes, {duration:.0}s at {rate:.0} req/s:",
+        ds.name, nodes
+    );
     let rows: Vec<Vec<String>> = stats
         .iter()
         .map(|s| {
@@ -165,13 +175,7 @@ fn cmd_accuracy(flags: &HashMap<String, String>) -> Result<(), String> {
         .iter()
         .map(|r| {
             let m = r.metrics.table3_row();
-            vec![
-                r.strategy.clone(),
-                f3(m[0]),
-                f3(m[1]),
-                f3(m[2]),
-                f3(m[3]),
-            ]
+            vec![r.strategy.clone(), f3(m[0]), f3(m[1]), f3(m[2]), f3(m[3])]
         })
         .collect();
     print_table(&["Strategy", "R@10", "MRR@10", "NDCG@10", "R@5"], &table);
@@ -189,8 +193,10 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     let law = ZipfLaw::new(ds.num_items, ds.item_zipf_exponent);
     let params = HrcsParams {
         bandwidth_tokens_per_sec: compute.net_tokens_per_sec(),
-        prefill_time_secs: compute
-            .prefill_estimate_secs(ds.avg_user_tokens as u64, ds.avg_prompt_item_tokens() as u64),
+        prefill_time_secs: compute.prefill_estimate_secs(
+            ds.avg_user_tokens as u64,
+            ds.avg_prompt_item_tokens() as u64,
+        ),
         alpha: cluster.alpha,
         candidates_per_request: ds.candidates_per_request,
         avg_item_tokens: ds.avg_item_tokens as f64,
@@ -207,11 +213,18 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     .fit_to_capacity(bat::Bytes::new(
         cluster.node.kv_cache_capacity.as_u64() * 4 / 5,
     ));
-    println!("HRCS plan for {} on {nodes} nodes at {gbps:.0}Gbps:", ds.name);
+    println!(
+        "HRCS plan for {} on {nodes} nodes at {gbps:.0}Gbps:",
+        ds.name
+    );
     println!("  max remote ratio R  {:.4}", params.max_remote_ratio());
     println!("  replication ratio r {:.4}", plan.replication_ratio());
     println!("  replicated items    {}", plan.replicated_items());
-    println!("  cached items        {} / {}", plan.cached_items(), plan.num_items());
+    println!(
+        "  cached items        {} / {}",
+        plan.cached_items(),
+        plan.num_items()
+    );
     println!("  item region / node  {}", plan.per_worker_bytes());
     Ok(())
 }
@@ -281,7 +294,91 @@ fn cmd_breakdown(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: batctl <compare|accuracy|plan|trace|info|breakdown> [--flags]
+fn cmd_faults(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 60.0)?;
+    let rate = flag_f64(flags, "rate", 120.0)?;
+    let seed = flag_f64(flags, "seed", 1.0)? as u64;
+    let nodes = flag_usize(flags, "nodes", 4)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+
+    // Either the canonical kill-one-worker schedule (--crash W [--down S])
+    // or a seeded random one (--crashes N).
+    let schedule = if let Some(w) = flags.get("crash") {
+        let w: usize = w.parse().map_err(|e| format!("bad --crash: {e}"))?;
+        let crash_at = flag_f64(flags, "at", duration / 3.0)?;
+        let down = flag_f64(flags, "down", duration / 6.0)?;
+        FaultSchedule::single_crash(nodes, WorkerId::new(w as u64), crash_at, crash_at + down)
+            .map_err(|e| e.to_string())?
+    } else {
+        let crashes = flag_usize(flags, "crashes", 2)?;
+        FaultSchedule::random(seed, nodes, duration, crashes)
+    };
+
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), seed), seed ^ 0xbadc0ffe);
+    let trace = gen.generate(duration, rate);
+    let cfg = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds)
+        .with_faults(Some(schedule.clone()));
+    let mut engine = ServingEngine::new(cfg).map_err(|e| e.to_string())?;
+    let stats = engine.run(&trace);
+    let r = &stats.faults;
+
+    println!(
+        "{} on {nodes} nodes, {} requests over {duration:.0}s under {} fault events:",
+        ds.name,
+        trace.len(),
+        schedule.events().len()
+    );
+    for e in schedule.events() {
+        println!("  t={:6.1}s  {:?}", e.at_secs, e.kind);
+    }
+    println!(
+        "\ncompleted {}/{} (faults never drop requests)",
+        stats.completed,
+        trace.len()
+    );
+    let rows = vec![
+        vec!["hit rate (whole run)".to_owned(), f3(stats.hit_rate())],
+        vec![
+            "pre-fault steady hit rate".to_owned(),
+            f3(r.pre_fault_hit_rate),
+        ],
+        vec![
+            "min hit rate after fault".to_owned(),
+            f3(r.min_hit_rate_after_fault),
+        ],
+        vec!["hit-rate dip".to_owned(), f3(r.hit_rate_dip)],
+        vec!["time to recover (s)".to_owned(), f1(r.time_to_recover_secs)],
+        vec![
+            "entries invalidated".to_owned(),
+            r.invalidated_entries.to_string(),
+        ],
+        vec![
+            "replica hits during outage".to_owned(),
+            r.replica_hits_during_outage.to_string(),
+        ],
+        vec![
+            "recompute fallbacks".to_owned(),
+            r.recompute_fallbacks.to_string(),
+        ],
+        vec![
+            "stall-forced recomputes".to_owned(),
+            r.stall_forced_recomputes.to_string(),
+        ],
+        vec![
+            "items re-warmed on restart".to_owned(),
+            r.rewarmed_items.to_string(),
+        ],
+    ];
+    print_table(&["Degradation / recovery", "Value"], &rows);
+    if r.time_to_recover_secs < 0.0 && r.crashes > 0 {
+        println!("\n(hit rate had not recovered to steady state by end of trace)");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details";
 
 fn main() -> ExitCode {
@@ -298,6 +395,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&flags),
         "info" => cmd_info(&flags),
         "breakdown" => cmd_breakdown(&flags),
+        "faults" => cmd_faults(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {

@@ -56,10 +56,7 @@ fn main() {
         }
     }
     println!("Figure 10: corpus-size scaling (16-node H20, Qwen2-1.5B)");
-    print_table(
-        &["Dataset", "System", "QPS", "HitRate", "UP share"],
-        &rows,
-    );
+    print_table(&["Dataset", "System", "QPS", "HitRate", "UP share"], &rows);
     println!("\n(paper: BAT stays ahead as the corpus grows; at 100M items it caches the");
     println!(" hottest ~10% of items and schedules more requests User-as-prefix, while");
     println!(" IP's hit rate drops harder)");

@@ -48,10 +48,7 @@ fn main() {
         }));
     }
     println!("Figure 11: BAT throughput vs node count (Industry-1M, Qwen2-1.5B, H20 nodes)");
-    print_table(
-        &["Nodes", "QPS", "Speedup", "Efficiency", "HitRate"],
-        &rows,
-    );
+    print_table(&["Nodes", "QPS", "Speedup", "Efficiency", "HitRate"], &rows);
     println!("\n(paper: near-linear scaling from 1 to 16 nodes)");
     write_artifact("fig11_node_scaling.json", &artifact);
 }

@@ -40,7 +40,10 @@ fn main() {
             }));
         }
     }
-    print_table(&["Model", "Tokens", "Recompute (ms)", "Prefix load (ms)"], &rows);
+    print_table(
+        &["Model", "Tokens", "Recompute (ms)", "Prefix load (ms)"],
+        &rows,
+    );
     println!("(100–200 ms SLO: recomputation exceeds it at long contexts; prefix load does not)");
 
     // ---- (b,c,d) Industry-trace distributions ---------------------------
@@ -56,18 +59,28 @@ fn main() {
     println!("\nFigure 2(b): user token count distribution (Industry)");
     let mut rows = Vec::new();
     for q in [0.1, 0.25, 0.36, 0.5, 0.75, 0.9, 0.99, 1.0] {
-        rows.push(vec![format!("p{:02.0}", q * 100.0), format!("{:.0}", cdf_b.inverse(q))]);
+        rows.push(vec![
+            format!("p{:02.0}", q * 100.0),
+            format!("{:.0}", cdf_b.inverse(q)),
+        ]);
     }
     print_table(&["quantile", "user tokens"], &rows);
     let short_share = cdf_b.at(1000.0);
-    println!("share of users with < 1000 tokens (vs ~1K item block): {} (paper: ~36%)", f3(short_share));
+    println!(
+        "share of users with < 1000 tokens (vs ~1K item block): {} (paper: ~36%)",
+        f3(short_share)
+    );
 
     // (c,d) replay an hour of Industry traffic, count accesses.
     let duration = args.scale(3600.0, 600.0);
     let rate = args.scale(120.0, 60.0);
     let mut gen = TraceGenerator::new(workload, 7);
     let trace = gen.generate(duration, rate);
-    println!("\n(replayed {} requests over {:.0}s)", trace.len(), duration);
+    println!(
+        "\n(replayed {} requests over {:.0}s)",
+        trace.len(),
+        duration
+    );
 
     let per_user = window_counts(&trace, duration);
     let user_counts: Vec<f64> = per_user

@@ -16,7 +16,8 @@ use bat_workload::{SessionParams, TraceGenerator, Workload};
 
 fn similarity_distribution(events: &[(f64, UserId)], window_secs: f64, horizon: f64) -> Vec<f64> {
     // Per-user event times.
-    let mut per_user: std::collections::HashMap<UserId, Vec<f64>> = std::collections::HashMap::new();
+    let mut per_user: std::collections::HashMap<UserId, Vec<f64>> =
+        std::collections::HashMap::new();
     for &(t, u) in events {
         per_user.entry(u).or_default().push(t);
     }

@@ -67,7 +67,9 @@ fn main() {
     }
     println!("Figures 5 & 6: saturation QPS and cache hit rate (4-node A100 testbed)");
     print_table(
-        &["Model", "Dataset", "System", "QPS", "HitRate", "Savings", "vs RE", "vs UP"],
+        &[
+            "Model", "Dataset", "System", "QPS", "HitRate", "Savings", "vs RE", "vs UP",
+        ],
         &rows,
     );
 
@@ -75,9 +77,17 @@ fn main() {
     let best = artifact
         .iter()
         .filter(|v| v["system"] == "BAT")
-        .map(|v| (v["vs_up"].as_f64().unwrap(), v["hit_rate"].as_f64().unwrap()))
+        .map(|v| {
+            (
+                v["vs_up"].as_f64().unwrap(),
+                v["hit_rate"].as_f64().unwrap(),
+            )
+        })
         .fold((0.0f64, 0.0f64), |a, b| (a.0.max(b.0), a.1.max(b.1)));
-    println!("\nBAT max speedup over UP: {:.2}x (paper: up to 1.6x)", best.0);
+    println!(
+        "\nBAT max speedup over UP: {:.2}x (paper: up to 1.6x)",
+        best.0
+    );
     println!("BAT max hit rate:        {:.3}  (paper: up to 58%)", best.1);
 
     write_artifact("fig5_6_throughput.json", &artifact);

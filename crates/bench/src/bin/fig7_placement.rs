@@ -15,8 +15,8 @@
 
 use bat::experiment::{run_config, ComparisonSpec};
 use bat::{
-    ClusterConfig, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig,
-    PlacementStrategy, SystemKind,
+    ClusterConfig, DatasetConfig, EngineConfig, ItemPlacementPlan, ModelConfig, PlacementStrategy,
+    SystemKind,
 };
 use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -28,8 +28,10 @@ fn hrcs_ratio(model: &ModelConfig, cluster: &ClusterConfig, ds: &DatasetConfig) 
     let law = ZipfLaw::new(ds.num_items, ds.item_zipf_exponent);
     let params = HrcsParams {
         bandwidth_tokens_per_sec: compute.net_tokens_per_sec(),
-        prefill_time_secs: compute
-            .prefill_estimate_secs(ds.avg_user_tokens as u64, ds.avg_prompt_item_tokens() as u64),
+        prefill_time_secs: compute.prefill_estimate_secs(
+            ds.avg_user_tokens as u64,
+            ds.avg_prompt_item_tokens() as u64,
+        ),
         alpha: cluster.alpha,
         candidates_per_request: ds.candidates_per_request,
         avg_item_tokens: ds.avg_item_tokens as f64,
@@ -94,8 +96,9 @@ fn main() {
             seed: 7,
         };
         for (label, plan) in plans {
-            let cfg = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds)
-                .with_placement(Some(plan.clone()));
+            let cfg =
+                EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds)
+                    .with_placement(Some(plan.clone()));
             let cfg = EngineConfig {
                 label: label.to_owned(),
                 ..cfg
@@ -121,7 +124,15 @@ fn main() {
     }
     println!("Figure 7: item-cache placement comparison (Books, Qwen2-1.5B, 4 nodes)");
     print_table(
-        &["Network", "Placement", "ReplRatio", "Item/node", "QPS", "HitRate", "Net/Compute"],
+        &[
+            "Network",
+            "Placement",
+            "ReplRatio",
+            "Item/node",
+            "QPS",
+            "HitRate",
+            "Net/Compute",
+        ],
         &rows,
     );
 

@@ -38,8 +38,16 @@ fn main() {
     let mut artifact = Vec::new();
     for user_gb in [25u64, 50, 75, 100] {
         for (label, policy, admission) in [
-            ("hotness-aware (BAT)", PolicyKind::HotnessAware, AdmissionKind::HotnessAware),
-            ("cache-agnostic", PolicyKind::CacheAgnostic, AdmissionKind::Lru),
+            (
+                "hotness-aware (BAT)",
+                PolicyKind::HotnessAware,
+                AdmissionKind::HotnessAware,
+            ),
+            (
+                "cache-agnostic",
+                PolicyKind::CacheAgnostic,
+                AdmissionKind::Lru,
+            ),
         ] {
             let cfg = EngineConfig {
                 label: label.to_owned(),

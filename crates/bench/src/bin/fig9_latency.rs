@@ -17,7 +17,11 @@ fn main() {
     let model = ModelConfig::qwen2_1_5b();
     let cluster = ClusterConfig::a100_4node();
     let ds = DatasetConfig::industry();
-    let systems = [SystemKind::Recompute, SystemKind::UserPrefix, SystemKind::Bat];
+    let systems = [
+        SystemKind::Recompute,
+        SystemKind::UserPrefix,
+        SystemKind::Bat,
+    ];
 
     // Sweep offered rates from well below RE capacity to beyond BAT's.
     let re_capacity = saturation_offered_rate(&model, &cluster, &ds, 1.0);

@@ -12,22 +12,37 @@ fn fig7_debug() {
     let mut cluster = ClusterConfig::a100_4node();
     cluster.node = cluster.node.with_network_gbps(10.0);
     let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
-    for (label, strat, r) in [("hrcs", PlacementStrategy::Hrcs, 0.346), ("repl", PlacementStrategy::Replicate, 1.0), ("hash", PlacementStrategy::HashShard, 0.0)] {
+    for (label, strat, r) in [
+        ("hrcs", PlacementStrategy::Hrcs, 0.346),
+        ("repl", PlacementStrategy::Replicate, 1.0),
+        ("hash", PlacementStrategy::HashShard, 0.0),
+    ] {
         let plan = ItemPlacementPlan::new(strat, ds.num_items, cluster.num_nodes, r, item_kv);
-        let cfg = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds).with_placement(Some(plan));
+        let cfg = EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds)
+            .with_placement(Some(plan));
         let user_cap = cfg.user_cache_capacity;
         let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 1), 2);
         let trace = gen.generate(1200.0, 320.0);
         let mut engine = ServingEngine::new(cfg).unwrap();
         let stats = engine.run(&trace);
         let uc = engine.planner().user_cache();
-        println!("{label}: user_cap={} used={} cached_users={} up_share={:.3} hit={:.3} qps={:.1}",
-            user_cap, uc.used(), uc.len(), stats.up_share(), stats.hit_rate(), stats.qps());
+        println!(
+            "{label}: user_cap={} used={} cached_users={} up_share={:.3} hit={:.3} qps={:.1}",
+            user_cap,
+            uc.used(),
+            uc.len(),
+            stats.up_share(),
+            stats.hit_rate(),
+            stats.qps()
+        );
     }
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--fig7") { fig7_debug(); return; }
+    if std::env::args().any(|a| a == "--fig7") {
+        fig7_debug();
+        return;
+    }
     let cluster = ClusterConfig::a100_4node();
     let model = ModelConfig::qwen2_1_5b();
     for ds in [

@@ -30,15 +30,60 @@ fn main() {
     // One world per paper cell; seeds differentiate the "datasets", the
     // order-biased flag plays the role of the position-sensitive base model.
     let cells = [
-        Cell { dataset: "Beauty", model: "Qwen2-1.5B", seed: 101, biased: false },
-        Cell { dataset: "Beauty", model: "Qwen2-7B", seed: 102, biased: false },
-        Cell { dataset: "Beauty", model: "Llama3-1B", seed: 103, biased: false },
-        Cell { dataset: "Games", model: "Qwen2-1.5B", seed: 201, biased: false },
-        Cell { dataset: "Games", model: "Qwen2-7B", seed: 202, biased: false },
-        Cell { dataset: "Games", model: "Llama3-1B", seed: 203, biased: false },
-        Cell { dataset: "Books", model: "Qwen2-1.5B", seed: 301, biased: true },
-        Cell { dataset: "Books", model: "Qwen2-7B", seed: 302, biased: false },
-        Cell { dataset: "Books", model: "Llama3-1B", seed: 303, biased: false },
+        Cell {
+            dataset: "Beauty",
+            model: "Qwen2-1.5B",
+            seed: 101,
+            biased: false,
+        },
+        Cell {
+            dataset: "Beauty",
+            model: "Qwen2-7B",
+            seed: 102,
+            biased: false,
+        },
+        Cell {
+            dataset: "Beauty",
+            model: "Llama3-1B",
+            seed: 103,
+            biased: false,
+        },
+        Cell {
+            dataset: "Games",
+            model: "Qwen2-1.5B",
+            seed: 201,
+            biased: false,
+        },
+        Cell {
+            dataset: "Games",
+            model: "Qwen2-7B",
+            seed: 202,
+            biased: false,
+        },
+        Cell {
+            dataset: "Games",
+            model: "Llama3-1B",
+            seed: 203,
+            biased: false,
+        },
+        Cell {
+            dataset: "Books",
+            model: "Qwen2-1.5B",
+            seed: 301,
+            biased: true,
+        },
+        Cell {
+            dataset: "Books",
+            model: "Qwen2-7B",
+            seed: 302,
+            biased: false,
+        },
+        Cell {
+            dataset: "Books",
+            model: "Llama3-1B",
+            seed: 303,
+            biased: false,
+        },
     ];
 
     println!("Table 3: UP vs IP ranking quality (semantic-world reproduction)");
@@ -61,7 +106,11 @@ fn main() {
                 .bootstrap_ci(|m| m.recall_at(10), 500, cell.seed);
             rows.push(vec![
                 cell.dataset.to_string(),
-                format!("{}{}", cell.model, if cell.biased { " (order-biased)" } else { "" }),
+                format!(
+                    "{}{}",
+                    cell.model,
+                    if cell.biased { " (order-biased)" } else { "" }
+                ),
                 row.strategy.clone(),
                 format!("{} [{},{}]", f3(m[0]), f3(lo), f3(hi)),
                 f3(m[1]),
@@ -82,7 +131,14 @@ fn main() {
     }
     print_table(
         &[
-            "Dataset", "Model", "Strategy", "R@10 [95% CI]", "MRR@10", "NDCG@10", "R@5", "MRR@5",
+            "Dataset",
+            "Model",
+            "Strategy",
+            "R@10 [95% CI]",
+            "MRR@10",
+            "NDCG@10",
+            "R@5",
+            "MRR@5",
             "NDCG@5",
         ],
         &rows,
@@ -103,13 +159,23 @@ fn main() {
         };
         find("UP") - find("IP")
     };
-    let robust_gaps: Vec<f64> = [("Beauty", "Qwen2-1.5B"), ("Games", "Qwen2-1.5B"), ("Books", "Qwen2-7B")]
-        .iter()
-        .map(|(d, m)| gap(d, m))
-        .collect();
+    let robust_gaps: Vec<f64> = [
+        ("Beauty", "Qwen2-1.5B"),
+        ("Games", "Qwen2-1.5B"),
+        ("Books", "Qwen2-7B"),
+    ]
+    .iter()
+    .map(|(d, m)| gap(d, m))
+    .collect();
     let biased_gap = gap("Books", "Qwen2-1.5B");
-    println!("\nUP−IP Recall@10 gaps: robust cells {:?}, order-biased cell {:.3}",
-        robust_gaps.iter().map(|g| (g * 1000.0).round() / 1000.0).collect::<Vec<_>>(), biased_gap);
+    println!(
+        "\nUP−IP Recall@10 gaps: robust cells {:?}, order-biased cell {:.3}",
+        robust_gaps
+            .iter()
+            .map(|g| (g * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
+        biased_gap
+    );
     println!("(paper: IP ≈ UP in most cells; degradation only for position-sensitive models, narrowed by PIC)");
 
     write_artifact("table3_accuracy.json", &artifact);

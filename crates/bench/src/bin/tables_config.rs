@@ -24,7 +24,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["Dataset", "User Num.", "Item Num.", "Avg User Tok.", "Avg Item Tok."],
+        &[
+            "Dataset",
+            "User Num.",
+            "Item Num.",
+            "Avg User Tok.",
+            "Avg Item Tok.",
+        ],
         &rows,
     );
 

@@ -39,8 +39,7 @@ impl HarnessArgs {
 
 /// Directory where JSON artifacts land (`<repo>/results`).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../results");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     fs::create_dir_all(&dir).expect("create results dir");
     dir
 }

@@ -59,7 +59,10 @@ pub fn compare_systems(spec: &ComparisonSpec, systems: &[SystemKind]) -> Vec<Run
 
 /// Runs one explicit engine configuration over the spec's trace (for the
 /// ablations of Figure 7/8 and Table 4).
-pub fn run_config(spec: &ComparisonSpec, cfg: EngineConfig) -> Result<RunStats, bat_types::BatError> {
+pub fn run_config(
+    spec: &ComparisonSpec,
+    cfg: EngineConfig,
+) -> Result<RunStats, bat_types::BatError> {
     let trace = spec.trace();
     let mut engine = ServingEngine::new(cfg)?;
     Ok(engine.run(&trace))
@@ -169,8 +172,18 @@ mod tests {
     #[test]
     fn saturation_rate_scales_with_nodes() {
         let spec = small_spec();
-        let one = saturation_offered_rate(&spec.model, &spec.cluster.clone().with_nodes(1), &spec.dataset, 3.0);
-        let four = saturation_offered_rate(&spec.model, &spec.cluster.clone().with_nodes(4), &spec.dataset, 3.0);
+        let one = saturation_offered_rate(
+            &spec.model,
+            &spec.cluster.clone().with_nodes(1),
+            &spec.dataset,
+            3.0,
+        );
+        let four = saturation_offered_rate(
+            &spec.model,
+            &spec.cluster.clone().with_nodes(4),
+            &spec.dataset,
+            3.0,
+        );
         assert!((four / one - 4.0).abs() < 1e-9);
         assert!(one > 0.0);
     }

@@ -1,0 +1,31 @@
+//! `bat-faults`: deterministic fault injection for the BAT serving stack.
+//!
+//! The paper's disaggregated KV-cache pool (§5.1) and HRCS placement (§5.2)
+//! assume cache workers never fail; at production scale they do. This crate
+//! is the shared fault model for both execution paths:
+//!
+//! * [`FaultSchedule`] — a validated, time-ordered list of fault events
+//!   (cache-worker crash, worker restart, link-bandwidth degradation,
+//!   meta-service stall). Schedules are plain data: the same schedule drives
+//!   the discrete-event simulator (`bat-sim`, faults as heap events) and the
+//!   threaded runtime (`bat-serve`, faults as real thread shutdown/respawn),
+//!   which is what makes the two paths' cache accounting comparable under
+//!   failure. [`FaultSchedule::random`] generates seeded schedules that are
+//!   valid by construction.
+//! * [`ClusterView`] — epoch-numbered membership: which cache workers are
+//!   alive, each worker's incarnation (bumped on restart, so warmth earned
+//!   before a crash never leaks across it), the current link-bandwidth
+//!   factor, and any active meta-service stall window.
+//! * [`FaultCursor`] — a replay cursor that applies due events to a view in
+//!   schedule order, independent of how the caller discovers time.
+//! * [`FaultReport`] — the fault/recovery counters that land in `RunStats`.
+
+mod cursor;
+mod report;
+mod schedule;
+mod view;
+
+pub use cursor::FaultCursor;
+pub use report::FaultReport;
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
+pub use view::{AppliedFault, ClusterView};

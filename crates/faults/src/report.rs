@@ -1,0 +1,160 @@
+//! Fault/recovery accounting that lands in `RunStats`.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the fault subsystem did to a run and how the
+/// system recovered.
+///
+/// Everything here is *planning-deterministic*: the counters derive from
+/// the trace, the schedule, and the planner's decisions — never from
+/// wall-clock timing — so the same seed and schedule produce bit-identical
+/// reports in `bat-sim`, and matching cache accounting in `bat-serve`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Cache-worker crashes injected.
+    pub crashes: u64,
+    /// Worker restarts injected.
+    pub restarts: u64,
+    /// Link-degradation windows injected.
+    pub link_degrades: u64,
+    /// Meta-service stall windows injected.
+    pub meta_stalls: u64,
+    /// Cache entries invalidated by the meta service on worker loss.
+    pub invalidated_entries: u64,
+    /// Bytes those invalidated entries held.
+    pub invalidated_bytes: u64,
+    /// Requests whose hot item hits were served by a surviving HRCS
+    /// replica instead of the request's dead local worker.
+    pub replica_hits_during_outage: u64,
+    /// Item lookups that fell back to recompute because the item's cold
+    /// shard lived on a dead worker.
+    pub recompute_fallbacks: u64,
+    /// Requests planned inside a meta-service stall window and therefore
+    /// forced to full recompute.
+    pub stall_forced_recomputes: u64,
+    /// Items proactively re-warmed onto a restarted worker.
+    pub rewarmed_items: u64,
+    /// Steady-state hit rate observed before the first crash.
+    pub pre_fault_hit_rate: f64,
+    /// Lowest windowed hit rate observed after the first crash.
+    pub min_hit_rate_after_fault: f64,
+    /// Depth of the hit-rate dip: pre-fault steady state minus the
+    /// post-fault minimum (0 when no fault fired or nothing dipped).
+    pub hit_rate_dip: f64,
+    /// Seconds from the first crash until the windowed hit rate returned
+    /// to within 5% of the pre-fault steady state; negative when it never
+    /// recovered inside the trace.
+    pub time_to_recover_secs: f64,
+}
+
+impl FaultReport {
+    /// True when no fault of any kind fired during the run.
+    pub fn is_quiet(&self) -> bool {
+        self.crashes == 0 && self.restarts == 0 && self.link_degrades == 0 && self.meta_stalls == 0
+    }
+
+    /// Fills the recovery metrics from a windowed hit-rate timeline
+    /// (`(window_end_secs, hit_rate)` points, time-ascending) and the time
+    /// of the first crash. Recovery means the windowed hit rate is back
+    /// within `tolerance` (absolute) of the pre-fault steady state.
+    pub fn compute_recovery(
+        &mut self,
+        timeline: &[(f64, f64)],
+        first_crash_at: Option<f64>,
+        tolerance: f64,
+    ) {
+        let Some(crash_at) = first_crash_at else {
+            return;
+        };
+        let pre: Vec<f64> = timeline
+            .iter()
+            .filter(|(t, _)| *t <= crash_at)
+            .map(|(_, h)| *h)
+            .collect();
+        if pre.is_empty() {
+            return;
+        }
+        self.pre_fault_hit_rate = pre.iter().sum::<f64>() / pre.len() as f64;
+        let post: Vec<(f64, f64)> = timeline
+            .iter()
+            .filter(|(t, _)| *t > crash_at)
+            .copied()
+            .collect();
+        if post.is_empty() {
+            return;
+        }
+        self.min_hit_rate_after_fault = post.iter().map(|(_, h)| *h).fold(f64::INFINITY, f64::min);
+        self.hit_rate_dip = (self.pre_fault_hit_rate - self.min_hit_rate_after_fault).max(0.0);
+        // Recovery: the first window after the dip bottom that is back
+        // within tolerance of steady state.
+        let bottom_at = post
+            .iter()
+            .find(|(_, h)| *h <= self.min_hit_rate_after_fault + 1e-12)
+            .map(|(t, _)| *t)
+            .unwrap_or(crash_at);
+        self.time_to_recover_secs = post
+            .iter()
+            .find(|(t, h)| *t >= bottom_at && *h >= self.pre_fault_hit_rate - tolerance)
+            .map(|(t, _)| t - crash_at)
+            .unwrap_or(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet() {
+        let r = FaultReport::default();
+        assert!(r.is_quiet());
+        assert_eq!(r.hit_rate_dip, 0.0);
+    }
+
+    #[test]
+    fn recovery_metrics_from_timeline() {
+        let timeline = vec![
+            (10.0, 0.80),
+            (20.0, 0.82),
+            (30.0, 0.81), // crash at 30
+            (40.0, 0.40), // dip
+            (50.0, 0.55),
+            (60.0, 0.79), // recovered (within 0.05 of ~0.81)
+            (70.0, 0.81),
+        ];
+        let mut r = FaultReport {
+            crashes: 1,
+            ..FaultReport::default()
+        };
+        r.compute_recovery(&timeline, Some(30.0), 0.05);
+        assert!((r.pre_fault_hit_rate - 0.81).abs() < 1e-9);
+        assert!((r.min_hit_rate_after_fault - 0.40).abs() < 1e-9);
+        assert!((r.hit_rate_dip - 0.41).abs() < 1e-9);
+        assert!((r.time_to_recover_secs - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrecovered_runs_report_negative_time() {
+        let timeline = vec![(10.0, 0.8), (20.0, 0.3), (30.0, 0.4)];
+        let mut r = FaultReport::default();
+        r.compute_recovery(&timeline, Some(15.0), 0.05);
+        assert_eq!(r.time_to_recover_secs, -1.0);
+        assert!(r.hit_rate_dip > 0.0);
+    }
+
+    #[test]
+    fn no_crash_means_no_recovery_metrics() {
+        let mut r = FaultReport::default();
+        r.compute_recovery(&[(10.0, 0.5)], None, 0.05);
+        assert_eq!(r.pre_fault_hit_rate, 0.0);
+        assert_eq!(r.time_to_recover_secs, 0.0);
+    }
+
+    #[test]
+    fn serializes_with_defaults() {
+        let r = FaultReport::default();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FaultReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

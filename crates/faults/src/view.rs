@@ -1,0 +1,207 @@
+//! Epoch-numbered cluster membership.
+
+use crate::schedule::{FaultEvent, FaultKind};
+use bat_types::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// What a [`ClusterView::apply`] call did, so callers can react (invalidate
+/// meta entries, re-plan placement, re-warm a worker, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AppliedFault {
+    /// `worker` just died; its cache contents are gone.
+    Crashed(WorkerId),
+    /// `worker` just rejoined, empty, with the given new incarnation.
+    Restarted(WorkerId, u64),
+    /// Network transfer times now multiply by this factor.
+    LinkFactor(f64),
+    /// The meta service is unresponsive until the given time.
+    MetaStalledUntil(f64),
+}
+
+/// Live membership of the cache-worker cluster.
+///
+/// The `epoch` advances on every membership change (crash or restart), so
+/// downstream caches of placement decisions can cheaply detect staleness.
+/// Each worker also carries an `incarnation` counter, bumped when it
+/// rejoins: warmth recorded under an old incarnation must not count for the
+/// rejoined (empty) worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterView {
+    epoch: u64,
+    alive: Vec<bool>,
+    incarnation: Vec<u64>,
+    link_factor: f64,
+    meta_stall_until: f64,
+}
+
+impl ClusterView {
+    /// A fresh view with all `num_workers` workers alive at epoch 0.
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "cluster needs at least one worker");
+        ClusterView {
+            epoch: 0,
+            alive: vec![true; num_workers],
+            incarnation: vec![0; num_workers],
+            link_factor: 1.0,
+            meta_stall_until: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Current membership epoch; bumps on every crash or restart.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total workers, dead or alive.
+    pub fn num_workers(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether `worker` is currently up.
+    pub fn is_alive(&self, worker: WorkerId) -> bool {
+        self.alive.get(worker.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of live workers (always ≥ 1 for a valid schedule).
+    pub fn n_alive(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Indices of the live workers, ascending.
+    pub fn alive_workers(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| WorkerId::new(i as u64))
+    }
+
+    /// The live-membership bitmap (index = worker).
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Incarnation of `worker`: 0 until its first restart.
+    pub fn incarnation(&self, worker: WorkerId) -> u64 {
+        self.incarnation.get(worker.index()).copied().unwrap_or(0)
+    }
+
+    /// Current multiplier on network transfer time (1.0 = nominal).
+    pub fn link_factor(&self) -> f64 {
+        self.link_factor
+    }
+
+    /// Whether the meta service is inside a stall window at `now`.
+    pub fn meta_stalled(&self, now: f64) -> bool {
+        now < self.meta_stall_until
+    }
+
+    /// Applies one fault event, returning what changed. Events must come
+    /// from a validated [`crate::FaultSchedule`]; applying a crash to a dead
+    /// worker (or restart to a live one) panics, because it means the caller
+    /// replayed events out of order.
+    pub fn apply(&mut self, event: &FaultEvent) -> AppliedFault {
+        match event.kind {
+            FaultKind::WorkerCrash(w) => {
+                assert!(
+                    self.alive[w.index()],
+                    "{w} crashed while already down — events applied out of order"
+                );
+                self.alive[w.index()] = false;
+                self.epoch += 1;
+                AppliedFault::Crashed(w)
+            }
+            FaultKind::WorkerRestart(w) => {
+                assert!(
+                    !self.alive[w.index()],
+                    "{w} restarted while alive — events applied out of order"
+                );
+                self.alive[w.index()] = true;
+                self.incarnation[w.index()] += 1;
+                self.epoch += 1;
+                AppliedFault::Restarted(w, self.incarnation[w.index()])
+            }
+            FaultKind::LinkDegrade { factor } => {
+                self.link_factor = factor;
+                AppliedFault::LinkFactor(factor)
+            }
+            FaultKind::LinkRestore => {
+                self.link_factor = 1.0;
+                AppliedFault::LinkFactor(1.0)
+            }
+            FaultKind::MetaStall { duration_secs } => {
+                self.meta_stall_until = event.at_secs + duration_secs;
+                AppliedFault::MetaStalledUntil(self.meta_stall_until)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(at: f64, w: u64) -> FaultEvent {
+        FaultEvent {
+            at_secs: at,
+            kind: FaultKind::WorkerCrash(WorkerId::new(w)),
+        }
+    }
+
+    fn restart(at: f64, w: u64) -> FaultEvent {
+        FaultEvent {
+            at_secs: at,
+            kind: FaultKind::WorkerRestart(WorkerId::new(w)),
+        }
+    }
+
+    #[test]
+    fn epoch_tracks_membership_changes_only() {
+        let mut v = ClusterView::new(4);
+        assert_eq!(v.epoch(), 0);
+        v.apply(&FaultEvent {
+            at_secs: 1.0,
+            kind: FaultKind::LinkDegrade { factor: 2.0 },
+        });
+        assert_eq!(v.epoch(), 0, "link faults do not change membership");
+        assert_eq!(v.link_factor(), 2.0);
+
+        assert_eq!(
+            v.apply(&crash(2.0, 1)),
+            AppliedFault::Crashed(WorkerId::new(1))
+        );
+        assert_eq!(v.epoch(), 1);
+        assert!(!v.is_alive(WorkerId::new(1)));
+        assert_eq!(v.n_alive(), 3);
+        let alive: Vec<u64> = v.alive_workers().map(|w| w.as_u64()).collect();
+        assert_eq!(alive, vec![0, 2, 3]);
+
+        assert_eq!(
+            v.apply(&restart(3.0, 1)),
+            AppliedFault::Restarted(WorkerId::new(1), 1)
+        );
+        assert_eq!(v.epoch(), 2);
+        assert_eq!(v.incarnation(WorkerId::new(1)), 1);
+        assert_eq!(v.incarnation(WorkerId::new(0)), 0);
+    }
+
+    #[test]
+    fn meta_stall_window_has_an_end() {
+        let mut v = ClusterView::new(2);
+        assert!(!v.meta_stalled(0.0));
+        v.apply(&FaultEvent {
+            at_secs: 10.0,
+            kind: FaultKind::MetaStall { duration_secs: 5.0 },
+        });
+        assert!(v.meta_stalled(12.0));
+        assert!(!v.meta_stalled(15.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn double_crash_panics() {
+        let mut v = ClusterView::new(2);
+        v.apply(&crash(1.0, 0));
+        v.apply(&crash(2.0, 0));
+    }
+}

@@ -220,6 +220,40 @@ impl UserCache {
         self.sampled_min_freq(now, &HashSet::new())
     }
 
+    /// Invalidates every entry resident on cache worker
+    /// `worker_index` of `num_workers`, under the pool's static partition
+    /// (user id modulo worker count). This is what the meta service does
+    /// when a cache worker drops out of the membership view: its entries
+    /// are unreachable and must not count as cached.
+    ///
+    /// Returns `(entries, bytes)` invalidated. Deterministic regardless of
+    /// hash-map iteration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker_index >= num_workers` or `num_workers == 0`.
+    pub fn invalidate_partition(
+        &mut self,
+        worker_index: usize,
+        num_workers: usize,
+    ) -> (u64, Bytes) {
+        assert!(num_workers > 0, "pool needs at least one worker");
+        assert!(worker_index < num_workers, "worker index out of range");
+        let mut victims: Vec<UserId> = self
+            .entries
+            .keys()
+            .filter(|u| u.as_u64() % num_workers as u64 == worker_index as u64)
+            .copied()
+            .collect();
+        victims.sort_unstable();
+        let mut bytes = Bytes::ZERO;
+        for &user in &victims {
+            bytes += self.entries[&user];
+            self.remove_entry(user);
+        }
+        (victims.len() as u64, bytes)
+    }
+
     /// Removes a user's entry explicitly; returns whether it was present.
     pub fn remove(&mut self, user: UserId) -> bool {
         if self.entries.contains_key(&user) {
@@ -351,7 +385,9 @@ mod tests {
         let mut c = cache(100);
         // Cold user: one access long ago.
         c.record_access(uid(1), 0.0);
-        assert!(c.admit_if_hotter(uid(1), Bytes::new(100), 0.0).is_admitted());
+        assert!(c
+            .admit_if_hotter(uid(1), Bytes::new(100), 0.0)
+            .is_admitted());
         // Hot user: many recent accesses.
         for t in 0..20 {
             c.record_access(uid(2), 500.0 + t as f64);
@@ -369,7 +405,9 @@ mod tests {
         for t in 0..20 {
             c.record_access(uid(1), t as f64);
         }
-        assert!(c.admit_if_hotter(uid(1), Bytes::new(100), 20.0).is_admitted());
+        assert!(c
+            .admit_if_hotter(uid(1), Bytes::new(100), 20.0)
+            .is_admitted());
         // Newcomer with a single access is colder than the resident.
         c.record_access(uid(2), 21.0);
         assert_eq!(
@@ -450,14 +488,28 @@ mod tests {
             if i % 3 == 0 {
                 c.remove(uid(i % 5));
             }
-            let sum: Bytes = c
-                .entries
-                .values()
-                .copied()
-                .fold(Bytes::ZERO, |a, b| a + b);
+            let sum: Bytes = c.entries.values().copied().fold(Bytes::ZERO, |a, b| a + b);
             assert_eq!(sum, c.used());
             assert!(c.used() <= c.capacity());
             assert_eq!(c.keys.len(), c.entries.len());
         }
+    }
+
+    #[test]
+    fn partition_invalidation_drops_exactly_the_dead_workers_users() {
+        let mut c = cache(10_000);
+        for i in 0..20u64 {
+            assert!(c.admit_lru(uid(i), Bytes::new(10)).is_admitted());
+        }
+        // Worker 1 of 4 dies: users 1, 5, 9, 13, 17 are unreachable.
+        let (entries, bytes) = c.invalidate_partition(1, 4);
+        assert_eq!(entries, 5);
+        assert_eq!(bytes, Bytes::new(50));
+        for i in 0..20u64 {
+            assert_eq!(c.contains(uid(i)), i % 4 != 1, "user {i}");
+        }
+        // Idempotent: nothing left on that partition.
+        assert_eq!(c.invalidate_partition(1, 4), (0, Bytes::ZERO));
+        assert_eq!(c.used(), Bytes::new(150));
     }
 }

@@ -112,8 +112,9 @@ impl RankingMetrics {
         };
         let mut stats: Vec<f64> = (0..resamples)
             .map(|_| {
-                let resample: Vec<usize> =
-                    (0..n).map(|_| self.ranks[(next() % n as u64) as usize]).collect();
+                let resample: Vec<usize> = (0..n)
+                    .map(|_| self.ranks[(next() % n as u64) as usize])
+                    .collect();
                 metric(&RankingMetrics { ranks: resample })
             })
             .collect();
@@ -201,7 +202,10 @@ mod tests {
         ] {
             let (lo, hi) = m.bootstrap_ci(metric, 400, 3);
             let point = metric(&m);
-            assert!(lo <= point + 1e-12 && point <= hi + 1e-12, "{lo} {point} {hi}");
+            assert!(
+                lo <= point + 1e-12 && point <= hi + 1e-12,
+                "{lo} {point} {hi}"
+            );
             assert!(lo >= 0.0 && hi <= 1.0);
         }
         // Deterministic in the seed.

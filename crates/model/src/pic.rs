@@ -116,7 +116,12 @@ pub fn forward_ip_with_pic(
     pic: PicConfig,
 ) -> ForwardOutput {
     let layout = PromptLayout::new(MaskScheme::Bipartite);
-    let seq = layout.build(bat_types::PrefixKind::Item, user_tokens, items, instr_tokens);
+    let seq = layout.build(
+        bat_types::PrefixKind::Item,
+        user_tokens,
+        items,
+        instr_tokens,
+    );
     let item_block_len: usize = items.iter().map(Vec::len).sum();
     let (_, rest) = seq.split_at(item_block_len);
     let prefix = repaired_item_prefix(model, user_tokens, items, pic);

@@ -190,15 +190,22 @@ impl PromptLayout {
         let mut pos = Vec::new();
         let max_item_len = items.iter().map(Vec::len).max().unwrap_or(0) as u32;
 
-        let push_user = |tokens: &mut Vec<u32>, segs: &mut Vec<SegTag>, pos: &mut Vec<u32>, base: u32| {
-            for (j, &t) in user_tokens.iter().enumerate() {
-                tokens.push(t);
-                segs.push(SegTag::User);
-                pos.push(base + j as u32);
-            }
-            base + user_tokens.len() as u32
-        };
-        let push_items = |tokens: &mut Vec<u32>, segs: &mut Vec<SegTag>, pos: &mut Vec<u32>, base: u32, scheme: MaskScheme, seq_start: u32| -> u32 {
+        let push_user =
+            |tokens: &mut Vec<u32>, segs: &mut Vec<SegTag>, pos: &mut Vec<u32>, base: u32| {
+                for (j, &t) in user_tokens.iter().enumerate() {
+                    tokens.push(t);
+                    segs.push(SegTag::User);
+                    pos.push(base + j as u32);
+                }
+                base + user_tokens.len() as u32
+            };
+        let push_items = |tokens: &mut Vec<u32>,
+                          segs: &mut Vec<SegTag>,
+                          pos: &mut Vec<u32>,
+                          base: u32,
+                          scheme: MaskScheme,
+                          seq_start: u32|
+         -> u32 {
             let mut running = seq_start;
             for (i, item) in items.iter().enumerate() {
                 for (j, &t) in item.iter().enumerate() {
@@ -222,12 +229,8 @@ impl PromptLayout {
         match prefix {
             PrefixKind::User => {
                 let after_user = match self.scheme {
-                    MaskScheme::Bipartite => {
-                        push_user(&mut tokens, &mut segs, &mut pos, 0)
-                    }
-                    MaskScheme::NaiveCausal => {
-                        push_user(&mut tokens, &mut segs, &mut pos, 0)
-                    }
+                    MaskScheme::Bipartite => push_user(&mut tokens, &mut segs, &mut pos, 0),
+                    MaskScheme::NaiveCausal => push_user(&mut tokens, &mut segs, &mut pos, 0),
                 };
                 let after_items = push_items(
                     &mut tokens,
@@ -244,8 +247,7 @@ impl PromptLayout {
                 }
             }
             PrefixKind::Item => {
-                let after_items =
-                    push_items(&mut tokens, &mut segs, &mut pos, 0, self.scheme, 0);
+                let after_items = push_items(&mut tokens, &mut segs, &mut pos, 0, self.scheme, 0);
                 let after_user = push_user(&mut tokens, &mut segs, &mut pos, after_items);
                 for (j, &t) in instr_tokens.iter().enumerate() {
                     tokens.push(t);
@@ -365,7 +367,7 @@ mod tests {
         assert_eq!(up.pos[3], 3); // first token of item 0
         assert_eq!(up.pos[5], 3); // first token of item 1
         assert_eq!(up.pos[8], 3); // item 2
-        // IP: items start at 0; user starts at max_item_len = 3.
+                                  // IP: items start at 0; user starts at max_item_len = 3.
         let ip = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::Item, &u, &i, &s);
         assert_eq!(ip.pos[0], 0);
         assert_eq!(ip.pos[2], 0);
@@ -433,10 +435,7 @@ mod tests {
     fn leading_block_len_counts_prefix() {
         let (u, i, s) = sample_parts();
         let ip = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::Item, &u, &i, &s);
-        assert_eq!(
-            ip.leading_block_len(|t| matches!(t, SegTag::Item(_))),
-            6
-        );
+        assert_eq!(ip.leading_block_len(|t| matches!(t, SegTag::Item(_))), 6);
         let up = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::User, &u, &i, &s);
         assert_eq!(up.leading_block_len(|t| t == SegTag::User), 3);
     }

@@ -222,8 +222,10 @@ impl SemanticWorld {
                 .collect();
             scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             let truth = scored[0].0;
-            let history: Vec<usize> =
-                scored[1..=cfg.history_len].iter().map(|&(i, _)| i).collect();
+            let history: Vec<usize> = scored[1..=cfg.history_len]
+                .iter()
+                .map(|&(i, _)| i)
+                .collect();
             histories.push(history);
             truths.push(truth);
         }
@@ -429,7 +431,10 @@ mod tests {
         for u in 0..10 {
             let t = w.task(u);
             assert_eq!(t.candidates.len(), w.cfg.candidates);
-            assert_eq!(t.candidates.iter().filter(|&&c| c == w.truths[u]).count(), 1);
+            assert_eq!(
+                t.candidates.iter().filter(|&&c| c == w.truths[u]).count(),
+                1
+            );
             assert_eq!(t.candidates[t.truth_pos], w.truths[u]);
         }
     }
@@ -449,7 +454,10 @@ mod tests {
         let mean_rank: f64 = ranks.iter().map(|&r| r as f64).sum::<f64>() / ranks.len() as f64;
         // Chance would be (candidates-1)/2 = 9.5; the planted model should do
         // far better.
-        assert!(mean_rank < 5.5, "mean rank {mean_rank} not better than chance");
+        assert!(
+            mean_rank < 5.5,
+            "mean rank {mean_rank} not better than chance"
+        );
     }
 
     #[test]
@@ -501,13 +509,17 @@ mod tests {
             })
             .collect();
         let mean: f64 = ranks.iter().map(|&r| r as f64).sum::<f64>() / ranks.len() as f64;
-        assert!(mean < 6.0, "multi-disc mean rank {mean} not better than chance (9.5)");
+        assert!(
+            mean < 6.0,
+            "multi-disc mean rank {mean} not better than chance (9.5)"
+        );
     }
 
     #[test]
     fn multi_discriminant_close_to_single_discriminant() {
         let w = world();
-        let hit = |ranks: &[usize]| ranks.iter().filter(|&&r| r < 10).count() as f64 / ranks.len() as f64;
+        let hit =
+            |ranks: &[usize]| ranks.iter().filter(|&&r| r < 10).count() as f64 / ranks.len() as f64;
         let single = w.eval_ranks(PrefixKind::User, MaskScheme::Bipartite, 20);
         let multi: Vec<usize> = (0..20)
             .map(|u| {

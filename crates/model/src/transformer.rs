@@ -173,14 +173,12 @@ impl GrModel {
                         } else {
                             suffix_kv.layers[l].key(g_k - p_len)
                         };
-                        let ks =
-                            &key_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
+                        let ks = &key_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
                         idx.push(g_k);
                         logits.push(dot(q_slice, ks) * scale);
                     }
                     stable_softmax_in_place(&mut logits);
-                    let out =
-                        &mut attn_out[qh * cfg.head_dim..(qh + 1) * cfg.head_dim];
+                    let out = &mut attn_out[qh * cfg.head_dim..(qh + 1) * cfg.head_dim];
                     for (w, &g_k) in logits.iter().zip(&idx) {
                         if *w == 0.0 {
                             continue;
@@ -190,8 +188,7 @@ impl GrModel {
                         } else {
                             suffix_kv.layers[l].value(g_k - p_len)
                         };
-                        let vs =
-                            &val_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
+                        let vs = &val_row[kv_head * cfg.head_dim..(kv_head + 1) * cfg.head_dim];
                         axpy(out, *w, vs);
                     }
                 }
@@ -204,11 +201,7 @@ impl GrModel {
                 let xn2 = rms_norm(&h[t], &lw.ffn_norm, 1e-6);
                 let gate = lw.w_gate.vecmul(&xn2);
                 let up = lw.w_up.vecmul(&xn2);
-                let act: Vec<f32> = gate
-                    .iter()
-                    .zip(&up)
-                    .map(|(&g, &u)| silu(g) * u)
-                    .collect();
+                let act: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
                 let down = lw.w_down.vecmul(&act);
                 for (a, b) in h[t].iter_mut().zip(&down) {
                     *a += b;
@@ -366,9 +359,7 @@ mod tests {
         let solo_kv = model.compute_kv(&standalone);
         for l in 0..model.config().layers {
             for (t, g) in (4..6).enumerate() {
-                assert!(
-                    max_diff(full.suffix_kv.layers[l].key(g), solo_kv.layers[l].key(t)) < 1e-5
-                );
+                assert!(max_diff(full.suffix_kv.layers[l].key(g), solo_kv.layers[l].key(t)) < 1e-5);
                 assert!(
                     max_diff(
                         full.suffix_kv.layers[l].value(g),
@@ -437,8 +428,12 @@ mod tests {
         let err = fp16_kv.quantize_fp16();
         assert!(err > 0.0, "quantization should not be a no-op");
 
-        let exact = model.forward(&rest, Some(&exact_kv)).candidate_scores(&[0, 1, 2, 3]);
-        let quant = model.forward(&rest, Some(&fp16_kv)).candidate_scores(&[0, 1, 2, 3]);
+        let exact = model
+            .forward(&rest, Some(&exact_kv))
+            .candidate_scores(&[0, 1, 2, 3]);
+        let quant = model
+            .forward(&rest, Some(&fp16_kv))
+            .candidate_scores(&[0, 1, 2, 3]);
         let drift = max_diff(&exact, &quant);
         assert!(drift < 1e-3, "fp16 KV drifted scores by {drift}");
     }

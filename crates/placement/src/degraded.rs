@@ -1,0 +1,266 @@
+//! Membership-aware re-plan of an item placement (fault recovery).
+//!
+//! When a cache worker crashes, the base [`ItemPlacementPlan`] is wrong in
+//! two ways: the dead worker's shard entries are gone, and its replicas no
+//! longer count. [`DegradedPlacement`] recomputes, for a live-membership
+//! bitmap, where every item can still be served from:
+//!
+//! * replicated items survive on every live worker;
+//! * shards owned by live workers are untouched (sharding never moves for
+//!   survivors — moving warm entries would churn the whole pool);
+//! * the hottest entries of each dead shard are *adopted* by live workers,
+//!   bounded by their spare item-region capacity (an adopted entry starts
+//!   cold and is re-warmed on first access);
+//! * whatever does not fit is marked recompute-only until the owner
+//!   returns.
+//!
+//! The adoption budget is conservative: every live worker receives at most
+//! `min_spare` items (the smallest spare capacity across live workers), so
+//! the re-plan can never overflow any worker, whatever the membership
+//! sequence — the invariant the fault-recovery property tests pin down.
+
+use crate::plan::ItemPlacementPlan;
+use bat_types::{Bytes, ItemId, WorkerId};
+
+/// Where an item can be served from under degraded membership.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedLocation {
+    /// In the replicated area: every live worker holds a copy.
+    Replica,
+    /// On its base-plan shard owner, which is alive.
+    Shard(WorkerId),
+    /// Base owner is dead; this live worker adopted the entry. Adopted
+    /// entries start cold: the first access recomputes and writes back.
+    Adopted(WorkerId),
+    /// Not reachable under the current membership: recompute every access.
+    RecomputeOnly,
+}
+
+impl DegradedLocation {
+    /// The live worker that can serve the entry, if any.
+    pub fn worker(self) -> Option<WorkerId> {
+        match self {
+            DegradedLocation::Shard(w) | DegradedLocation::Adopted(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// A capacity-bounded re-plan of an [`ItemPlacementPlan`] for a live
+/// membership.
+///
+/// ```
+/// use bat_placement::{DegradedLocation, DegradedPlacement, ItemPlacementPlan, PlacementStrategy};
+/// use bat_types::{Bytes, ItemId, WorkerId};
+///
+/// let plan = ItemPlacementPlan::new(PlacementStrategy::Hrcs, 1000, 4, 0.1, 1 << 20);
+/// // Worker 1 died; give each worker a little headroom above the base load.
+/// let degraded = DegradedPlacement::new(&plan, &[true, false, true, true], Bytes::from_gb(1));
+/// assert_eq!(degraded.locate(ItemId::new(5)), DegradedLocation::Replica);
+/// // Item 401 is owned by the dead worker 1: adopted or recompute-only.
+/// assert!(matches!(
+///     degraded.locate(ItemId::new(401)),
+///     DegradedLocation::Adopted(_) | DegradedLocation::RecomputeOnly
+/// ));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DegradedPlacement {
+    base: ItemPlacementPlan,
+    alive: Vec<bool>,
+    live: Vec<WorkerId>,
+    /// Per-worker adoption cut-off: for a dead worker `d`, its shard items
+    /// with in-class rank `id / num_workers < adopt_limit[d]` are adopted.
+    adopt_limit: Vec<u64>,
+    capacity_items: u64,
+}
+
+impl DegradedPlacement {
+    /// Re-plans `base` for the live membership `alive` (index = worker),
+    /// with `per_worker_budget` bytes of item-region capacity per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` does not match the plan's worker count or no
+    /// worker is alive.
+    pub fn new(base: &ItemPlacementPlan, alive: &[bool], per_worker_budget: Bytes) -> Self {
+        assert_eq!(
+            alive.len(),
+            base.num_workers(),
+            "membership bitmap must cover every worker"
+        );
+        let live: Vec<WorkerId> = alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| WorkerId::new(i as u64))
+            .collect();
+        assert!(!live.is_empty(), "at least one worker must be alive");
+        let w = base.num_workers() as u64;
+        let capacity_items = per_worker_budget.as_u64() / base.avg_item_kv_bytes().max(1);
+        // Base load per worker under the nominal rank-prefix layout (a
+        // refresh override permutes membership, not counts).
+        let sharded = base.cached_items() - base.replicated_items();
+        let base_load = base.replicated_items() + sharded.div_ceil(w);
+        let min_spare = capacity_items.saturating_sub(base_load);
+        let n_dead = (alive.len() - live.len()) as u64;
+        // Split the spare budget evenly across dead shards; each live worker
+        // then receives at most `min_spare` adopted entries in total.
+        let per_dead = min_spare
+            .checked_div(n_dead)
+            .map_or(0, |share| share * live.len() as u64);
+        let adopt_limit = alive
+            .iter()
+            .map(|&a| {
+                if a {
+                    0
+                } else {
+                    per_dead.div_ceil(live.len() as u64)
+                }
+            })
+            .collect();
+        DegradedPlacement {
+            base: base.clone(),
+            alive: alive.to_vec(),
+            live,
+            adopt_limit,
+            capacity_items,
+        }
+    }
+
+    /// The live-membership bitmap this plan was built for.
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Live workers, ascending.
+    pub fn live_workers(&self) -> &[WorkerId] {
+        &self.live
+    }
+
+    /// Per-worker item-slot capacity the re-plan respects.
+    pub fn capacity_items(&self) -> u64 {
+        self.capacity_items
+    }
+
+    /// Locates `item` under the degraded membership.
+    pub fn locate(&self, item: ItemId) -> DegradedLocation {
+        let id = item.as_u64();
+        if id >= self.base.cached_items() {
+            return DegradedLocation::RecomputeOnly;
+        }
+        if self.base.is_replicated(item) {
+            return DegradedLocation::Replica;
+        }
+        let w = self.base.num_workers() as u64;
+        let owner = (id % w) as usize;
+        if self.alive[owner] {
+            return DegradedLocation::Shard(WorkerId::new(owner as u64));
+        }
+        // Dead owner: adopt the hottest entries of its shard (rank order =
+        // popularity order), spread round-robin over the live workers.
+        let rank_in_class = id / w;
+        if rank_in_class < self.adopt_limit[owner] {
+            let n_live = self.live.len() as u64;
+            let target = self.live[((rank_in_class + owner as u64) % n_live) as usize];
+            DegradedLocation::Adopted(target)
+        } else {
+            DegradedLocation::RecomputeOnly
+        }
+    }
+
+    /// Exact per-worker item count under this re-plan (replicas, own
+    /// shard, and adopted entries). `O(num_items)` — intended for tests
+    /// and tools, never the serving path.
+    pub fn assigned_items(&self, worker: WorkerId) -> u64 {
+        assert!(
+            self.alive[worker.index()],
+            "{worker} is dead — it holds nothing"
+        );
+        let mut count = 0u64;
+        for id in 0..self.base.num_items() {
+            match self.locate(ItemId::new(id)) {
+                DegradedLocation::Replica => count += 1,
+                DegradedLocation::Shard(w) | DegradedLocation::Adopted(w) if w == worker => {
+                    count += 1;
+                }
+                _ => {}
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlacementStrategy;
+
+    const KV: u64 = 1 << 20;
+
+    fn base(n: u64, workers: usize, r: f64) -> ItemPlacementPlan {
+        ItemPlacementPlan::new(PlacementStrategy::Hrcs, n, workers, r, KV)
+    }
+
+    #[test]
+    fn full_membership_changes_nothing() {
+        let plan = base(1000, 4, 0.1);
+        let d = DegradedPlacement::new(&plan, &[true; 4], Bytes::new(1000 * KV));
+        assert_eq!(d.locate(ItemId::new(5)), DegradedLocation::Replica);
+        assert_eq!(
+            d.locate(ItemId::new(500)),
+            DegradedLocation::Shard(WorkerId::new(0))
+        );
+        assert_eq!(d.locate(ItemId::new(2000)), DegradedLocation::RecomputeOnly);
+    }
+
+    #[test]
+    fn dead_shard_is_adopted_hottest_first_within_capacity() {
+        let plan = base(1000, 4, 0.1);
+        // Base load: 100 replicated + 225 sharded = 325; budget 400 slots
+        // leaves 75 spare per worker.
+        let d = DegradedPlacement::new(&plan, &[true, false, true, true], Bytes::new(400 * KV));
+        let mut adopted = 0;
+        let mut recompute = 0;
+        for id in (0..1000u64).filter(|i| i % 4 == 1) {
+            match d.locate(ItemId::new(id)) {
+                DegradedLocation::Replica => {}
+                DegradedLocation::Adopted(w) => {
+                    assert_ne!(w, WorkerId::new(1));
+                    adopted += 1;
+                }
+                DegradedLocation::RecomputeOnly => recompute += 1,
+                other => panic!("dead shard entry located at {other:?}"),
+            }
+        }
+        assert!(adopted > 0, "spare capacity must adopt some entries");
+        assert!(recompute > 0, "capacity must bound adoption");
+        // Hottest-first: the first dead-shard entry past the replicated area
+        // is adopted, the coldest is not.
+        assert!(matches!(
+            d.locate(ItemId::new(101)),
+            DegradedLocation::Adopted(_)
+        ));
+        assert_eq!(d.locate(ItemId::new(997)), DegradedLocation::RecomputeOnly);
+        // No live worker exceeds its slot capacity.
+        for &w in d.live_workers() {
+            assert!(d.assigned_items(w) <= d.capacity_items());
+        }
+    }
+
+    #[test]
+    fn no_spare_capacity_means_recompute_only() {
+        let plan = base(1000, 4, 0.1);
+        // Budget exactly the base load: nothing can be adopted.
+        let d = DegradedPlacement::new(&plan, &[true, true, false, true], Bytes::new(325 * KV));
+        for id in (0..1000u64).filter(|i| i % 4 == 2 && *i >= 100) {
+            assert_eq!(d.locate(ItemId::new(id)), DegradedLocation::RecomputeOnly);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn all_dead_is_rejected() {
+        let plan = base(10, 2, 0.0);
+        let _ = DegradedPlacement::new(&plan, &[false, false], Bytes::from_gb(1));
+    }
+}

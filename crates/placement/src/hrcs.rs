@@ -43,10 +43,19 @@ impl HrcsParams {
     /// Panics if any parameter is non-positive (a single worker is allowed:
     /// `R_max` is then unbounded and replication unnecessary).
     pub fn max_remote_ratio(&self) -> f64 {
-        assert!(self.bandwidth_tokens_per_sec > 0.0, "bandwidth must be positive");
-        assert!(self.prefill_time_secs > 0.0, "prefill time must be positive");
+        assert!(
+            self.bandwidth_tokens_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(
+            self.prefill_time_secs > 0.0,
+            "prefill time must be positive"
+        );
         assert!(self.alpha > 0.0, "alpha must be positive");
-        assert!(self.candidates_per_request > 0, "candidates must be positive");
+        assert!(
+            self.candidates_per_request > 0,
+            "candidates must be positive"
+        );
         assert!(self.avg_item_tokens > 0.0, "item tokens must be positive");
         assert!(self.num_workers > 0, "need at least one worker");
         if self.num_workers == 1 {
@@ -114,7 +123,10 @@ mod tests {
         let law = ZipfLaw::new(1_000_000, 1.05);
         let r = compute_replication_ratio(&p, &law);
         assert!(r > 0.0, "some replication needed under a 100Gbps budget");
-        assert!(r < 0.5, "skew should keep the replicated set small, got {r}");
+        assert!(
+            r < 0.5,
+            "skew should keep the replicated set small, got {r}"
+        );
         // The replicated head must actually cover the required mass.
         let covered = law.head_mass((r * law.n() as f64) as u64);
         assert!(covered >= 1.0 - p.max_remote_ratio() - 1e-6);

@@ -15,8 +15,10 @@
 //! memory accounting and an `O(1)` location oracle used by the serving
 //! simulator.
 
+pub mod degraded;
 pub mod hrcs;
 pub mod plan;
 
+pub use degraded::{DegradedLocation, DegradedPlacement};
 pub use hrcs::{compute_replication_ratio, HrcsParams};
 pub use plan::{ItemLocation, ItemPlacementPlan, PlacementStrategy};

@@ -138,6 +138,26 @@ impl ItemPlacementPlan {
         self.strategy
     }
 
+    /// Workers the plan shards over.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Mean per-item KV entry size used for memory accounting.
+    pub fn avg_item_kv_bytes(&self) -> u64 {
+        self.avg_item_kv_bytes
+    }
+
+    /// Whether `item` currently occupies the replicated area (respecting a
+    /// background-refresh override).
+    pub fn is_replicated(&self, item: ItemId) -> bool {
+        let id = item.as_u64();
+        match &self.replicated_override {
+            Some(set) => set.contains(&id),
+            None => id < self.replicated_items,
+        }
+    }
+
     /// Total items in the corpus.
     pub fn num_items(&self) -> u64 {
         self.num_items

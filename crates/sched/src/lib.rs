@@ -12,4 +12,7 @@ pub mod batch;
 pub mod policy;
 
 pub use batch::BatchFormer;
-pub use policy::{CacheAgnosticPolicy, HotnessAwarePolicy, OraclePolicy, PromptPolicy, StaticPolicy};
+pub use policy::{
+    CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, OraclePolicy, PromptPolicy,
+    StaticPolicy,
+};

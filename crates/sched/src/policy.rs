@@ -25,6 +25,12 @@ pub trait PromptPolicy: Send {
 
     /// Short display name for experiment tables.
     fn name(&self) -> &'static str;
+
+    /// Degraded-mode hook (fault recovery): the fraction of the item pool
+    /// currently reachable, in `[0, 1]`. The serving engine calls this on
+    /// every cluster-membership change; policies that account for item
+    /// availability ([`DegradedModePolicy`]) react, the rest ignore it.
+    fn set_item_availability(&self, _frac: f64) {}
 }
 
 /// Always the same prefix: the UP and IP baselines of §6.1.
@@ -126,6 +132,80 @@ impl PromptPolicy for HotnessAwarePolicy {
 
     fn name(&self) -> &'static str {
         "hotness-aware"
+    }
+}
+
+/// [`HotnessAwarePolicy`] adjusted for a degraded item pool (fault
+/// recovery).
+///
+/// The hotness-aware rule weighs the item reuse foregone on a UP miss
+/// (`τ_i`) against the user's predicted repeats. When cache workers are
+/// down, part of the item pool is unreachable: an IP request would reuse
+/// only the *available* fraction of its item tokens, so the foregone reuse
+/// shrinks to `availability · τ_i` and User-as-prefix becomes
+/// correspondingly more attractive. At full availability this is exactly
+/// the base rule.
+#[derive(Debug)]
+pub struct DegradedModePolicy {
+    inner: HotnessAwarePolicy,
+    /// Reachable fraction of the item pool, updated by the engine on every
+    /// membership change. `Cell`: policies are consulted through a shared
+    /// reference, and the planner is externally synchronized (the threaded
+    /// runtime locks it).
+    item_availability: std::cell::Cell<f64>,
+}
+
+impl DegradedModePolicy {
+    /// Wraps the base hotness-aware rule at full availability.
+    pub fn new(inner: HotnessAwarePolicy) -> Self {
+        DegradedModePolicy {
+            inner,
+            item_availability: std::cell::Cell::new(1.0),
+        }
+    }
+
+    /// The current reachable fraction of the item pool.
+    pub fn item_availability(&self) -> f64 {
+        self.item_availability.get()
+    }
+}
+
+impl PromptPolicy for DegradedModePolicy {
+    fn decide(&self, req: &RankRequest, user_cache: &mut UserCache, now: f64) -> PrefixKind {
+        let tau_u = req.user_tokens as f64;
+        let tau_i = req.item_tokens() as f64 * self.item_availability.get();
+        if tau_u < tau_i {
+            return PrefixKind::Item;
+        }
+        if user_cache.contains(req.user) {
+            return PrefixKind::User;
+        }
+        let f_u = user_cache.freq_per_window(req.user, now);
+        if f_u * tau_u <= tau_i {
+            return PrefixKind::Item;
+        }
+        let entry = bat_types::Bytes::new(req.user_tokens as u64 * self.inner.kv_bytes_per_token);
+        if user_cache.capacity().saturating_sub(user_cache.used()) >= entry {
+            return PrefixKind::User;
+        }
+        match user_cache.min_cached_freq(now) {
+            None => PrefixKind::User,
+            Some((_, min_f)) => {
+                if f_u > min_f {
+                    PrefixKind::User
+                } else {
+                    PrefixKind::Item
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hotness-aware-degraded"
+    }
+
+    fn set_item_availability(&self, frac: f64) {
+        self.item_availability.set(frac.clamp(0.0, 1.0));
     }
 }
 
@@ -281,7 +361,10 @@ mod tests {
     fn hotness_aware_short_profile_goes_item() {
         let mut c = cache(1000);
         let r = req(1, 500, 10, 100);
-        assert_eq!(HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0), PrefixKind::Item);
+        assert_eq!(
+            HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0),
+            PrefixKind::Item
+        );
     }
 
     #[test]
@@ -289,7 +372,10 @@ mod tests {
         let mut c = cache(1000);
         c.admit_lru(UserId::new(1), Bytes::new(100));
         let r = req(1, 2000, 10, 100);
-        assert_eq!(HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0), PrefixKind::User);
+        assert_eq!(
+            HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0),
+            PrefixKind::User
+        );
     }
 
     #[test]
@@ -298,7 +384,10 @@ mod tests {
         // A user with no history has no predicted reuse: even an empty
         // cache schedules them Item-as-prefix.
         let r = req(7, 2000, 10, 100);
-        assert_eq!(HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0), PrefixKind::Item);
+        assert_eq!(
+            HotnessAwarePolicy::new(1).decide(&r, &mut c, 0.0),
+            PrefixKind::Item
+        );
         // Once the window frequency predicts enough repeats to beat the
         // foregone item reuse, the empty cache admits them.
         for t in 0..5 {
@@ -321,7 +410,10 @@ mod tests {
         // Newcomer with one access: colder than the resident.
         c.record_access(UserId::new(2), 30.0);
         let r = req(2, 2000, 10, 100);
-        assert_eq!(HotnessAwarePolicy::new(1).decide(&r, &mut c, 30.0), PrefixKind::Item);
+        assert_eq!(
+            HotnessAwarePolicy::new(1).decide(&r, &mut c, 30.0),
+            PrefixKind::Item
+        );
     }
 
     #[test]
@@ -345,13 +437,39 @@ mod tests {
         let returning = req(7, 2000, 10, 100);
         let oneshot = req(8, 2000, 10, 100);
         let oracle = OraclePolicy::from_arrivals(
-            vec![(0.0, UserId::new(7)), (3.0, UserId::new(7)), (6.0, UserId::new(7)), (0.0, UserId::new(8))],
+            vec![
+                (0.0, UserId::new(7)),
+                (3.0, UserId::new(7)),
+                (6.0, UserId::new(7)),
+                (0.0, UserId::new(8)),
+            ],
             60.0,
             1,
         );
         assert_eq!(oracle.decide(&returning, &mut c, 0.0), PrefixKind::User);
         assert_eq!(oracle.decide(&oneshot, &mut c, 0.5), PrefixKind::Item);
         assert_eq!(oracle.name(), "oracle");
+    }
+
+    #[test]
+    fn degraded_mode_biases_toward_user_prefix() {
+        let mut c = cache(100_000);
+        // Profile barely shorter than the item block: base rule goes Item.
+        let r = req(7, 900, 10, 100); // τ_u = 900, τ_i = 1000
+        for t in 0..5 {
+            c.record_access(UserId::new(7), t as f64 * 10.0);
+        }
+        let policy = DegradedModePolicy::new(HotnessAwarePolicy::new(1));
+        assert_eq!(policy.item_availability(), 1.0);
+        assert_eq!(policy.decide(&r, &mut c, 50.0), PrefixKind::Item);
+        // Half the item pool dies: the foregone item reuse halves and the
+        // same request flips to User-as-prefix.
+        policy.set_item_availability(0.5);
+        assert_eq!(policy.decide(&r, &mut c, 50.0), PrefixKind::User);
+        // Recovery restores the base decision; other policies ignore the hook.
+        policy.set_item_availability(1.0);
+        assert_eq!(policy.decide(&r, &mut c, 50.0), PrefixKind::Item);
+        StaticPolicy(PrefixKind::Item).set_item_availability(0.0);
     }
 
     #[test]

@@ -109,6 +109,10 @@ pub struct EngineConfig {
     /// Interval of the background hot-item re-replication, seconds
     /// (requires `track_item_hotness`). `None` disables refresh.
     pub item_refresh_interval_secs: Option<f64>,
+    /// Fault schedule injected into the run; `None` means nothing fails.
+    /// The simulator replays it as heap events, the threaded runtime as
+    /// real worker shutdown/respawn — cache accounting stays identical.
+    pub faults: Option<bat_faults::FaultSchedule>,
 }
 
 impl EngineConfig {
@@ -179,9 +183,17 @@ impl EngineConfig {
             record_requests: false,
             track_item_hotness: false,
             item_refresh_interval_secs: None,
+            faults: None,
             model,
             cluster,
         }
+    }
+
+    /// Injects a fault schedule (or clears it with `None`). The schedule
+    /// must cover exactly the cluster's node count.
+    pub fn with_faults(mut self, faults: Option<bat_faults::FaultSchedule>) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Replaces the item placement (Figure 7 / Table 4 ablations), resizing
@@ -190,11 +202,7 @@ impl EngineConfig {
         let per_node = placement
             .as_ref()
             .map_or(Bytes::ZERO, ItemPlacementPlan::per_worker_bytes);
-        self.user_cache_capacity = self
-            .cluster
-            .node
-            .kv_cache_capacity
-            .saturating_sub(per_node)
+        self.user_cache_capacity = self.cluster.node.kv_cache_capacity.saturating_sub(per_node)
             * self.cluster.num_nodes as u64;
         self.placement = placement;
         self
@@ -238,6 +246,15 @@ impl EngineConfig {
                 "item refresh requires track_item_hotness".to_owned(),
             ));
         }
+        if let Some(schedule) = &self.faults {
+            if schedule.num_workers() != self.cluster.num_nodes {
+                return Err(BatError::InvalidConfig(format!(
+                    "fault schedule covers {} workers but the cluster has {} nodes",
+                    schedule.num_workers(),
+                    self.cluster.num_nodes
+                )));
+            }
+        }
         Ok(())
     }
 }
@@ -261,14 +278,19 @@ struct WorkerState {
     inflight: Vec<Job>,
     inflight_tokens: u64,
     busy: bool,
+    /// Bumped when the worker crashes, so in-flight `Done` events from the
+    /// pre-crash incarnation are recognized as stale and dropped.
+    gen: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EventKind {
-    /// Batch completion on worker `w`.
-    Done { worker: usize },
+    /// Batch completion on worker `w`, valid only for its generation `gen`.
+    Done { worker: usize, gen: u64 },
     /// Arrival of request `idx` in the trace.
     Arrive { idx: usize },
+    /// Scheduled fault event `idx` fires.
+    Fault { idx: usize },
 }
 
 /// The serving engine.
@@ -333,14 +355,28 @@ impl ServingEngine {
         }
         self.records.clear();
         let n_workers = self.cfg.cluster.num_nodes;
-        let mut workers: Vec<WorkerState> = (0..n_workers).map(|_| WorkerState::default()).collect();
+        let mut workers: Vec<WorkerState> =
+            (0..n_workers).map(|_| WorkerState::default()).collect();
 
         // Event queue keyed by (time, sequence) for determinism.
         let mut events: BinaryHeap<Reverse<(u64, u64, EventKind)>> = BinaryHeap::new();
         let mut seq = 0u64;
         let to_key = |t: f64| -> u64 { (t * 1e9) as u64 };
+        // Fault events go in first so a fault at the same instant as an
+        // arrival is applied before the arrival is planned (matching the
+        // cursor's `at_secs <= now` semantics).
+        if let Some(schedule) = &self.cfg.faults {
+            for (idx, ev) in schedule.events().iter().enumerate() {
+                events.push(Reverse((to_key(ev.at_secs), seq, EventKind::Fault { idx })));
+                seq += 1;
+            }
+        }
         for (idx, req) in trace.iter().enumerate() {
-            events.push(Reverse((to_key(req.arrival.as_secs()), seq, EventKind::Arrive { idx })));
+            events.push(Reverse((
+                to_key(req.arrival.as_secs()),
+                seq,
+                EventKind::Arrive { idx },
+            )));
             seq += 1;
         }
 
@@ -371,7 +407,11 @@ impl ServingEngine {
                             next_refresh = now + interval;
                         }
                     }
-                    let planned = self.planner.plan(req, now);
+                    // Plan on the *nominal* arrival time, not the quantized
+                    // heap key: the threaded runtime plans on the same
+                    // nominal instants, so fault cursors in both paths
+                    // advance through identical states.
+                    let planned = self.planner.plan(req, req.arrival.as_secs());
                     let job = Job {
                         idx,
                         prefix: planned.prefix,
@@ -392,10 +432,12 @@ impl ServingEngine {
                         }
                     }
                     // Load balancing: least outstanding work — queued plus
-                    // in-flight tokens (§5.1).
+                    // in-flight tokens (§5.1) — among *live* workers only
+                    // (degraded membership excludes crashed ones).
                     let w = (0..n_workers)
+                        .filter(|&i| self.planner.is_worker_alive(i))
                         .min_by_key(|&i| workers[i].queued_tokens + workers[i].inflight_tokens)
-                        .expect("at least one worker");
+                        .expect("schedule guarantees at least one live worker");
                     workers[w].queued_tokens += job.suffix_tokens;
                     workers[w].queue.push_back(job);
                     if !workers[w].busy {
@@ -405,11 +447,21 @@ impl ServingEngine {
                             &mut net_secs,
                             &mut load_secs,
                         );
-                        events.push(Reverse((to_key(now + service), seq, EventKind::Done { worker: w })));
+                        let gen = workers[w].gen;
+                        events.push(Reverse((
+                            to_key(now + service),
+                            seq,
+                            EventKind::Done { worker: w, gen },
+                        )));
                         seq += 1;
                     }
                 }
-                EventKind::Done { worker } => {
+                EventKind::Done { worker, gen } => {
+                    if workers[worker].gen != gen {
+                        // Completion from a pre-crash incarnation: the jobs
+                        // were already rerouted when the worker died.
+                        continue;
+                    }
                     let w = &mut workers[worker];
                     for job in w.inflight.drain(..) {
                         latencies.record(now - job.arrival_secs);
@@ -436,8 +488,68 @@ impl ServingEngine {
                             &mut net_secs,
                             &mut load_secs,
                         );
-                        events.push(Reverse((to_key(now + service), seq, EventKind::Done { worker })));
+                        events.push(Reverse((
+                            to_key(now + service),
+                            seq,
+                            EventKind::Done { worker, gen },
+                        )));
                         seq += 1;
+                    }
+                }
+                EventKind::Fault { idx } => {
+                    let at = self
+                        .cfg
+                        .faults
+                        .as_ref()
+                        .expect("fault event requires a schedule")
+                        .events()[idx]
+                        .at_secs;
+                    for fault in self.planner.advance_faults(at) {
+                        let bat_faults::AppliedFault::Crashed(dead) = fault else {
+                            continue;
+                        };
+                        // Everything queued or running on the dead worker is
+                        // handed back to the scheduler and redispatched to a
+                        // survivor: requests are never dropped.
+                        let d = dead.index();
+                        let orphans: Vec<Job> = {
+                            let w = &mut workers[d];
+                            let mut o: Vec<Job> = w.queue.drain(..).collect();
+                            o.append(&mut w.inflight);
+                            w.queued_tokens = 0;
+                            w.inflight_tokens = 0;
+                            w.busy = false;
+                            w.gen += 1;
+                            o
+                        };
+                        for job in orphans {
+                            let target = (0..n_workers)
+                                .filter(|&i| self.planner.is_worker_alive(i))
+                                .min_by_key(|&i| {
+                                    workers[i].queued_tokens + workers[i].inflight_tokens
+                                })
+                                .expect("schedule guarantees at least one live worker");
+                            workers[target].queued_tokens += job.suffix_tokens;
+                            workers[target].queue.push_back(job);
+                            if !workers[target].busy {
+                                let service = self.start_batch(
+                                    &mut workers[target],
+                                    &mut compute_secs,
+                                    &mut net_secs,
+                                    &mut load_secs,
+                                );
+                                let gen = workers[target].gen;
+                                events.push(Reverse((
+                                    to_key(now + service),
+                                    seq,
+                                    EventKind::Done {
+                                        worker: target,
+                                        gen,
+                                    },
+                                )));
+                                seq += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -448,7 +560,7 @@ impl ServingEngine {
         } else {
             (last_completion - first_arrival).max(1e-9)
         };
-        RunStats::from_counters(
+        let mut stats = RunStats::from_counters(
             self.cfg.label.clone(),
             completed,
             span,
@@ -462,7 +574,11 @@ impl ServingEngine {
             up_requests,
             ip_requests,
             &mut latencies,
-        )
+        );
+        if let Some(report) = self.planner.finish_faults() {
+            stats.faults = report;
+        }
+        stats
     }
 
     /// Dequeues one batch on `w` and returns its service time.
@@ -484,12 +600,14 @@ impl ServingEngine {
             let job = w.queue.pop_front().expect("batch within queue bounds");
             w.queued_tokens -= job.suffix_tokens;
             w.inflight_tokens += job.suffix_tokens;
-            let c = self
-                .planner
-                .compute()
-                .prefill_secs(job.suffix_tokens, job.context_tokens);
-            let l = self.planner.compute().kv_load_secs(job.local_load);
-            let t = self.planner.compute().net_transfer_secs(job.remote);
+            // Priced through the planner so a degraded link (fault
+            // schedule) inflates the network component.
+            let (c, l, t) = self.planner.price_components(
+                job.suffix_tokens,
+                job.context_tokens,
+                job.local_load,
+                job.remote,
+            );
             *compute_secs += c;
             *load_secs += l;
             *net_secs += t;
@@ -519,8 +637,7 @@ mod tests {
     }
 
     fn run_system(kind: SystemKind, ds: &DatasetConfig, secs: f64, rate: f64) -> RunStats {
-        let cfg =
-            EngineConfig::for_system(kind, ModelConfig::qwen2_1_5b(), small_cluster(), ds);
+        let cfg = EngineConfig::for_system(kind, ModelConfig::qwen2_1_5b(), small_cluster(), ds);
         let mut engine = ServingEngine::new(cfg).unwrap();
         engine.run(&trace(ds, secs, rate))
     }
@@ -641,12 +758,8 @@ mod tests {
             1.0,
             kv,
         );
-        let cfg = EngineConfig::for_system(
-            SystemKind::Bat,
-            ModelConfig::qwen2_1_5b(),
-            cluster,
-            &ds,
-        );
+        let cfg =
+            EngineConfig::for_system(SystemKind::Bat, ModelConfig::qwen2_1_5b(), cluster, &ds);
         // Books: 280K items × ~120KB ≈ 34GB per node > 20GB budget.
         let cfg = EngineConfig {
             placement: Some(plan),
@@ -669,10 +782,7 @@ mod tests {
         );
         let full = cfg.clone().with_placement(None);
         assert!(full.user_cache_capacity > cfg.user_cache_capacity);
-        assert_eq!(
-            full.user_cache_capacity,
-            Bytes::from_gb(20) * 2
-        );
+        assert_eq!(full.user_cache_capacity, Bytes::from_gb(20) * 2);
     }
 
     #[test]
@@ -681,8 +791,12 @@ mod tests {
             num_users: 300,
             ..DatasetConfig::games()
         };
-        let mut cfg =
-            EngineConfig::for_system(SystemKind::Bat, ModelConfig::qwen2_1_5b(), small_cluster(), &ds);
+        let mut cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        );
         cfg.record_requests = true;
         let t = trace(&ds, 4.0, 20.0);
         let mut engine = ServingEngine::new(cfg).unwrap();
@@ -765,9 +879,6 @@ mod tests {
             &ds,
         );
         cfg.caching = false;
-        assert!(matches!(
-            cfg.validate(),
-            Err(BatError::InvalidConfig(_))
-        ));
+        assert!(matches!(cfg.validate(), Err(BatError::InvalidConfig(_))));
     }
 }

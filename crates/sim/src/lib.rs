@@ -32,6 +32,7 @@ pub mod engine;
 pub mod planner;
 pub mod stats;
 
+pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
 pub use compute::ComputeModel;
 pub use engine::{AdmissionKind, EngineConfig, PolicyKind, ServingEngine, SystemKind};
 pub use planner::{PlannedJob, RequestPlanner};

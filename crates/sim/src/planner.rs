@@ -10,10 +10,20 @@
 
 use crate::compute::ComputeModel;
 use crate::engine::{AdmissionKind, EngineConfig, PolicyKind};
+use bat_faults::{AppliedFault, ClusterView, FaultCursor, FaultReport};
 use bat_kvcache::{UserCache, UserCacheConfig};
-use bat_placement::{ItemLocation, ItemPlacementPlan};
-use bat_sched::{CacheAgnosticPolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy};
-use bat_types::{Bytes, PrefixKind, RankRequest, WorkerId};
+use bat_placement::{DegradedLocation, DegradedPlacement, ItemLocation, ItemPlacementPlan};
+use bat_sched::{
+    CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy,
+};
+use bat_types::{Bytes, ItemId, PrefixKind, RankRequest, WorkerId};
+use std::collections::{BTreeMap, HashSet};
+
+/// Width of the windowed hit-rate buckets behind the availability curve.
+const FAULT_WINDOW_SECS: f64 = 0.5;
+/// Recovery means the windowed hit rate is back within this absolute
+/// tolerance of the pre-fault steady state.
+const RECOVERY_TOLERANCE: f64 = 0.05;
 
 /// The planned compute job for one request.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +47,111 @@ impl PlannedJob {
     }
 }
 
+/// Where an item lookup lands when a fault schedule is active.
+enum FaultedLocation {
+    /// Served from the request's (live, warm) affinity worker.
+    LocalHit,
+    /// Served from another live, warm worker over the network.
+    RemoteHit {
+        /// True when a surviving HRCS replica covered for the dead or cold
+        /// affinity worker.
+        from_replica: bool,
+    },
+    /// Entry unreachable under the current membership: recompute.
+    Recompute,
+    /// Outside the cached corpus (same as the fault-free case).
+    Uncached,
+}
+
+/// All planner-side fault machinery, present only when the engine config
+/// carries a [`bat_faults::FaultSchedule`].
+///
+/// Everything in here advances on *nominal* trace time (request arrivals and
+/// scheduled fault instants), never on wall-clock readings, so `bat-sim` and
+/// `bat-serve` walk through identical states for the same trace + schedule.
+struct FaultState {
+    cursor: FaultCursor,
+    view: ClusterView,
+    report: FaultReport,
+    first_crash_at: Option<f64>,
+    /// Per worker: the incarnation whose cache contents are warm. A
+    /// restarted worker carries a newer incarnation until its re-warm
+    /// completes, and serves nothing in between.
+    warm_incarnation: Vec<u64>,
+    /// Per worker: nominal time at which a pending re-warm completes.
+    rewarm_ready_at: Vec<f64>,
+    /// Seconds to stream one worker's item region over the interconnect.
+    rewarm_secs: f64,
+    /// Item-region byte budget per worker, bounding shard adoption.
+    per_worker_budget: Bytes,
+    /// Membership-aware re-plan; present while any worker is down.
+    degraded: Option<DegradedPlacement>,
+    /// Adopted entries already recomputed once and written back.
+    warmed_adopted: HashSet<u64>,
+    /// Windowed (reused, total) token counts keyed by time bucket.
+    buckets: BTreeMap<u64, (u64, u64)>,
+    bucket_secs: f64,
+}
+
+impl FaultState {
+    /// Whether worker `w` is alive *and* its cache contents are warm.
+    fn is_warm(&self, w: usize) -> bool {
+        let id = WorkerId::new(w as u64);
+        self.view.is_alive(id) && self.warm_incarnation[w] == self.view.incarnation(id)
+    }
+
+    /// Item lookup under the current membership and warmth. Mirrors
+    /// [`ItemPlacementPlan::locate`] with affinity worker 0 when everyone is
+    /// warm, and degrades per the re-plan otherwise.
+    fn locate(&mut self, plan: &ItemPlacementPlan, item: ItemId) -> FaultedLocation {
+        let id = item.as_u64();
+        if id >= plan.cached_items() {
+            return FaultedLocation::Uncached;
+        }
+        let n = plan.num_workers();
+        if plan.is_replicated(item) {
+            if self.is_warm(0) {
+                return FaultedLocation::LocalHit;
+            }
+            if (0..n).any(|w| self.is_warm(w)) {
+                // The affinity worker's copy is gone, but replication means
+                // any surviving warm worker can serve the hot item.
+                return FaultedLocation::RemoteHit { from_replica: true };
+            }
+            return FaultedLocation::Recompute;
+        }
+        let owner = (id % n as u64) as usize;
+        if self.is_warm(owner) {
+            return if owner == 0 {
+                FaultedLocation::LocalHit
+            } else {
+                FaultedLocation::RemoteHit {
+                    from_replica: false,
+                }
+            };
+        }
+        // Cold-shard miss: the owner is dead (or restarted and not yet
+        // re-warmed). A live worker may have adopted the entry; adopted
+        // entries start cold, so the first access recomputes and writes
+        // back, and later accesses hit the adopter.
+        if let Some(d) = &self.degraded {
+            if let DegradedLocation::Adopted(target) = d.locate(item) {
+                if self.warmed_adopted.contains(&id) {
+                    return if target.index() == 0 {
+                        FaultedLocation::LocalHit
+                    } else {
+                        FaultedLocation::RemoteHit {
+                            from_replica: false,
+                        }
+                    };
+                }
+                self.warmed_adopted.insert(id);
+            }
+        }
+        FaultedLocation::Recompute
+    }
+}
+
 /// Stateful per-request planner shared by the simulator and the runtime.
 pub struct RequestPlanner {
     compute: ComputeModel,
@@ -48,6 +163,8 @@ pub struct RequestPlanner {
     /// Item access-frequency estimator for the §5.2 Step 3 background
     /// refresh; populated only when tracking is enabled.
     item_freq: Option<bat_kvcache::FreqEstimator<bat_types::ItemId>>,
+    /// Fault-schedule machinery; `None` for fault-free runs.
+    faults: Option<FaultState>,
 }
 
 impl RequestPlanner {
@@ -65,9 +182,38 @@ impl RequestPlanner {
             PolicyKind::StaticItem => Box::new(StaticPolicy(PrefixKind::Item)),
             PolicyKind::CacheAgnostic => Box::new(CacheAgnosticPolicy),
             PolicyKind::HotnessAware => {
-                Box::new(HotnessAwarePolicy::new(cfg.model.kv_bytes_per_token()))
+                let base = HotnessAwarePolicy::new(cfg.model.kv_bytes_per_token());
+                if cfg.faults.is_some() {
+                    // Under a fault schedule the hotness rule must discount
+                    // τ_i by the reachable item fraction (degraded mode).
+                    Box::new(DegradedModePolicy::new(base))
+                } else {
+                    Box::new(base)
+                }
             }
         };
+        let faults = cfg.faults.as_ref().map(|schedule| {
+            let n = schedule.num_workers();
+            // Re-warming a returned worker streams its item region back
+            // over the pool interconnect.
+            let rewarm_secs = cfg.placement.as_ref().map_or(0.0, |plan| {
+                compute.net_transfer_secs(plan.per_worker_bytes())
+            });
+            FaultState {
+                first_crash_at: schedule.first_crash_at(),
+                cursor: FaultCursor::new(schedule.clone()),
+                view: ClusterView::new(n),
+                report: FaultReport::default(),
+                warm_incarnation: vec![0; n],
+                rewarm_ready_at: vec![f64::NEG_INFINITY; n],
+                rewarm_secs,
+                per_worker_budget: Bytes::new(cfg.cluster.node.kv_cache_capacity.as_u64() * 4 / 5),
+                degraded: None,
+                warmed_adopted: HashSet::new(),
+                buckets: BTreeMap::new(),
+                bucket_secs: FAULT_WINDOW_SECS,
+            }
+        });
         RequestPlanner {
             compute,
             user_cache,
@@ -78,13 +224,19 @@ impl RequestPlanner {
             item_freq: cfg
                 .track_item_hotness
                 .then(|| bat_kvcache::FreqEstimator::new(cfg.freq_window_secs)),
+            faults,
         }
     }
 
     /// Re-replicates the hottest observed items into the placement plan's
     /// replicated area (§5.2 Step 3's background update). No-op unless item
     /// hotness tracking is enabled and an item placement exists.
+    ///
+    /// This is also the recovery path's re-warm hook: a worker returning
+    /// from a crash has its shard and replica contents streamed back, and
+    /// becomes warm once the transfer completes ([`Self::settle_rewarms`]).
     pub fn refresh_item_replication(&mut self, now: f64) {
+        self.settle_rewarms(now);
         let (Some(freq), Some(plan)) = (&self.item_freq, &mut self.placement) else {
             return;
         };
@@ -96,7 +248,14 @@ impl RequestPlanner {
             .iter_keys()
             .map(|&item| (item, freq.rate(&item, now)))
             .collect();
-        rates.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Total order (rate desc, id asc): the estimator iterates in hash
+        // order, so ties must not be left to insertion luck or two runs of
+        // the same seed could replicate different members.
+        rates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("rates are finite")
+                .then_with(|| a.0.as_u64().cmp(&b.0.as_u64()))
+        });
         // Hottest observed items first; any leftover area capacity keeps the
         // offline plan's rank-prefix members (unobserved ≠ cold — the
         // offline CDF put them there for a reason).
@@ -113,6 +272,196 @@ impl RequestPlanner {
             fill += 1;
         }
         plan.refresh_replicated(members);
+    }
+
+    /// Applies every scheduled fault with `at_secs <= now`, returning what
+    /// fired. Both execution paths call this with *nominal* times (request
+    /// arrivals, scheduled fault instants), which is what keeps their fault
+    /// handling identical. [`Self::plan`] calls it implicitly; the engines
+    /// call it directly when a fault instant needs side effects (rerouting
+    /// queued work, killing a thread) beyond cache accounting.
+    pub fn advance_faults(&mut self, now: f64) -> Vec<AppliedFault> {
+        if self.faults.is_none() {
+            return Vec::new();
+        }
+        let mut applied: Vec<(f64, AppliedFault)> = Vec::new();
+        {
+            let fs = self.faults.as_mut().expect("checked above");
+            fs.cursor
+                .advance_to(now, &mut fs.view, |e, a| applied.push((e.at_secs, a)));
+        }
+        let mut membership_changed = false;
+        for &(at, a) in &applied {
+            match a {
+                AppliedFault::Crashed(w) => {
+                    // The meta service invalidates every user entry the dead
+                    // worker held; those users miss and re-admit elsewhere.
+                    let n = self
+                        .faults
+                        .as_ref()
+                        .expect("checked above")
+                        .view
+                        .num_workers();
+                    let (entries, bytes) = self.user_cache.invalidate_partition(w.index(), n);
+                    let fs = self.faults.as_mut().expect("checked above");
+                    fs.report.crashes += 1;
+                    fs.report.invalidated_entries += entries;
+                    fs.report.invalidated_bytes += bytes.as_u64();
+                    membership_changed = true;
+                }
+                AppliedFault::Restarted(w, _incarnation) => {
+                    let fs = self.faults.as_mut().expect("checked above");
+                    fs.report.restarts += 1;
+                    // The worker rejoins empty: it serves nothing until the
+                    // re-warm stream completes (settle_rewarms).
+                    fs.rewarm_ready_at[w.index()] = at + fs.rewarm_secs;
+                    membership_changed = true;
+                }
+                AppliedFault::LinkFactor(factor) => {
+                    if factor > 1.0 {
+                        self.faults
+                            .as_mut()
+                            .expect("checked above")
+                            .report
+                            .link_degrades += 1;
+                    }
+                }
+                AppliedFault::MetaStalledUntil(_) => {
+                    self.faults
+                        .as_mut()
+                        .expect("checked above")
+                        .report
+                        .meta_stalls += 1;
+                }
+            }
+        }
+        if membership_changed {
+            self.rebuild_degraded();
+        }
+        self.settle_rewarms(now);
+        applied.into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// Rebuilds the membership-aware re-plan after an epoch change and
+    /// refreshes the policy's degraded-mode availability signal.
+    fn rebuild_degraded(&mut self) {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.warmed_adopted.clear();
+            fs.degraded = if fs.view.n_alive() < fs.view.num_workers() {
+                self.placement.as_ref().map(|plan| {
+                    DegradedPlacement::new(plan, fs.view.alive_mask(), fs.per_worker_budget)
+                })
+            } else {
+                None
+            };
+        }
+        let frac = self.item_availability();
+        self.policy.set_item_availability(frac);
+    }
+
+    /// Completes any due re-warms: a restarted worker becomes warm once its
+    /// item region has streamed back over the interconnect.
+    fn settle_rewarms(&mut self, now: f64) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        let mut any = false;
+        for w in 0..fs.view.num_workers() {
+            let id = WorkerId::new(w as u64);
+            if fs.view.is_alive(id)
+                && fs.warm_incarnation[w] != fs.view.incarnation(id)
+                && now >= fs.rewarm_ready_at[w]
+            {
+                fs.warm_incarnation[w] = fs.view.incarnation(id);
+                if let Some(plan) = &self.placement {
+                    let w_total = plan.num_workers() as u64;
+                    let sharded = plan.cached_items() - plan.replicated_items();
+                    fs.report.rewarmed_items += plan.replicated_items() + sharded.div_ceil(w_total);
+                }
+                any = true;
+            }
+        }
+        if any {
+            let frac = self.item_availability();
+            self.policy.set_item_availability(frac);
+        }
+    }
+
+    /// Fraction of the cached item corpus currently reachable: replicated
+    /// items survive while any warm worker does, sharded items in
+    /// proportion to warm membership. 1.0 without faults or placement.
+    pub fn item_availability(&self) -> f64 {
+        let (Some(fs), Some(plan)) = (&self.faults, &self.placement) else {
+            return 1.0;
+        };
+        let n = plan.num_workers();
+        let n_warm = (0..n).filter(|&w| fs.is_warm(w)).count();
+        let cached = plan.cached_items();
+        if cached == 0 {
+            return 1.0;
+        }
+        let repl = plan.replicated_items() as f64;
+        let sharded = (cached - plan.replicated_items()) as f64;
+        let repl_avail = if n_warm > 0 { repl } else { 0.0 };
+        ((repl_avail + sharded * n_warm as f64 / n as f64) / cached as f64).clamp(0.0, 1.0)
+    }
+
+    /// The fault subsystem's membership view, if a schedule is active.
+    pub fn cluster_view(&self) -> Option<&ClusterView> {
+        self.faults.as_ref().map(|fs| &fs.view)
+    }
+
+    /// Whether `worker` can accept dispatches under the current membership
+    /// (always true without a fault schedule).
+    pub fn is_worker_alive(&self, worker: usize) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|fs| fs.view.is_alive(WorkerId::new(worker as u64)))
+    }
+
+    /// The windowed hit-rate timeline `(window_end_secs, hit_rate)` the
+    /// fault report's recovery metrics derive from (the availability curve).
+    /// Empty without a fault schedule.
+    pub fn fault_timeline(&self) -> Vec<(f64, f64)> {
+        self.faults
+            .as_ref()
+            .map(|fs| {
+                fs.buckets
+                    .iter()
+                    .filter(|(_, (_, total))| *total > 0)
+                    .map(|(&b, &(reused, total))| {
+                        (
+                            (b + 1) as f64 * fs.bucket_secs,
+                            reused as f64 / total as f64,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Applies any still-pending fault events and returns the finalized
+    /// [`FaultReport`] with recovery metrics computed from the hit-rate
+    /// timeline. `None` when the planner runs without a fault schedule.
+    pub fn finish_faults(&mut self) -> Option<FaultReport> {
+        self.faults.as_ref()?;
+        self.advance_faults(f64::INFINITY);
+        let timeline = self.fault_timeline();
+        let fs = self.faults.as_mut().expect("checked above");
+        let mut report = fs.report.clone();
+        report.compute_recovery(&timeline, fs.first_crash_at, RECOVERY_TOLERANCE);
+        Some(report)
+    }
+
+    /// Records one planned request into the windowed hit-rate timeline.
+    fn record_fault_window(&mut self, now: f64, reused: u64, total: u64) {
+        let Some(fs) = self.faults.as_mut() else {
+            return;
+        };
+        let bucket = (now.max(0.0) / fs.bucket_secs) as u64;
+        let entry = fs.buckets.entry(bucket).or_insert((0, 0));
+        entry.0 += reused;
+        entry.1 += total;
     }
 
     /// The cost model the planner prices jobs with.
@@ -140,6 +489,7 @@ impl RequestPlanner {
     /// with compulsory misses, the precise failure §5.3 attributes to
     /// cache-agnostic scheduling.
     pub fn plan(&mut self, req: &RankRequest, now: f64) -> PlannedJob {
+        self.advance_faults(now);
         let total = req.total_tokens() as u64;
         let mut job = PlannedJob {
             prefix: PrefixKind::User,
@@ -149,6 +499,20 @@ impl RequestPlanner {
             remote_bytes: Bytes::ZERO,
         };
         if !self.caching {
+            return job;
+        }
+        // A stalled meta service answers no lookups: the request cannot
+        // locate any cached prefix and recomputes everything. Accesses are
+        // not recorded either — the stalled service is the frequency book.
+        if self
+            .faults
+            .as_ref()
+            .is_some_and(|fs| fs.view.meta_stalled(now))
+        {
+            let fs = self.faults.as_mut().expect("checked above");
+            fs.report.stall_forced_recomputes += 1;
+            job.prefix = PrefixKind::Item;
+            self.record_fault_window(now, 0, total);
             return job;
         }
         let kind = self.policy.decide(req, &mut self.user_cache, now);
@@ -180,40 +544,85 @@ impl RequestPlanner {
                     }
                 }
                 if let Some(plan) = &self.placement {
-                    // Affinity view: locations are owner-relative to the
-                    // worker the request will land on; worker 0 is
-                    // representative because sharding is round-robin.
-                    let local = WorkerId::new(0);
                     let mut reused = 0u64;
-                    for (i, &item) in req.candidates.iter().enumerate() {
-                        let tokens = req.candidate_tokens[i] as u64;
-                        let bytes = self.compute.kv_bytes(tokens);
-                        match plan.locate(item, local) {
-                            ItemLocation::LocalReplica | ItemLocation::LocalShard => {
-                                reused += tokens;
-                                job.local_load += bytes;
+                    if let Some(fs) = self.faults.as_mut() {
+                        // Membership- and warmth-aware lookups. With every
+                        // worker warm this reduces to the fault-free path.
+                        for (i, &item) in req.candidates.iter().enumerate() {
+                            let tokens = req.candidate_tokens[i] as u64;
+                            let bytes = self.compute.kv_bytes(tokens);
+                            match fs.locate(plan, item) {
+                                FaultedLocation::LocalHit => {
+                                    reused += tokens;
+                                    job.local_load += bytes;
+                                }
+                                FaultedLocation::RemoteHit { from_replica } => {
+                                    reused += tokens;
+                                    job.remote_bytes += bytes;
+                                    if from_replica {
+                                        fs.report.replica_hits_during_outage += 1;
+                                    }
+                                }
+                                FaultedLocation::Recompute => {
+                                    fs.report.recompute_fallbacks += 1;
+                                }
+                                FaultedLocation::Uncached => {}
                             }
-                            ItemLocation::Remote(_) => {
-                                reused += tokens;
-                                job.remote_bytes += bytes;
+                        }
+                    } else {
+                        // Affinity view: locations are owner-relative to the
+                        // worker the request will land on; worker 0 is
+                        // representative because sharding is round-robin.
+                        let local = WorkerId::new(0);
+                        for (i, &item) in req.candidates.iter().enumerate() {
+                            let tokens = req.candidate_tokens[i] as u64;
+                            let bytes = self.compute.kv_bytes(tokens);
+                            match plan.locate(item, local) {
+                                ItemLocation::LocalReplica | ItemLocation::LocalShard => {
+                                    reused += tokens;
+                                    job.local_load += bytes;
+                                }
+                                ItemLocation::Remote(_) => {
+                                    reused += tokens;
+                                    job.remote_bytes += bytes;
+                                }
+                                ItemLocation::Uncached => {}
                             }
-                            ItemLocation::Uncached => {}
                         }
                     }
                     job.suffix_tokens = total - reused;
                 }
             }
         }
+        self.record_fault_window(now, job.reused_tokens(), total);
         job
     }
 
     /// Prices a planned job: `(compute_secs, pcie_load_secs, net_secs)`.
+    /// Network time reflects the fault view's current link factor.
     pub fn price(&self, job: &PlannedJob) -> (f64, f64, f64) {
+        self.price_components(
+            job.suffix_tokens,
+            job.context_tokens,
+            job.local_load,
+            job.remote_bytes,
+        )
+    }
+
+    /// [`Self::price`] from raw components (the simulator prices batches
+    /// from its own job records).
+    pub fn price_components(
+        &self,
+        suffix_tokens: u64,
+        context_tokens: u64,
+        local_load: Bytes,
+        remote_bytes: Bytes,
+    ) -> (f64, f64, f64) {
+        let link = self.faults.as_ref().map_or(1.0, |fs| fs.view.link_factor());
         (
-            self.compute
-                .prefill_secs(job.suffix_tokens, job.context_tokens),
-            self.compute.kv_load_secs(job.local_load),
-            self.compute.net_transfer_secs(job.remote_bytes),
+            self.compute.prefill_secs(suffix_tokens, context_tokens),
+            self.compute.kv_load_secs(local_load),
+            self.compute.net_transfer_secs(remote_bytes) * link,
         )
     }
 }
@@ -222,7 +631,9 @@ impl RequestPlanner {
 mod tests {
     use super::*;
     use crate::engine::{EngineConfig, SystemKind};
-    use bat_types::{ClusterConfig, DatasetConfig, ItemId, ModelConfig, RequestId, SimTime, UserId};
+    use bat_types::{
+        ClusterConfig, DatasetConfig, ItemId, ModelConfig, RequestId, SimTime, UserId,
+    };
 
     fn req(user: u64, user_tokens: u32) -> RankRequest {
         RankRequest {
@@ -263,7 +674,11 @@ mod tests {
         let miss = p.plan(&r, 0.0);
         assert_eq!(miss.reused_tokens(), 0, "first request misses");
         let hit = p.plan(&r, 1.0);
-        assert_eq!(hit.reused_tokens(), 1500, "second request hits the user prefix");
+        assert_eq!(
+            hit.reused_tokens(),
+            1500,
+            "second request hits the user prefix"
+        );
         assert!(hit.local_load > Bytes::ZERO);
     }
 

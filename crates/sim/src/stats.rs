@@ -36,8 +36,7 @@ impl RequestRecord {
 pub fn breakdown_by_prefix(records: &[RequestRecord]) -> Vec<(PrefixKind, usize, f64, f64)> {
     let mut out = Vec::new();
     for kind in [PrefixKind::User, PrefixKind::Item] {
-        let subset: Vec<&RequestRecord> =
-            records.iter().filter(|r| r.prefix == kind).collect();
+        let subset: Vec<&RequestRecord> = records.iter().filter(|r| r.prefix == kind).collect();
         if subset.is_empty() {
             continue;
         }
@@ -91,6 +90,9 @@ pub struct RunStats {
     pub p50_latency_ms: f64,
     /// P99 end-to-end latency, ms (the paper's SLO percentile, Figure 9).
     pub p99_latency_ms: f64,
+    /// Fault/recovery accounting; all-zero ("quiet") for fault-free runs.
+    #[serde(default)]
+    pub faults: bat_faults::FaultReport,
 }
 
 impl RunStats {
@@ -127,6 +129,7 @@ impl RunStats {
             mean_latency_ms: latencies.mean().unwrap_or(0.0) * 1e3,
             p50_latency_ms: latencies.p50().unwrap_or(0.0) * 1e3,
             p99_latency_ms: latencies.p99().unwrap_or(0.0) * 1e3,
+            faults: bat_faults::FaultReport::default(),
         }
     }
 

@@ -165,7 +165,12 @@ impl DatasetConfig {
 
     /// The four Table 1 presets, in paper order.
     pub fn table1_presets() -> Vec<DatasetConfig> {
-        vec![Self::games(), Self::beauty(), Self::books(), Self::industry()]
+        vec![
+            Self::games(),
+            Self::beauty(),
+            Self::books(),
+            Self::industry(),
+        ]
     }
 
     /// Expected total item tokens in one prompt (`c × τ_i`).

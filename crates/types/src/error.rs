@@ -17,6 +17,9 @@ pub enum BatError {
     CapacityExceeded(String),
     /// The serving runtime shut down before the operation completed.
     Shutdown(String),
+    /// A cache worker referenced by the operation is not in the live
+    /// membership (crashed, or draining after a fault).
+    WorkerUnavailable(String),
 }
 
 impl fmt::Display for BatError {
@@ -27,6 +30,7 @@ impl fmt::Display for BatError {
             BatError::CacheMiss(msg) => write!(f, "cache miss: {msg}"),
             BatError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
             BatError::Shutdown(msg) => write!(f, "runtime shut down: {msg}"),
+            BatError::WorkerUnavailable(msg) => write!(f, "worker unavailable: {msg}"),
         }
     }
 }

@@ -137,10 +137,7 @@ mod tests {
         let target_mean = 1500.0f64;
         let mu = target_mean.ln() - sigma * sigma / 2.0;
         let n = 20_000;
-        let mean: f64 = (0..n)
-            .map(|i| lognormal(9, i, 0, mu, sigma))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 = (0..n).map(|i| lognormal(9, i, 0, mu, sigma)).sum::<f64>() / n as f64;
         assert!(
             (mean - target_mean).abs() / target_mean < 0.05,
             "empirical mean {mean} vs target {target_mean}"

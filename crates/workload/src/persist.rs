@@ -47,16 +47,13 @@ pub fn load_trace(path: impl AsRef<Path>) -> std::io::Result<Vec<RankRequest>> {
         if line.trim().is_empty() {
             continue;
         }
-        let req: RankRequest = serde_json::from_str(&line)
-            .map_err(|e| invalid(format!("line {}: {e}", i + 1)))?;
+        let req: RankRequest =
+            serde_json::from_str(&line).map_err(|e| invalid(format!("line {}: {e}", i + 1)))?;
         req.validate()
             .map_err(|e| invalid(format!("line {}: {e}", i + 1)))?;
         if let Some(prev) = trace.last() {
             if req.arrival < prev.arrival {
-                return Err(invalid(format!(
-                    "line {}: arrivals out of order",
-                    i + 1
-                )));
+                return Err(invalid(format!("line {}: arrivals out of order", i + 1)));
             }
         }
         trace.push(req);

@@ -364,10 +364,7 @@ mod tests {
     fn window_counts_events_matches_request_version() {
         let trace = gen().generate(30.0, 20.0);
         let a = window_counts(&trace, 10.0);
-        let b = window_counts_events(
-            trace.iter().map(|r| (r.arrival.as_secs(), r.user)),
-            10.0,
-        );
+        let b = window_counts_events(trace.iter().map(|r| (r.arrival.as_secs(), r.user)), 10.0);
         assert_eq!(a, b);
     }
 }

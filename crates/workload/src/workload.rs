@@ -123,9 +123,7 @@ impl Workload {
     pub fn sample_item_at(&self, u: f64, at_secs: f64) -> ItemId {
         let rank = self.item_law.sample_rank(u) - 1;
         match self.hotspot_shift {
-            Some((at, offset)) if at_secs >= at => {
-                ItemId::new((rank + offset) % self.ds.num_items)
-            }
+            Some((at, offset)) if at_secs >= at => ItemId::new((rank + offset) % self.ds.num_items),
             _ => ItemId::new(rank),
         }
     }

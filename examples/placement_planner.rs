@@ -11,7 +11,10 @@
 //! cargo run --release -p bat --example placement_planner
 //! ```
 
-use bat::{ClusterConfig, ComputeModel, DatasetConfig, ItemPlacementPlan, ModelConfig, PlacementStrategy, ZipfLaw};
+use bat::{
+    ClusterConfig, ComputeModel, DatasetConfig, ItemPlacementPlan, ModelConfig, PlacementStrategy,
+    ZipfLaw,
+};
 use bat_placement::{compute_replication_ratio, HrcsParams};
 use bat_types::Bytes;
 
@@ -56,15 +59,29 @@ fn plan_for(cluster: &ClusterConfig, label: &str) {
     let local = head_mass + (cached_mass - head_mass) / n;
 
     println!("== {label} ==");
-    println!("  network budget        {:>10.0} KV tokens/s", params.bandwidth_tokens_per_sec);
-    println!("  est. prefill time     {:>10.1} ms", params.prefill_time_secs * 1e3);
-    println!("  max remote ratio R    {:>10.4}", params.max_remote_ratio());
+    println!(
+        "  network budget        {:>10.0} KV tokens/s",
+        params.bandwidth_tokens_per_sec
+    );
+    println!(
+        "  est. prefill time     {:>10.1} ms",
+        params.prefill_time_secs * 1e3
+    );
+    println!(
+        "  max remote ratio R    {:>10.4}",
+        params.max_remote_ratio()
+    );
     println!("  replication ratio r   {:>10.4}", plan.replication_ratio());
     println!("  replicated items      {:>10}", plan.replicated_items());
-    println!("  cached items          {:>10}  (of {})", plan.cached_items(), plan.num_items());
+    println!(
+        "  cached items          {:>10}  (of {})",
+        plan.cached_items(),
+        plan.num_items()
+    );
     println!("  item region / node    {:>10}", plan.per_worker_bytes());
     println!("  user region / node    {:>10}", user_region);
-    println!("  item-access locality  {:>9.1}% local, {:.1}% remote, {:.1}% uncached",
+    println!(
+        "  item-access locality  {:>9.1}% local, {:.1}% remote, {:.1}% uncached",
         local * 100.0,
         (cached_mass - local) * 100.0,
         (1.0 - cached_mass) * 100.0
@@ -78,7 +95,13 @@ fn main() {
 
     let mut slow = ClusterConfig::a100_4node();
     slow.node = slow.node.with_network_gbps(10.0);
-    plan_for(&slow, "4-node A100 testbed, 10Gbps (replicates a larger head)");
+    plan_for(
+        &slow,
+        "4-node A100 testbed, 10Gbps (replicates a larger head)",
+    );
 
-    plan_for(&ClusterConfig::h20_16node(), "16-node H20 production, 200Gbps");
+    plan_for(
+        &ClusterConfig::h20_16node(),
+        "16-node H20 production, 200Gbps",
+    );
 }

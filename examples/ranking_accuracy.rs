@@ -14,9 +14,7 @@
 //! cargo run --release -p bat --example ranking_accuracy
 //! ```
 
-use bat::{
-    rank_of, MaskScheme, PrefixKind, RankingMetrics, SemanticConfig, SemanticWorld,
-};
+use bat::{rank_of, MaskScheme, PrefixKind, RankingMetrics, SemanticConfig, SemanticWorld};
 
 fn report(label: &str, m: &RankingMetrics) {
     let row = m.table3_row();
@@ -51,7 +49,10 @@ fn main() {
             rank_of(&sensitive.score_with_pic(&task, 0.15), task.truth_pos)
         })
         .collect();
-    report("Item-as-prefix + PIC", &RankingMetrics::from_ranks(&pic_ranks));
+    report(
+        "Item-as-prefix + PIC",
+        &RankingMetrics::from_ranks(&pic_ranks),
+    );
 
     println!("\n== Exactness of item-prefix cache reuse ==");
     // Score one task with the full prompt, then again with every item's KV
@@ -64,9 +65,7 @@ fn main() {
         .zip(&cached)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!(
-        "max |score(full recompute) − score(cached item prefixes)| = {max_diff:.2e}"
-    );
+    println!("max |score(full recompute) − score(cached item prefixes)| = {max_diff:.2e}");
     assert!(max_diff < 1e-4, "bipartite item caches must be exact");
     println!("Bipartite masks + per-item position reset make item KV entries");
     println!("context-independent, so sharing them across users is lossless.");

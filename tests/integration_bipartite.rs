@@ -19,7 +19,11 @@ fn build_parts(
 ) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u32>) {
     let user: Vec<u32> = (0..user_len as u32).map(|i| 40 + i).collect();
     let items: Vec<Vec<u32>> = (0..n_items as u32)
-        .map(|i| (0..item_len as u32).map(|j| i * item_len as u32 + j).collect())
+        .map(|i| {
+            (0..item_len as u32)
+                .map(|j| i * item_len as u32 + j)
+                .collect()
+        })
         .collect();
     (user, items, vec![120, 121])
 }

@@ -86,7 +86,8 @@ fn placement_controls_network_traffic() {
     let ds = DatasetConfig::games();
     let cluster = small_cluster(4);
     let model = ModelConfig::qwen2_1_5b();
-    let base = EngineConfig::for_system(SystemKind::ItemPrefix, model.clone(), cluster.clone(), &ds);
+    let base =
+        EngineConfig::for_system(SystemKind::ItemPrefix, model.clone(), cluster.clone(), &ds);
     let spec = spec(ds.clone(), 4, 5.0, 30.0);
     let item_kv = model.kv_bytes(ds.avg_item_tokens as u64);
 
@@ -106,8 +107,7 @@ fn placement_controls_network_traffic() {
     );
     let trace = spec.trace();
 
-    let mut engine =
-        ServingEngine::new(base.clone().with_placement(Some(replicate))).unwrap();
+    let mut engine = ServingEngine::new(base.clone().with_placement(Some(replicate))).unwrap();
     let rep_stats = engine.run(&trace);
     assert_eq!(rep_stats.remote_bytes, Bytes::ZERO);
     assert_eq!(rep_stats.net_secs, 0.0);

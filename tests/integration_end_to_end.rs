@@ -29,7 +29,11 @@ fn quickstart_flow() {
     };
     let stats = compare_systems(
         &spec,
-        &[SystemKind::Recompute, SystemKind::UserPrefix, SystemKind::Bat],
+        &[
+            SystemKind::Recompute,
+            SystemKind::UserPrefix,
+            SystemKind::Bat,
+        ],
     );
     let n = spec.trace().len();
     assert!(n > 50);
@@ -52,12 +56,7 @@ fn runtime_and_simulator_agree() {
     let trace = gen.generate(4.0, 40.0);
 
     for kind in [SystemKind::UserPrefix, SystemKind::Bat] {
-        let cfg = EngineConfig::for_system(
-            kind,
-            ModelConfig::qwen2_1_5b(),
-            small_cluster(),
-            &ds,
-        );
+        let cfg = EngineConfig::for_system(kind, ModelConfig::qwen2_1_5b(), small_cluster(), &ds);
         let mut sim = ServingEngine::new(cfg.clone()).unwrap();
         let sim_stats = sim.run(&trace);
         let runtime = ServeRuntime::new(cfg, ServeOptions::default()).unwrap();
@@ -87,14 +86,21 @@ fn accuracy_pipeline_shapes() {
     let up = robust[0].metrics.recall_at(10);
     let ip = robust[1].metrics.recall_at(10);
     assert!(up > 0.4, "robust UP quality collapsed: {up}");
-    assert!((up - ip).abs() < 0.35, "robust UP/IP gap too wide: {up} vs {ip}");
+    assert!(
+        (up - ip).abs() < 0.35,
+        "robust UP/IP gap too wide: {up} vs {ip}"
+    );
 
     let sensitive = accuracy_rows(SemanticConfig::test_world().order_biased(), n, Some(0.2));
     assert_eq!(sensitive.len(), 3);
     assert!(sensitive[2].strategy.starts_with("IP+PIC"));
     // All metric values remain valid probabilities.
     for row in robust.iter().chain(&sensitive) {
-        assert!(row.metrics.table3_row().iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(row
+            .metrics
+            .table3_row()
+            .iter()
+            .all(|v| (0.0..=1.0).contains(v)));
     }
 }
 
