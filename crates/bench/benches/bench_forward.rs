@@ -1,0 +1,57 @@
+//! End-to-end forward-pass benchmark: seed reference vs batched rewrite.
+//!
+//! Uses the Qwen2-1.5B-shaped proxy configuration ranking a 100-candidate
+//! prompt — the acceptance scenario whose tracked numbers live in
+//! `BENCH_KERNELS.json` (regenerate with `batctl bench`). Runs at whatever
+//! pool width `BAT_THREADS` selects; the output is bit-identical at every
+//! width, so thread count only moves the clock.
+
+use bat_model::prompt::{MaskScheme, PromptLayout};
+use bat_model::{GrModel, GrModelConfig, HstuModel, Weights};
+use bat_types::PrefixKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_forward_proxy(c: &mut Criterion) {
+    let candidates = 100u32;
+    let cfg = GrModelConfig::qwen2_1_5b_proxy(4 * candidates as usize + 128);
+    let model = GrModel::new(Weights::random(cfg.clone(), 11));
+    let user: Vec<u32> = (0..48).map(|i| 100 + i as u32).collect();
+    let items: Vec<Vec<u32>> = (0..candidates).map(|i| vec![i, 200 + i]).collect();
+    let layout = PromptLayout::new(MaskScheme::Bipartite);
+    let seq = layout.build(PrefixKind::Item, &user, &items, &[250, 251]);
+
+    let mut g = c.benchmark_group("forward_qwen_proxy_100cand");
+    g.sample_size(10);
+    g.bench_function("reference_seed", |b| {
+        b.iter(|| black_box(model.forward_reference(black_box(&seq), None)))
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| black_box(model.forward(black_box(&seq), None)))
+    });
+    // The cached path: item prefix precomputed, only user+instruction run.
+    let item_block: usize = items.iter().map(Vec::len).sum();
+    let (prefix_seq, rest) = seq.split_at(item_block);
+    let prefix_kv = model.compute_kv(&prefix_seq);
+    g.bench_function("batched_ip_cached", |b| {
+        b.iter(|| black_box(model.forward(black_box(&rest), Some(&prefix_kv))))
+    });
+    g.finish();
+
+    // HSTU variant at matched heads (its unit has no GQA).
+    let hstu_cfg = GrModelConfig {
+        query_heads: 2,
+        kv_heads: 2,
+        ..GrModelConfig::qwen2_1_5b_proxy(4 * candidates as usize + 128)
+    };
+    let hstu = HstuModel::random(hstu_cfg, 11);
+    let mut g = c.benchmark_group("hstu_qwen_proxy_100cand");
+    g.sample_size(10);
+    g.bench_function("batched", |b| {
+        b.iter(|| black_box(hstu.forward(black_box(&seq), None)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_forward_proxy);
+criterion_main!(benches);

@@ -10,7 +10,11 @@
 //! batctl breakdown --dataset industry --duration 30 --rate 80
 //! batctl faults   --dataset games --duration 60 --rate 120 \
 //!                 [--crash 1 --at 20 --down 10 | --crashes 2 --seed 1]
+//! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json]
 //! ```
+//!
+//! The global `--threads N` flag sizes the `bat-exec` worker pool for any
+//! command (results are bit-identical at every width by construction).
 //!
 //! Everything is offline and deterministic; see `README.md` for the
 //! figure-regeneration harnesses.
@@ -378,8 +382,30 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults> [--flags]
-run `batctl <command>` with no flags for defaults; see crate docs for details";
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let quick = flags.contains_key("quick");
+    // Measure at 1 thread and at --threads (default 4): the summary then
+    // records both the serial rewrite and the scaled pool.
+    let top = flag_usize(flags, "threads", 4)?.max(1);
+    let widths = if top == 1 { vec![1] } else { vec![1, top] };
+    let summary = bat_bench::perf::run(quick, &widths);
+    let json =
+        serde_json::to_string_pretty(&summary).map_err(|e| format!("serialize summary: {e}"))?;
+    println!("{json}");
+    if !summary.deterministic {
+        return Err("parallel runs were not bit-identical to serial".into());
+    }
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("[artifact] {out}");
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|bench> [--flags]
+run `batctl <command>` with no flags for defaults; see crate docs for details
+global: --threads N sizes the bat-exec worker pool";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -388,6 +414,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let flags = parse_flags(&args[1..]);
+    if let Some(n) = flags.get("threads") {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => bat::exec::set_threads(n),
+            _ => {
+                eprintln!("batctl: bad --threads '{n}' (want a positive integer)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match cmd.as_str() {
         "compare" => cmd_compare(&flags),
         "accuracy" => cmd_accuracy(&flags),
@@ -396,6 +431,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&flags),
         "breakdown" => cmd_breakdown(&flags),
         "faults" => cmd_faults(&flags),
+        "bench" => cmd_bench(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {

@@ -109,8 +109,13 @@ fn main() {
                 ),
             ),
         ];
-        for (label, cfg) in variants {
-            let stats = run_config(&spec, cfg).expect("table4 configs validate");
+        // Each ablation variant is an independent engine run over the same
+        // spec, so the five variants fan out on the bat-exec pool; results
+        // come back in variant order, keeping the table layout stable.
+        let stats = bat::exec::parallel_map(&variants, 1, |(_, cfg)| {
+            run_config(&spec, cfg.clone()).expect("table4 configs validate")
+        });
+        for ((label, _), stats) in variants.iter().zip(&stats) {
             rows.push(vec![
                 ds.name.clone(),
                 label.clone(),

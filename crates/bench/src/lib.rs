@@ -6,7 +6,10 @@
 //! `results/`.
 //!
 //! All harnesses accept a `--quick` flag that shrinks trace durations for
-//! smoke runs; published numbers in EXPERIMENTS.md use the default scale.
+//! smoke runs and a `--threads N` flag that sizes the [`bat_exec`] pool;
+//! published numbers in EXPERIMENTS.md use the default scale.
+
+pub mod perf;
 
 use serde::Serialize;
 use std::fs;
@@ -17,14 +20,33 @@ use std::path::PathBuf;
 pub struct HarnessArgs {
     /// Shrink experiment scale for a fast smoke run.
     pub quick: bool,
+    /// Worker-thread override (`--threads N`); `None` leaves the
+    /// `BAT_THREADS` / hardware default in place.
+    pub threads: Option<usize>,
 }
 
 impl HarnessArgs {
-    /// Parses `std::env::args`. Unknown flags are ignored (criterion et al.
+    /// Parses `std::env::args` and applies `--threads` to the global
+    /// [`bat_exec`] pool. Unknown flags are ignored (criterion et al.
     /// pass their own).
     pub fn parse() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick");
-        HarnessArgs { quick }
+        let argv: Vec<String> = std::env::args().collect();
+        let args = Self::from_args(&argv);
+        if let Some(n) = args.threads {
+            bat_exec::set_threads(n);
+        }
+        args
+    }
+
+    /// Parses an explicit argument list without touching the pool.
+    pub fn from_args(argv: &[String]) -> Self {
+        let quick = argv.iter().any(|a| a == "--quick");
+        let threads = argv
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| argv.get(i + 1))
+            .and_then(|v| v.parse().ok());
+        HarnessArgs { quick, threads }
     }
 
     /// Picks between the full-scale and quick values.
@@ -94,10 +116,35 @@ mod tests {
 
     #[test]
     fn harness_args_default_full_scale() {
-        let args = HarnessArgs { quick: false };
+        let args = HarnessArgs {
+            quick: false,
+            threads: None,
+        };
         assert_eq!(args.scale(100, 10), 100);
-        let quick = HarnessArgs { quick: true };
+        let quick = HarnessArgs {
+            quick: true,
+            threads: None,
+        };
         assert_eq!(quick.scale(100, 10), 10);
+    }
+
+    #[test]
+    fn harness_args_parse_threads_flag() {
+        let argv: Vec<String> = ["bin", "--quick", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let args = HarnessArgs::from_args(&argv);
+        assert!(args.quick);
+        assert_eq!(args.threads, Some(4));
+        // Missing or malformed values degrade to None rather than panicking.
+        let argv: Vec<String> = ["bin", "--threads"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(HarnessArgs::from_args(&argv).threads, None);
+        let argv: Vec<String> = ["bin", "--threads", "lots"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(HarnessArgs::from_args(&argv).threads, None);
     }
 
     #[test]

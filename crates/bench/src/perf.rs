@@ -1,0 +1,250 @@
+//! Tracked wall-clock perf baseline for the execution layer.
+//!
+//! Measures the reproduction's own kernels — the seed implementations
+//! ([`Matrix::matmul_naive`], [`GrModel::forward_reference`]) against the
+//! blocked/fused/parallel rewrites ([`Matrix::matmul`],
+//! [`GrModel::forward`]) — and checks the determinism contract (parallel
+//! runs bit-identical to serial). `batctl bench` prints the summary as JSON
+//! and the committed `BENCH_KERNELS.json` at the repo root records the
+//! before/after numbers for regression tracking.
+//!
+//! Methodology: minimum wall-clock time over a fixed number of samples
+//! (min is robust to scheduler noise on shared machines), one warmup run
+//! per measurement, `std::hint::black_box` around inputs and outputs.
+
+use bat::exec;
+use bat_model::prompt::{MaskScheme, PromptLayout, TokenSeq};
+use bat_model::{GrModel, GrModelConfig, Weights};
+use bat_tensor::Matrix;
+use bat_types::PrefixKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A seeded random matrix (unit scale).
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::random(rows, cols, 1.0, &mut SmallRng::seed_from_u64(seed))
+}
+
+/// One timed measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `"matmul_blocked"` or `"forward_batched"`.
+    pub name: String,
+    /// Pool width the measurement ran with.
+    pub threads: usize,
+    /// Best-of-N wall-clock seconds for one call.
+    pub secs: f64,
+}
+
+/// Headline before/after ratio.
+#[derive(Debug, Clone, Serialize)]
+pub struct Speedup {
+    /// What is being compared, e.g. `"forward"`.
+    pub name: String,
+    /// Seed (serial reference) seconds.
+    pub before_secs: f64,
+    /// Rewritten kernel seconds at the fastest measured width.
+    pub after_secs: f64,
+    /// `before / after`.
+    pub speedup: f64,
+}
+
+/// Everything `batctl bench` reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfSummary {
+    /// Hardware parallelism visible to the process.
+    pub nproc: usize,
+    /// Pool widths measured.
+    pub thread_counts: Vec<usize>,
+    /// `true` iff every parallel run produced bit-identical results to the
+    /// serial run (the execution layer's core contract).
+    pub deterministic: bool,
+    /// Kernel-level measurements (matmul, fused attention epilogue).
+    pub kernels: Vec<BenchResult>,
+    /// End-to-end forward-pass measurements (proxy model, ranking prompt).
+    pub forward: Vec<BenchResult>,
+    /// Before/after headline ratios.
+    pub speedups: Vec<Speedup>,
+}
+
+/// Best-of-`samples` wall-clock seconds for one call of `f`, after one
+/// warmup call.
+fn time_best<F: FnMut()>(mut f: F, samples: u32) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The `bench_forward` scenario from the acceptance criteria: the
+/// Qwen2-1.5B-shaped proxy ranking a `candidates`-item prompt.
+fn forward_scenario(candidates: usize) -> (GrModel, TokenSeq) {
+    // Token ids used below: items i and 200+i, user 100.., instr 250/251.
+    let cfg = GrModelConfig::qwen2_1_5b_proxy(300 + candidates);
+    let model = GrModel::new(Weights::random(cfg, 11));
+    let user: Vec<u32> = (0..48).map(|i| 100 + i as u32).collect();
+    let items: Vec<Vec<u32>> = (0..candidates as u32).map(|i| vec![i, 200 + i]).collect();
+    let seq = PromptLayout::new(MaskScheme::Bipartite).build(
+        PrefixKind::Item,
+        &user,
+        &items,
+        &[250, 251],
+    );
+    (model, seq)
+}
+
+/// Checks the determinism contract: matmul and forward at each width in
+/// `widths` are bit-identical to the serial run.
+fn check_determinism(widths: &[usize]) -> bool {
+    let a = random_matrix(64, 48, 3);
+    let b = random_matrix(48, 56, 4);
+    let (model, seq) = forward_scenario(20);
+    exec::set_threads(1);
+    let gold_mm = a.matmul(&b);
+    let gold_fwd = model.forward(&seq, None);
+    let mut ok = true;
+    for &w in widths {
+        exec::set_threads(w);
+        let mm = a.matmul(&b);
+        let fwd = model.forward(&seq, None);
+        ok &= mm
+            .as_slice()
+            .iter()
+            .zip(gold_mm.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+        ok &= fwd
+            .logits
+            .iter()
+            .zip(&gold_fwd.logits)
+            .all(|(x, y)| x.to_bits() == y.to_bits());
+    }
+    ok
+}
+
+/// Runs the full suite at each width in `thread_counts`.
+///
+/// `quick` shrinks problem sizes and sample counts for CI smoke runs; the
+/// committed baseline uses the full sizes.
+pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
+    let restore = exec::threads();
+    let (mm_dim, samples, candidates) = if quick { (64, 3, 20) } else { (128, 5, 100) };
+
+    let a = random_matrix(mm_dim, mm_dim, 1);
+    let b = random_matrix(mm_dim, mm_dim, 2);
+    let bt = b.transpose();
+    let (model, seq) = forward_scenario(candidates);
+
+    let mut kernels = Vec::new();
+    let mut forward = Vec::new();
+
+    // Seed kernels are serial by construction: one "before" measurement.
+    exec::set_threads(1);
+    let naive_secs = time_best(|| drop(black_box(black_box(&a).matmul_naive(&b))), samples);
+    kernels.push(BenchResult {
+        name: "matmul_naive_seed".into(),
+        threads: 1,
+        secs: naive_secs,
+    });
+    let fwd_ref_secs = time_best(
+        || drop(black_box(model.forward_reference(black_box(&seq), None))),
+        samples,
+    );
+    forward.push(BenchResult {
+        name: "forward_reference_seed".into(),
+        threads: 1,
+        secs: fwd_ref_secs,
+    });
+
+    let mut best_mm = f64::INFINITY;
+    let mut best_fwd = f64::INFINITY;
+    for &w in thread_counts {
+        exec::set_threads(w);
+        let mm = time_best(|| drop(black_box(black_box(&a).matmul(&b))), samples);
+        kernels.push(BenchResult {
+            name: "matmul_blocked".into(),
+            threads: w,
+            secs: mm,
+        });
+        best_mm = best_mm.min(mm);
+        let nt = time_best(|| drop(black_box(black_box(&a).matmul_nt(&bt))), samples);
+        kernels.push(BenchResult {
+            name: "matmul_nt_blocked".into(),
+            threads: w,
+            secs: nt,
+        });
+        let fwd = time_best(
+            || drop(black_box(model.forward(black_box(&seq), None))),
+            samples,
+        );
+        forward.push(BenchResult {
+            name: "forward_batched".into(),
+            threads: w,
+            secs: fwd,
+        });
+        best_fwd = best_fwd.min(fwd);
+    }
+
+    let deterministic = check_determinism(thread_counts);
+    exec::set_threads(restore);
+
+    let speedups = vec![
+        Speedup {
+            name: "matmul".into(),
+            before_secs: naive_secs,
+            after_secs: best_mm,
+            speedup: naive_secs / best_mm,
+        },
+        Speedup {
+            name: "forward".into(),
+            before_secs: fwd_ref_secs,
+            after_secs: best_fwd,
+            speedup: fwd_ref_secs / best_fwd,
+        },
+    ];
+
+    PerfSummary {
+        nproc: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        thread_counts: thread_counts.to_vec(),
+        deterministic,
+        kernels,
+        forward,
+        speedups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_is_deterministic_and_faster_than_seed() {
+        let summary = run(true, &[1, 2]);
+        assert!(summary.deterministic, "parallel runs must be bit-identical");
+        assert_eq!(summary.speedups.len(), 2);
+        for s in &summary.speedups {
+            assert!(s.before_secs > 0.0 && s.after_secs > 0.0);
+            // The blocked/fused kernels must not regress below the seed.
+            assert!(
+                s.speedup > 1.0,
+                "{} regressed: {:.2}x vs seed",
+                s.name,
+                s.speedup
+            );
+        }
+    }
+
+    #[test]
+    fn summary_serializes_to_json() {
+        let summary = run(true, &[1]);
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(json.contains("\"deterministic\":true"));
+        assert!(json.contains("forward_batched"));
+    }
+}

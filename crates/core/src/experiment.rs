@@ -40,21 +40,23 @@ impl ComparisonSpec {
 
 /// Runs the same trace through each system's engine and returns their
 /// stats, in input order.
+///
+/// Each system simulates an independent engine over a shared read-only
+/// trace, so the systems run in parallel on [`bat_exec`]; results are
+/// collected in input order and each engine's simulation is fully
+/// deterministic, so the output is identical for any thread count.
 pub fn compare_systems(spec: &ComparisonSpec, systems: &[SystemKind]) -> Vec<RunStats> {
     let trace = spec.trace();
-    systems
-        .iter()
-        .map(|&kind| {
-            let cfg = EngineConfig::for_system(
-                kind,
-                spec.model.clone(),
-                spec.cluster.clone(),
-                &spec.dataset,
-            );
-            let mut engine = ServingEngine::new(cfg).expect("preset configs validate");
-            engine.run(&trace)
-        })
-        .collect()
+    bat_exec::parallel_map(systems, 1, |&kind| {
+        let cfg = EngineConfig::for_system(
+            kind,
+            spec.model.clone(),
+            spec.cluster.clone(),
+            &spec.dataset,
+        );
+        let mut engine = ServingEngine::new(cfg).expect("preset configs validate");
+        engine.run(&trace)
+    })
 }
 
 /// Runs one explicit engine configuration over the spec's trace (for the
@@ -111,13 +113,11 @@ pub fn accuracy_rows(
         });
     }
     if let Some(frac) = pic_fraction {
-        let ranks: Vec<usize> = (0..n_users.min(world.cfg.num_users))
-            .map(|u| {
-                let task = world.task(u);
-                let scores = world.score_with_pic(&task, frac);
-                bat_model::semantic::rank_of(&scores, task.truth_pos)
-            })
-            .collect();
+        let ranks = bat_exec::parallel_map_indexed(n_users.min(world.cfg.num_users), 1, |u| {
+            let task = world.task(u);
+            let scores = world.score_with_pic(&task, frac);
+            bat_model::semantic::rank_of(&scores, task.truth_pos)
+        });
         rows.push(AccuracyRow {
             strategy: format!("IP+PIC({frac})"),
             metrics: RankingMetrics::from_ranks(&ranks),

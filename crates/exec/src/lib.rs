@@ -1,0 +1,313 @@
+//! `bat-exec` — the workspace's parallel execution layer.
+//!
+//! A dependency-free work-stealing thread pool (see [`pool`]) plus the
+//! deterministic data-parallel primitives every compute hot path in the
+//! workspace builds on: indexed maps over disjoint outputs, chunked loops,
+//! and fixed-shape tree reductions.
+//!
+//! Thread count resolution, in priority order:
+//!
+//! 1. [`set_threads`] (runtime override; `batctl --threads N`),
+//! 2. the `BAT_THREADS` environment variable,
+//! 3. the machine's available parallelism.
+//!
+//! At one effective thread every primitive runs the identical serial loop
+//! inline — no pool, no atomics on the data path.
+//!
+//! # Determinism
+//!
+//! All primitives guarantee **bit-identical results for any thread count**:
+//! map outputs are written to disjoint slots by exactly one task each with
+//! a fixed internal loop order, and [`tree_reduce_f32`] combines fixed-size
+//! block partials in index order (the reduction tree depends on the block
+//! size, never on the thread count). This is the contract the sim-vs-serve
+//! parity and fault-determinism suites regression-test.
+//!
+//! ```
+//! let squares = bat_exec::parallel_map_indexed(8, 1, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let sum = bat_exec::tree_reduce_f32(1000, 256, |range| {
+//!     range.map(|i| i as f32).sum()
+//! });
+//! assert_eq!(sum, 499_500.0);
+//! ```
+
+pub mod pool;
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+
+pub use pool::{parse_thread_override, run_blocks, set_threads, threads, MAX_THREADS};
+
+/// Wraps a raw pointer so disjoint-slot writers can share it across tasks.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Writes `v` to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds and no other task may touch slot `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        self.0.add(i).write(v);
+    }
+
+    /// Reborrows `len` elements starting at `start` as a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds and disjoint from every other slice
+    /// handed out during the same parallel call.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_rows(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// How many scheduling blocks to split `n` items into: enough to balance
+/// load (a few blocks per thread), never more than `n`.
+fn block_count(n: usize) -> usize {
+    n.min(threads() * 4)
+}
+
+/// Splits `0..n` into `blocks` contiguous ranges of near-equal size.
+/// Block `b`'s range depends only on `(n, blocks)`, not on scheduling.
+fn block_range(n: usize, blocks: usize, b: usize) -> Range<usize> {
+    let base = n / blocks;
+    let extra = n % blocks;
+    let start = b * base + b.min(extra);
+    let len = base + usize::from(b < extra);
+    start..start + len
+}
+
+/// Maps `f` over `0..n`, returning results in index order. `f(i)` runs
+/// exactly once per index on some thread; outputs land in disjoint slots,
+/// so the result is bit-identical to the serial loop for any thread count.
+///
+/// `grain` is the minimum number of items worth parallelizing: below it the
+/// map runs inline (use it to keep tiny inner loops off the pool).
+pub fn parallel_map_indexed<R, F>(n: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads() <= 1 || n < grain.max(2) {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+    // SAFETY: every slot below is written exactly once before assuming init.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n);
+    }
+    let ptr = SendPtr(out.as_mut_ptr());
+    let blocks = block_count(n);
+    run_blocks(blocks, &|b| {
+        for i in block_range(n, blocks, b) {
+            // SAFETY: block ranges partition 0..n; slot `i` is written by
+            // exactly one task and read only after run_blocks returns.
+            unsafe { ptr.write(i, MaybeUninit::new(f(i))) };
+        }
+    });
+    // SAFETY: run_blocks completed every block, so all n slots are
+    // initialized. MaybeUninit<R> and R have identical layout.
+    unsafe { std::mem::transmute::<Vec<MaybeUninit<R>>, Vec<R>>(out) }
+}
+
+/// Maps `f` over a slice, preserving order. See [`parallel_map_indexed`].
+pub fn parallel_map<T, R, F>(items: &[T], grain: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items.len(), grain, |i| f(&items[i]))
+}
+
+/// Runs `f` on contiguous chunks partitioning `0..n`. Chunk boundaries are
+/// a pure function of `n` and the current block count, and each chunk is
+/// processed by exactly one task — callers must only write state disjoint
+/// per index for the result to be schedule-independent.
+pub fn parallel_chunks<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    if threads() <= 1 || n < grain.max(2) {
+        f(0..n);
+        return;
+    }
+    let blocks = block_count(n);
+    run_blocks(blocks, &|b| f(block_range(n, blocks, b)));
+}
+
+/// Treats `data` as an `n_rows × row_len` row-major buffer and hands
+/// disjoint contiguous row blocks to `f(first_row, rows_slice)` in
+/// parallel. Each row belongs to exactly one block, so per-row outputs are
+/// schedule-independent; `f` must compute rows independently of the block
+/// decomposition for results to be bit-identical across thread counts.
+///
+/// Serial (one inline `f(0, data)` call) when `n_rows < grain_rows` or one
+/// thread is effective.
+///
+/// # Panics
+///
+/// Panics if `row_len == 0` or `data.len()` is not a multiple of `row_len`.
+pub fn parallel_row_blocks<T, F>(data: &mut [T], row_len: usize, grain_rows: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(
+        row_len > 0,
+        "parallel_row_blocks needs a positive row length"
+    );
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer length {} is not a multiple of row length {row_len}",
+        data.len()
+    );
+    let n_rows = data.len() / row_len;
+    if n_rows == 0 {
+        return;
+    }
+    if threads() <= 1 || n_rows < grain_rows.max(2) {
+        f(0, data);
+        return;
+    }
+    let blocks = block_count(n_rows);
+    let ptr = SendPtr(data.as_mut_ptr());
+    run_blocks(blocks, &|b| {
+        let rows = block_range(n_rows, blocks, b);
+        // SAFETY: block ranges partition 0..n_rows, so the row slices are
+        // disjoint; the buffer outlives run_blocks.
+        let slice = unsafe { ptr.slice_rows(rows.start * row_len, rows.len() * row_len) };
+        f(rows.start, slice);
+    });
+}
+
+/// Deterministic parallel sum: partials over **fixed-size** blocks of
+/// `block` indices (independent of thread count), combined serially in
+/// index order. Bit-identical for any thread count, including one.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn tree_reduce_f32<F>(n: usize, block: usize, partial: F) -> f32
+where
+    F: Fn(Range<usize>) -> f32 + Sync,
+{
+    assert!(block > 0, "tree_reduce_f32 needs a positive block size");
+    if n == 0 {
+        return 0.0;
+    }
+    let n_blocks = n.div_ceil(block);
+    let partials = parallel_map_indexed(n_blocks, 2, |b| {
+        partial(b * block..((b + 1) * block).min(n))
+    });
+    // Fixed-order fold: the tree shape is (n, block), never thread count.
+    partials.into_iter().fold(0.0f32, |acc, p| acc + p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn map_preserves_order_at_any_width() {
+        for t in [1, 2, 4, 8] {
+            set_threads(t);
+            let v = parallel_map_indexed(100, 1, |i| i * 3);
+            assert_eq!(
+                v,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "{t} threads"
+            );
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn map_over_slice_borrows() {
+        set_threads(3);
+        let data = vec![1.5f32, 2.5, 3.5];
+        let doubled = parallel_map(&data, 1, |x| x * 2.0);
+        assert_eq!(doubled, vec![3.0, 5.0, 7.0]);
+        set_threads(1);
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        set_threads(4);
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..1003)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        parallel_chunks(hits.len(), 1, |range| {
+            for i in range {
+                hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+        set_threads(1);
+    }
+
+    #[test]
+    fn row_blocks_cover_every_row_once() {
+        for t in [1, 2, 4, 8] {
+            set_threads(t);
+            let rows = 37;
+            let row_len = 5;
+            let mut buf = vec![0u32; rows * row_len];
+            parallel_row_blocks(&mut buf, row_len, 1, |first_row, block| {
+                for (off, row) in block.chunks_mut(row_len).enumerate() {
+                    for (c, slot) in row.iter_mut().enumerate() {
+                        *slot += ((first_row + off) * row_len + c) as u32;
+                    }
+                }
+            });
+            let want: Vec<u32> = (0..(rows * row_len) as u32).collect();
+            assert_eq!(buf, want, "{t} threads");
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn empty_inputs_are_noops() {
+        assert!(parallel_map_indexed(0, 1, |i| i).is_empty());
+        parallel_chunks(0, 1, |_| panic!("must not run"));
+        assert_eq!(tree_reduce_f32(0, 8, |_| panic!("must not run")), 0.0);
+    }
+
+    proptest! {
+        /// The reduction is bit-identical across thread counts because the
+        /// block decomposition is fixed.
+        #[test]
+        fn reduce_is_thread_count_invariant(
+            xs in proptest::collection::vec(-1e3f32..1e3, 1..500),
+            block in 1usize..64,
+        ) {
+            let gold = {
+                set_threads(1);
+                tree_reduce_f32(xs.len(), block, |r| r.map(|i| xs[i]).sum())
+            };
+            for t in [2usize, 4, 8] {
+                set_threads(t);
+                let got = tree_reduce_f32(xs.len(), block, |r| r.map(|i| xs[i]).sum());
+                prop_assert_eq!(got.to_bits(), gold.to_bits());
+            }
+            set_threads(1);
+        }
+    }
+}

@@ -69,6 +69,25 @@ impl GrModelConfig {
         }
     }
 
+    /// A Qwen2-1.5B-shaped proxy at laptop scale, used by the perf
+    /// baseline (`bench_forward`): it keeps Qwen2-1.5B's head layout
+    /// (12 query heads, 2 KV heads — the paper's serving model, Table 2)
+    /// and its 1e6 RoPE base, with hidden/FFN widths scaled down ~16× so a
+    /// 100-candidate ranking prompt is benchmarkable in scalar f32.
+    pub fn qwen2_1_5b_proxy(vocab_size: usize) -> Self {
+        GrModelConfig {
+            vocab_size,
+            hidden_dim: 96,
+            layers: 4,
+            query_heads: 12,
+            kv_heads: 2,
+            head_dim: 8,
+            ffn_dim: 256,
+            max_positions: 4096,
+            rope_base: 1_000_000.0,
+        }
+    }
+
     /// Total query projection width (`query_heads × head_dim`).
     #[inline]
     pub fn q_dim(&self) -> usize {
@@ -126,6 +145,16 @@ mod tests {
         assert_eq!(cfg.q_dim(), 64);
         assert_eq!(cfg.kv_dim(), 32);
         assert_eq!(cfg.gqa_group(), 2);
+    }
+
+    #[test]
+    fn qwen_proxy_is_valid_and_keeps_head_layout() {
+        let cfg = GrModelConfig::qwen2_1_5b_proxy(4096);
+        cfg.validate().unwrap();
+        // Qwen2-1.5B's GQA layout: 12 query heads over 2 KV heads.
+        assert_eq!((cfg.query_heads, cfg.kv_heads), (12, 2));
+        assert_eq!(cfg.gqa_group(), 6);
+        assert_eq!(cfg.q_dim(), cfg.hidden_dim);
     }
 
     #[test]

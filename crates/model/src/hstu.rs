@@ -20,9 +20,11 @@
 
 use crate::config::GrModelConfig;
 use crate::kv::KvSegment;
-use crate::prompt::{SegTag, TokenSeq};
-use crate::transformer::ForwardOutput;
-use bat_tensor::ops::{axpy, dot, rms_norm, silu};
+use crate::prompt::TokenSeq;
+use crate::transformer::{
+    build_mask_rows, combined_tags, norm_rows, pack_kv_transposed, ForwardOutput,
+};
+use bat_tensor::ops::{axpy, fast_silu, fast_silu_in_place, rms_norm};
 use bat_tensor::{Matrix, RopeTable};
 use rand::{rngs::SmallRng, SeedableRng};
 
@@ -63,6 +65,9 @@ pub struct HstuModel {
     layers: Vec<HstuLayer>,
     final_norm: Vec<f32>,
     rope: RopeTable,
+    /// Transposed embedding (`hidden × vocab`) for the axpy-form tied
+    /// output head, mirroring [`crate::GrModel`].
+    embedding_t: Matrix,
 }
 
 impl HstuModel {
@@ -81,7 +86,7 @@ impl HstuModel {
         let mut rng = SmallRng::seed_from_u64(seed);
         let h = cfg.hidden_dim;
         let scale = (1.0 / h as f32).sqrt();
-        let layers = (0..cfg.layers)
+        let layers: Vec<HstuLayer> = (0..cfg.layers)
             .map(|_| HstuLayer {
                 norm: vec![1.0; h],
                 wu: Matrix::random(h, h, scale, &mut rng),
@@ -92,12 +97,15 @@ impl HstuModel {
             })
             .collect();
         let rope = RopeTable::new(cfg.head_dim, cfg.max_positions, cfg.rope_base);
+        let embedding = Matrix::random(cfg.vocab_size, h, 1.0, &mut rng);
+        let embedding_t = embedding.transpose();
         HstuModel {
-            embedding: Matrix::random(cfg.vocab_size, h, 1.0, &mut rng),
+            embedding,
             layers,
             final_norm: vec![1.0; h],
             rope,
             cfg,
+            embedding_t,
         }
     }
 
@@ -113,7 +121,12 @@ impl HstuModel {
     }
 
     /// Runs the HSTU stack over `suffix`, optionally splicing a cached
-    /// prefix KV segment, mirroring [`crate::GrModel::forward`].
+    /// prefix KV segment, mirroring [`crate::GrModel::forward`] — including
+    /// its batched, parallel execution: per-layer projections are one
+    /// axpy-form `X·W` product each, and attention is mask-gathered per
+    /// token (SiLU weights over allowed positions only, normalized by the
+    /// allowed count), parallel over tokens with bit-identical results for
+    /// any thread count.
     ///
     /// # Panics
     ///
@@ -126,101 +139,115 @@ impl HstuModel {
         }
         let p_len = prefix.map_or(0, KvSegment::len);
         let s_len = suffix.len();
-        let tag_at = |g: usize| -> SegTag {
-            if g < p_len {
-                prefix.unwrap().segs[g]
-            } else {
-                suffix.segs[g - p_len]
-            }
-        };
+        let g_len = p_len + s_len;
+        let d = cfg.head_dim;
+        let scale = 1.0 / (d as f32).sqrt();
 
-        let mut h: Vec<Vec<f32>> = suffix
-            .tokens
-            .iter()
-            .map(|&t| self.embedding.row(t as usize).to_vec())
-            .collect();
+        let tags = combined_tags(suffix, prefix);
+        let mask_rows = build_mask_rows(suffix.scheme, &tags, p_len, s_len);
+
+        let mut h = Matrix::zeros(s_len, cfg.hidden_dim);
+        for (t, &tok) in suffix.tokens.iter().enumerate() {
+            h.row_mut(t)
+                .copy_from_slice(self.embedding.row(tok as usize));
+        }
         let mut suffix_kv = KvSegment::empty(cfg.layers, cfg.kv_dim());
         suffix_kv.segs = suffix.segs.clone();
         suffix_kv.pos = suffix.pos.clone();
 
-        let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+        for l in 0..cfg.layers {
+            let lw = &self.layers[l];
 
-        for (l, lw) in self.layers.iter().enumerate() {
-            // SiLU-gated projections for every suffix token.
-            let mut qs: Vec<Vec<f32>> = Vec::with_capacity(s_len);
-            let mut us: Vec<Vec<f32>> = Vec::with_capacity(s_len);
-            for (t, ht) in h.iter().enumerate() {
-                let xn = rms_norm(ht, &lw.norm, 1e-6);
-                let mut q: Vec<f32> = lw.wq.vecmul(&xn).into_iter().map(silu).collect();
-                let mut k: Vec<f32> = lw.wk.vecmul(&xn).into_iter().map(silu).collect();
-                let v: Vec<f32> = lw.wv.vecmul(&xn).into_iter().map(silu).collect();
-                let u: Vec<f32> = lw.wu.vecmul(&xn).into_iter().map(silu).collect();
+            // Batched SiLU-gated projections for every suffix token, then
+            // RoPE per row (SiLU first, as in the per-token formulation).
+            let xn = norm_rows(&h, &lw.norm);
+            let silu_rows = |m: &mut Matrix| {
+                m.par_rows_mut(4, |_, row| fast_silu_in_place(row));
+            };
+            let mut q = xn.matmul(&lw.wq);
+            let mut k = xn.matmul(&lw.wk);
+            let mut v = xn.matmul(&lw.wv);
+            let mut u_mat = xn.matmul(&lw.wu);
+            silu_rows(&mut q);
+            silu_rows(&mut k);
+            silu_rows(&mut v);
+            silu_rows(&mut u_mat);
+            q.par_rows_mut(4, |t, row| {
                 let pos = suffix.pos[t] as usize;
                 for head in 0..cfg.query_heads {
-                    self.rope
-                        .apply(&mut q[head * cfg.head_dim..(head + 1) * cfg.head_dim], pos);
+                    self.rope.apply(&mut row[head * d..(head + 1) * d], pos);
                 }
+            });
+            k.par_rows_mut(4, |t, row| {
+                let pos = suffix.pos[t] as usize;
                 for head in 0..cfg.kv_heads {
-                    self.rope
-                        .apply(&mut k[head * cfg.head_dim..(head + 1) * cfg.head_dim], pos);
+                    self.rope.apply(&mut row[head * d..(head + 1) * d], pos);
                 }
-                suffix_kv.layers[l].push(&k, &v);
-                qs.push(q);
-                us.push(u);
+            });
+            for t in 0..s_len {
+                suffix_kv.layers[l].push(k.row(t), v.row(t));
             }
 
-            for t in 0..s_len {
-                let g_q = p_len + t;
-                let q = &qs[t];
+            // Per-head transposed-packed K/V over [prefix ++ suffix] (HSTU
+            // is single-group: query_heads == kv_heads).
+            let (keys_t, vals_t) =
+                pack_kv_transposed(cfg.kv_heads, d, g_len, prefix.map(|p| &p.layers[l]), &k, &v);
+            // Adaptive masked SiLU attention + count normalization +
+            // elementwise gate, parallel over tokens (the softmax analogue
+            // is `attend_token` in [`crate::transformer`]).
+            let mut gated = Matrix::zeros(s_len, cfg.hidden_dim);
+            gated.par_rows_mut(1, |t, grow| {
+                let mask = &mask_rows[t];
+                let window = mask.len();
+                let count = mask.iter().filter(|&&b| b).count();
+                let q_row = q.row(t);
                 let mut agg = vec![0.0f32; cfg.kv_dim()];
-                let mut count = 0usize;
-                for g_k in 0..=g_q {
-                    if !allowed(suffix.scheme, tag_at(g_q), tag_at(g_k)) {
-                        continue;
-                    }
-                    let (key_row, val_row) = if g_k < p_len {
-                        (
-                            prefix.unwrap().layers[l].key(g_k),
-                            prefix.unwrap().layers[l].value(g_k),
-                        )
+                for head in 0..cfg.kv_heads {
+                    let qv = &q_row[head * d..(head + 1) * d];
+                    let out = &mut agg[head * d..(head + 1) * d];
+                    if count * 4 >= window {
+                        // Dense row: vectorized full-window sweep; masked
+                        // positions get weight exactly 0.
+                        let mut s = vec![0.0f32; window];
+                        for (c, &qc) in qv.iter().enumerate() {
+                            axpy(&mut s, qc, &keys_t[head].row(c)[..window]);
+                        }
+                        for (sj, &ok) in s.iter_mut().zip(mask) {
+                            *sj = if ok { fast_silu(*sj * scale) } else { 0.0 };
+                        }
+                        vals_t[head].rows_dot_acc(&s, out);
                     } else {
-                        (
-                            suffix_kv.layers[l].key(g_k - p_len),
-                            suffix_kv.layers[l].value(g_k - p_len),
-                        )
-                    };
-                    count += 1;
-                    // Pointwise SiLU attention per head, no softmax.
-                    for head in 0..cfg.kv_heads {
-                        let lo = head * cfg.head_dim;
-                        let hi = lo + cfg.head_dim;
-                        let w = silu(dot(&q[lo..hi], &key_row[lo..hi]) * scale);
-                        if w != 0.0 {
-                            axpy(&mut agg[lo..hi], w, &val_row[lo..hi]);
+                        // Sparse row: gather only the allowed positions.
+                        for j in (0..window).filter(|&j| mask[j]) {
+                            let mut sc = 0.0f32;
+                            for (c, &qc) in qv.iter().enumerate() {
+                                sc += qc * keys_t[head].row(c)[j];
+                            }
+                            let w = fast_silu(sc * scale);
+                            if w != 0.0 {
+                                for (c, o) in out.iter_mut().enumerate() {
+                                    *o += w * vals_t[head].row(c)[j];
+                                }
+                            }
                         }
                     }
                 }
                 // Context-size normalization (HSTU's pointwise aggregation).
                 let inv = 1.0 / count.max(1) as f32;
                 agg.iter_mut().for_each(|x| *x *= inv);
-                // Elementwise gate, then output projection, residual add.
                 let normed = rms_norm(&agg, &self.final_norm, 1e-6);
-                let gated: Vec<f32> = normed.iter().zip(&us[t]).map(|(a, g)| a * g).collect();
-                let out = lw.wo.vecmul(&gated);
-                for (a, b) in h[t].iter_mut().zip(&out) {
-                    *a += b;
+                for (slot, (a, g)) in grow.iter_mut().zip(normed.iter().zip(u_mat.row(t))) {
+                    *slot = a * g;
                 }
-            }
+            });
+            let o = gated.matmul(&lw.wo);
+            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o.row(t)));
         }
 
-        let hidden_all: Vec<Vec<f32>> = h
-            .iter()
-            .map(|ht| rms_norm(ht, &self.final_norm, 1e-6))
-            .collect();
+        let normed = norm_rows(&h, &self.final_norm);
+        let hidden_all: Vec<Vec<f32>> = (0..s_len).map(|t| normed.row(t).to_vec()).collect();
         let hidden_last = hidden_all.last().cloned().unwrap();
-        let logits: Vec<f32> = (0..cfg.vocab_size)
-            .map(|i| dot(self.embedding.row(i), &hidden_last))
-            .collect();
+        let logits = self.embedding_t.vecmul(&hidden_last);
         ForwardOutput {
             hidden_last,
             hidden_all,
@@ -229,8 +256,6 @@ impl HstuModel {
         }
     }
 }
-
-use crate::prompt::allowed_tags as allowed;
 
 #[cfg(test)]
 mod tests {
@@ -344,6 +369,28 @@ mod tests {
         let seq_p = layout.build(PrefixKind::Item, &u, &permuted, &s);
         let scores_p = model.forward(&seq_p, None).candidate_scores(&[2, 0, 1]);
         assert!(max_diff(&[scores[2], scores[0], scores[1]], &scores_p) < 1e-4);
+    }
+
+    /// The parallel HSTU forward is bit-identical to its serial run.
+    #[test]
+    fn hstu_forward_bit_identical_across_thread_counts() {
+        let model = HstuModel::random(hstu_cfg(), 37);
+        let (u, i, s) = parts();
+        let seq = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::Item, &u, &i, &s);
+        bat_exec::set_threads(1);
+        let gold = model.forward(&seq, None);
+        for t in [2, 4, 8] {
+            bat_exec::set_threads(t);
+            let got = model.forward(&seq, None);
+            assert!(
+                gold.logits
+                    .iter()
+                    .zip(&got.logits)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{t} threads: HSTU logits diverged from serial"
+            );
+        }
+        bat_exec::set_threads(1);
     }
 
     #[test]

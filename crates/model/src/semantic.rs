@@ -373,14 +373,17 @@ impl SemanticWorld {
 
     /// Runs tasks for the first `n` users, returning the 0-based rank of the
     /// ground-truth item per user (rank 0 = top-1).
+    ///
+    /// Users are independent ranking requests, so they are scored in
+    /// parallel on [`bat_exec`]; each task is seeded from the user index,
+    /// and results land in user order, so the output is identical to the
+    /// serial loop for any thread count.
     pub fn eval_ranks(&self, prefix: PrefixKind, scheme: MaskScheme, n: usize) -> Vec<usize> {
-        (0..n.min(self.cfg.num_users))
-            .map(|u| {
-                let task = self.task(u);
-                let scores = self.score(&task, prefix, scheme);
-                rank_of(&scores, task.truth_pos)
-            })
-            .collect()
+        bat_exec::parallel_map_indexed(n.min(self.cfg.num_users), 1, |u| {
+            let task = self.task(u);
+            let scores = self.score(&task, prefix, scheme);
+            rank_of(&scores, task.truth_pos)
+        })
     }
 }
 

@@ -10,8 +10,12 @@ use crate::config::GrModelConfig;
 use crate::kv::KvSegment;
 use crate::prompt::{SegTag, TokenSeq};
 use crate::weights::Weights;
-use bat_tensor::ops::{axpy, dot, rms_norm, silu, stable_softmax_in_place};
-use bat_tensor::RopeTable;
+use bat_exec::parallel_map_indexed;
+use bat_tensor::ops::{
+    axpy, dot, dot_fast, fast_silu_mul_in_place, rms_norm, silu, stable_softmax_fast_in_place,
+    stable_softmax_in_place,
+};
+use bat_tensor::{Matrix, RopeTable};
 
 /// Result of a forward pass.
 #[derive(Debug, Clone)]
@@ -62,17 +66,43 @@ impl ForwardOutput {
 pub struct GrModel {
     weights: Weights,
     rope: RopeTable,
+    /// Transposed embedding table (`hidden × vocab`), packed once at
+    /// construction so the tied output head is a single axpy-form
+    /// [`Matrix::vecmul`] over hidden rows instead of a per-vocab-row dot.
+    embedding_t: Matrix,
+    /// Per-layer flag: the FFN is structurally zero (any of gate/up/down is
+    /// an all-zero matrix, so the FFN output is exactly zero — true for the
+    /// analytic routed construction) and the whole block can be skipped.
+    ffn_zero: Vec<bool>,
 }
 
 impl GrModel {
-    /// Wraps weights into a runnable model, precomputing the RoPE table.
+    /// Wraps weights into a runnable model, precomputing the RoPE table,
+    /// the transposed embedding for the tied output head, and the
+    /// structural FFN-zero flags.
+    ///
+    /// Projection weights are *not* repacked: they are stored `in × out`
+    /// row-major, which is exactly the layout the axpy-form
+    /// [`Matrix::matmul`] kernel wants for `X·W` — batching removed the
+    /// transposes instead of hiding them.
     pub fn new(weights: Weights) -> Self {
         let rope = RopeTable::new(
             weights.cfg.head_dim,
             weights.cfg.max_positions,
             weights.cfg.rope_base,
         );
-        GrModel { weights, rope }
+        let embedding_t = weights.embedding.transpose();
+        let ffn_zero = weights
+            .layers
+            .iter()
+            .map(|lw| lw.w_gate.is_zero() || lw.w_up.is_zero() || lw.w_down.is_zero())
+            .collect();
+        GrModel {
+            weights,
+            rope,
+            embedding_t,
+            ffn_zero,
+        }
     }
 
     /// The architecture configuration.
@@ -95,6 +125,22 @@ impl GrModel {
     /// at, which is sound precisely because the bipartite scheme fixes each
     /// block's base position (§4.2).
     ///
+    /// # Execution
+    ///
+    /// The pass is batched and parallel: per layer, projections for all
+    /// suffix tokens run as one axpy-form `X·W` [`Matrix::matmul`] (weights
+    /// are stored `in × out`, so no transpose exists anywhere on this
+    /// path); keys/values are repacked per KV head into contiguous
+    /// `g_len × d` matrices; and attention is **mask-gathered** — each
+    /// token scores only the positions its bipartite-mask row allows, like
+    /// the seed, instead of a full causal rectangle that is then mostly
+    /// masked away (under the item-prefix layout >90 % of the rectangle is
+    /// disallowed, so gathering is where the forward's arithmetic saving
+    /// lives). Rows run in parallel; every output slot is written by
+    /// exactly one task with fixed inner order, so logits are
+    /// **bit-identical for any thread count** — the property the
+    /// parallel-determinism suite pins.
+    ///
     /// # Panics
     ///
     /// Panics if `suffix` is empty, if a position ID exceeds the RoPE table,
@@ -107,8 +153,129 @@ impl GrModel {
         }
         let p_len = prefix.map_or(0, KvSegment::len);
         let s_len = suffix.len();
+        let g_len = p_len + s_len;
+        let d = cfg.head_dim;
+        let group = cfg.gqa_group();
+        let scale = 1.0 / (d as f32).sqrt();
 
-        // Combined tag/pos views over [prefix ++ suffix].
+        // Combined tags over [prefix ++ suffix] and the bipartite mask
+        // rows, one per suffix token over its causal window. Tags and
+        // scheme are layer- and head-independent, so these are computed
+        // exactly once per forward.
+        let tags = combined_tags(suffix, prefix);
+        let mask_rows = build_mask_rows(suffix.scheme, &tags, p_len, s_len);
+
+        // Hidden states of suffix tokens as one s_len × hidden matrix.
+        let mut h = Matrix::zeros(s_len, cfg.hidden_dim);
+        for (t, &tok) in suffix.tokens.iter().enumerate() {
+            h.row_mut(t)
+                .copy_from_slice(self.weights.embedding.row(tok as usize));
+        }
+
+        let mut suffix_kv = KvSegment::empty(cfg.layers, cfg.kv_dim());
+        suffix_kv.segs = suffix.segs.clone();
+        suffix_kv.pos = suffix.pos.clone();
+
+        for l in 0..cfg.layers {
+            let lw = &self.weights.layers[l];
+
+            // Batched projections for every suffix token (they only depend
+            // on the previous layer's hidden states), then RoPE per row.
+            let xn = norm_rows(&h, &lw.attn_norm);
+            let mut q = xn.matmul(&lw.wq);
+            let mut k = xn.matmul(&lw.wk);
+            let v = xn.matmul(&lw.wv);
+            q.par_rows_mut(4, |t, row| {
+                let pos = suffix.pos[t] as usize;
+                for qh in 0..cfg.query_heads {
+                    self.rope.apply(&mut row[qh * d..(qh + 1) * d], pos);
+                }
+            });
+            k.par_rows_mut(4, |t, row| {
+                let pos = suffix.pos[t] as usize;
+                for kh in 0..cfg.kv_heads {
+                    self.rope.apply(&mut row[kh * d..(kh + 1) * d], pos);
+                }
+            });
+            for t in 0..s_len {
+                suffix_kv.layers[l].push(k.row(t), v.row(t));
+            }
+
+            // Per-KV-head keys/values over the whole context
+            // [prefix ++ suffix], packed **transposed** (`d × g_len`): the
+            // dense attention path then reads full contiguous rows (one
+            // dimension each), which is what the vectorized axpy/dot
+            // kernels want.
+            let (keys_t, vals_t) =
+                pack_kv_transposed(cfg.kv_heads, d, g_len, prefix.map(|p| &p.layers[l]), &k, &v);
+
+            // Adaptive masked attention, parallel over tokens. Dense rows
+            // (user/instruction tokens, which see most of the context)
+            // score the full causal window with vectorized axpy/dot sweeps
+            // and mask by -inf; sparse rows (item tokens, which see only
+            // their own item under the bipartite scheme) gather just the
+            // allowed positions. Path choice depends only on the mask row,
+            // never on the thread count.
+            let mut attn = Matrix::zeros(s_len, cfg.q_dim());
+            attn.par_rows_mut(1, |t, row| {
+                attend_token(
+                    q.row(t),
+                    &keys_t,
+                    &vals_t,
+                    &mask_rows[t],
+                    group,
+                    d,
+                    scale,
+                    row,
+                );
+            });
+            let o = attn.matmul(&lw.wo);
+            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o.row(t)));
+
+            // SwiGLU FFN, batched; skipped when structurally zero.
+            if !self.ffn_zero[l] {
+                let xn2 = norm_rows(&h, &lw.ffn_norm);
+                let mut act = xn2.matmul(&lw.w_gate);
+                let up = xn2.matmul(&lw.w_up);
+                act.par_rows_mut(4, |t, row| fast_silu_mul_in_place(row, up.row(t)));
+                let down = act.matmul(&lw.w_down);
+                h.par_rows_mut(8, |t, row| axpy(row, 1.0, down.row(t)));
+            }
+        }
+
+        let normed = norm_rows(&h, &self.weights.final_norm);
+        let hidden_all: Vec<Vec<f32>> = (0..s_len).map(|t| normed.row(t).to_vec()).collect();
+        let hidden_last = hidden_all.last().cloned().unwrap();
+        // Tied output head: logit_i = ⟨E[i], h⟩, computed axpy-form over
+        // the pre-transposed embedding so the whole vocab vectorizes.
+        let logits = self.embedding_t.vecmul(&hidden_last);
+
+        ForwardOutput {
+            hidden_last,
+            hidden_all,
+            suffix_kv,
+            logits,
+        }
+    }
+
+    /// The seed's serial per-token forward pass, kept verbatim as the
+    /// honest before/after baseline for the perf suite and as the oracle
+    /// the batched [`GrModel::forward`] is equivalence-tested against. Not
+    /// a production path.
+    #[doc(hidden)]
+    pub fn forward_reference(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+    ) -> ForwardOutput {
+        assert!(!suffix.is_empty(), "forward needs at least one token");
+        let cfg = &self.weights.cfg;
+        if let Some(p) = prefix {
+            assert_eq!(p.layers.len(), cfg.layers, "prefix layer count mismatch");
+        }
+        let p_len = prefix.map_or(0, KvSegment::len);
+        let s_len = suffix.len();
+
         let tag_at = |g: usize| -> SegTag {
             if g < p_len {
                 prefix.unwrap().segs[g]
@@ -117,7 +284,6 @@ impl GrModel {
             }
         };
 
-        // Hidden states of suffix tokens only.
         let mut h: Vec<Vec<f32>> = suffix
             .tokens
             .iter()
@@ -132,14 +298,12 @@ impl GrModel {
         let group = cfg.gqa_group();
 
         for (l, lw) in self.weights.layers.iter().enumerate() {
-            // Projections for every suffix token first (they only depend on
-            // the previous layer's hidden states).
             let mut qs: Vec<Vec<f32>> = Vec::with_capacity(s_len);
             for (t, ht) in h.iter().enumerate() {
                 let xn = rms_norm(ht, &lw.attn_norm, 1e-6);
-                let mut q = lw.wq.vecmul(&xn);
-                let mut k = lw.wk.vecmul(&xn);
-                let v = lw.wv.vecmul(&xn);
+                let mut q = lw.wq.vecmul_sparse(&xn);
+                let mut k = lw.wk.vecmul_sparse(&xn);
+                let v = lw.wv.vecmul_sparse(&xn);
                 let pos = suffix.pos[t] as usize;
                 for qh in 0..cfg.query_heads {
                     self.rope
@@ -153,7 +317,6 @@ impl GrModel {
                 qs.push(q);
             }
 
-            // Attention + FFN per suffix token.
             for t in 0..s_len {
                 let g_q = p_len + t;
                 let q = &qs[t];
@@ -161,7 +324,6 @@ impl GrModel {
                 for qh in 0..cfg.query_heads {
                     let kv_head = qh / group;
                     let q_slice = &q[qh * cfg.head_dim..(qh + 1) * cfg.head_dim];
-                    // Gather logits over allowed keys.
                     let mut idx: Vec<usize> = Vec::with_capacity(g_q + 1);
                     let mut logits: Vec<f32> = Vec::with_capacity(g_q + 1);
                     for g_k in 0..=g_q {
@@ -192,17 +354,16 @@ impl GrModel {
                         axpy(out, *w, vs);
                     }
                 }
-                let proj = lw.wo.vecmul(&attn_out);
+                let proj = lw.wo.vecmul_sparse(&attn_out);
                 for (a, b) in h[t].iter_mut().zip(&proj) {
                     *a += b;
                 }
 
-                // SwiGLU FFN.
                 let xn2 = rms_norm(&h[t], &lw.ffn_norm, 1e-6);
-                let gate = lw.w_gate.vecmul(&xn2);
-                let up = lw.w_up.vecmul(&xn2);
+                let gate = lw.w_gate.vecmul_sparse(&xn2);
+                let up = lw.w_up.vecmul_sparse(&xn2);
                 let act: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
-                let down = lw.w_down.vecmul(&act);
+                let down = lw.w_down.vecmul_sparse(&act);
                 for (a, b) in h[t].iter_mut().zip(&down) {
                     *a += b;
                 }
@@ -214,7 +375,6 @@ impl GrModel {
             .map(|ht| rms_norm(ht, &self.weights.final_norm, 1e-6))
             .collect();
         let hidden_last = hidden_all.last().cloned().unwrap();
-        // Tied output head: logit_i = ⟨E[i], h⟩.
         let logits: Vec<f32> = (0..cfg.vocab_size)
             .map(|i| dot(self.weights.embedding.row(i), &hidden_last))
             .collect();
@@ -267,6 +427,172 @@ impl GrModel {
 }
 
 use crate::prompt::allowed_tags as allowed;
+
+/// Block tags of the combined `[prefix ++ suffix]` context.
+pub(crate) fn combined_tags(suffix: &TokenSeq, prefix: Option<&KvSegment>) -> Vec<SegTag> {
+    let p_len = prefix.map_or(0, KvSegment::len);
+    (0..p_len + suffix.len())
+        .map(|g| {
+            if g < p_len {
+                prefix.unwrap().segs[g]
+            } else {
+                suffix.segs[g - p_len]
+            }
+        })
+        .collect()
+}
+
+/// One bipartite-mask row per suffix token, covering its causal window
+/// `0..=p_len + t`. Masks depend only on tags and the scheme, never on the
+/// layer or head, so each forward pass builds them exactly once.
+pub(crate) fn build_mask_rows(
+    scheme: crate::prompt::MaskScheme,
+    tags: &[SegTag],
+    p_len: usize,
+    s_len: usize,
+) -> Vec<Vec<bool>> {
+    parallel_map_indexed(s_len, 8, |t| {
+        let tq = tags[p_len + t];
+        (0..=p_len + t)
+            .map(|g| allowed(scheme, tq, tags[g]))
+            .collect()
+    })
+}
+
+/// RMS-normalizes every row of `h` with `gain`, in parallel.
+pub(crate) fn norm_rows(h: &Matrix, gain: &[f32]) -> Matrix {
+    let mut out = Matrix::zeros(h.rows(), h.cols());
+    out.par_rows_mut(4, |t, row| {
+        row.copy_from_slice(&rms_norm(h.row(t), gain, 1e-6));
+    });
+    out
+}
+
+/// Packs one layer's keys/values over `[prefix ++ suffix]` into per-KV-head
+/// **transposed** matrices (`d × g_len`): row `c` of head `kh` holds
+/// component `c` of every position's key (resp. value). The attention
+/// kernels then sweep contiguous rows instead of strided columns.
+pub(crate) fn pack_kv_transposed(
+    kv_heads: usize,
+    d: usize,
+    g_len: usize,
+    prefix: Option<&crate::kv::LayerKv>,
+    k: &Matrix,
+    v: &Matrix,
+) -> (Vec<Matrix>, Vec<Matrix>) {
+    let p_len = prefix.map_or(0, crate::kv::LayerKv::len);
+    let mut keys_t = Vec::with_capacity(kv_heads);
+    let mut vals_t = Vec::with_capacity(kv_heads);
+    for kh in 0..kv_heads {
+        let lo = kh * d;
+        let mut kt = Matrix::zeros(d, g_len);
+        let mut vt = Matrix::zeros(d, g_len);
+        for g in 0..p_len {
+            let p = prefix.unwrap();
+            let (key, val) = (p.key(g), p.value(g));
+            for c in 0..d {
+                kt.row_mut(c)[g] = key[lo + c];
+                vt.row_mut(c)[g] = val[lo + c];
+            }
+        }
+        for t in 0..g_len - p_len {
+            let (key, val) = (k.row(t), v.row(t));
+            for c in 0..d {
+                kt.row_mut(c)[p_len + t] = key[lo + c];
+                vt.row_mut(c)[p_len + t] = val[lo + c];
+            }
+        }
+        keys_t.push(kt);
+        vals_t.push(vt);
+    }
+    (keys_t, vals_t)
+}
+
+/// Softmax attention of **all** query heads for one token, over
+/// transposed-packed per-KV-head keys/values and the token's bipartite-mask
+/// row (whose length is the causal window). Adaptive: when at least a
+/// quarter of the window is allowed, each head scores the whole window with
+/// vectorized axpy sweeps and masks by `-inf` (under
+/// [`stable_softmax_fast_in_place`] a masked slot carries weight ≲ 1e-38 —
+/// zero at f32 accumulation scale); otherwise the allowed positions are
+/// gathered **once per token** into contiguous per-KV-head buffers that
+/// all heads then sweep branch-free (under the item-prefix layout a sparse
+/// row allows ~10 of ~200 positions, so the per-head cost used to be pure
+/// gather/alloc overhead — hoisting it was worth ~25 % of the attention
+/// stage). The path choice depends only on the mask row, so results are
+/// thread-count-independent either way.
+// Flat scalar/slice args: this sits inside the parallel per-token closure,
+// and bundling them into a struct would just move the construction cost
+// into the hot loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attend_token(
+    q_row: &[f32],
+    keys_t: &[Matrix],
+    vals_t: &[Matrix],
+    mask: &[bool],
+    group: usize,
+    d: usize,
+    scale: f32,
+    out_row: &mut [f32],
+) {
+    let window = mask.len();
+    let heads = q_row.len() / d;
+    let allowed = mask.iter().filter(|&&b| b).count();
+    if allowed * 4 >= window {
+        let mut s = vec![0.0f32; window];
+        for qh in 0..heads {
+            let (kt, vt) = (&keys_t[qh / group], &vals_t[qh / group]);
+            let qv = &q_row[qh * d..(qh + 1) * d];
+            s.fill(0.0);
+            for (c, &qc) in qv.iter().enumerate() {
+                axpy(&mut s, qc, &kt.row(c)[..window]);
+            }
+            for (sj, &ok) in s.iter_mut().zip(mask) {
+                *sj = if ok { *sj * scale } else { f32::NEG_INFINITY };
+            }
+            stable_softmax_fast_in_place(&mut s);
+            vt.rows_dot_acc(&s, &mut out_row[qh * d..(qh + 1) * d]);
+        }
+    } else {
+        let idx: Vec<usize> = (0..window).filter(|&j| mask[j]).collect();
+        let n = idx.len();
+        if n == 0 {
+            return; // fully-masked row: attention output stays zero
+        }
+        // Gathered K/V, packed `d × n` per KV head so the per-head loops
+        // below run the same contiguous axpy/dot kernels as the dense path.
+        let kv_heads = keys_t.len();
+        let mut kg = vec![0.0f32; kv_heads * d * n];
+        let mut vg = vec![0.0f32; kv_heads * d * n];
+        for kh in 0..kv_heads {
+            for c in 0..d {
+                let (krow, vrow) = (keys_t[kh].row(c), vals_t[kh].row(c));
+                let lo = (kh * d + c) * n;
+                for (t, &j) in idx.iter().enumerate() {
+                    kg[lo + t] = krow[j];
+                    vg[lo + t] = vrow[j];
+                }
+            }
+        }
+        let mut s = vec![0.0f32; n];
+        for qh in 0..heads {
+            let kh = qh / group;
+            let qv = &q_row[qh * d..(qh + 1) * d];
+            s.fill(0.0);
+            for (c, &qc) in qv.iter().enumerate() {
+                let lo = (kh * d + c) * n;
+                axpy(&mut s, qc, &kg[lo..lo + n]);
+            }
+            s.iter_mut().for_each(|x| *x *= scale);
+            stable_softmax_fast_in_place(&mut s);
+            let out = &mut out_row[qh * d..(qh + 1) * d];
+            for (c, o) in out.iter_mut().enumerate() {
+                let lo = (kh * d + c) * n;
+                *o += dot_fast(&s, &vg[lo..lo + n]);
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -449,6 +775,83 @@ mod tests {
             scheme: MaskScheme::Bipartite,
         };
         let _ = model.forward(&seq, None);
+    }
+
+    /// The batched/parallel forward agrees with the seed's serial
+    /// per-token oracle for both prefix orderings, with and without a
+    /// spliced prefix cache.
+    #[test]
+    fn batched_forward_matches_reference_oracle() {
+        let model = tiny_model(29);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        for kind in [PrefixKind::User, PrefixKind::Item] {
+            let seq = layout.build(kind, &u, &i, &s);
+            let new = model.forward(&seq, None);
+            let old = model.forward_reference(&seq, None);
+            assert!(
+                max_diff(&new.logits, &old.logits) < 1e-3,
+                "{kind}: batched forward diverged from the seed oracle"
+            );
+            assert!(max_diff(&new.hidden_last, &old.hidden_last) < 1e-4);
+            assert!(new.suffix_kv.max_abs_diff(&old.suffix_kv).unwrap() < 1e-5);
+
+            let prefix_len = match kind {
+                PrefixKind::User => u.len(),
+                PrefixKind::Item => i.iter().map(Vec::len).sum(),
+            };
+            let (head, tail) = seq.split_at(prefix_len);
+            let kv = model.compute_kv(&head);
+            let new_c = model.forward(&tail, Some(&kv));
+            let old_c = model.forward_reference(&tail, Some(&kv));
+            assert!(
+                max_diff(&new_c.logits, &old_c.logits) < 1e-3,
+                "{kind}: cached batched forward diverged from the seed oracle"
+            );
+        }
+    }
+
+    /// The parallel forward must be bit-identical to its own serial run —
+    /// the determinism contract of the execution layer.
+    #[test]
+    fn forward_is_bit_identical_across_thread_counts() {
+        let model = tiny_model(31);
+        let (u, i, s) = parts();
+        let seq = PromptLayout::new(MaskScheme::Bipartite).build(PrefixKind::Item, &u, &i, &s);
+        bat_exec::set_threads(1);
+        let gold = model.forward(&seq, None);
+        for t in [2, 4, 8] {
+            bat_exec::set_threads(t);
+            let got = model.forward(&seq, None);
+            assert!(
+                gold.logits
+                    .iter()
+                    .zip(&got.logits)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "{t} threads: logits diverged from serial"
+            );
+        }
+        bat_exec::set_threads(1);
+    }
+
+    /// The routed construction has an all-zero FFN, so the structural-skip
+    /// flag must be set there and clear for random weights.
+    #[test]
+    fn ffn_zero_flags_follow_weight_structure() {
+        let random = tiny_model(1);
+        assert!(random.ffn_zero.iter().all(|&z| !z));
+        let cfg = GrModelConfig {
+            query_heads: 2,
+            kv_heads: 2,
+            head_dim: 16,
+            hidden_dim: 32,
+            ..GrModelConfig::tiny(10)
+        };
+        let emb = bat_tensor::Matrix::zeros(10, 32);
+        let mut marker = vec![0.0f32; 32];
+        marker[0] = 1.0;
+        let routed = GrModel::new(Weights::routed(cfg, emb, &marker, 0.5, 0.5));
+        assert!(routed.ffn_zero.iter().all(|&z| z));
     }
 
     #[test]

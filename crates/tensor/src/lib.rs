@@ -1,12 +1,16 @@
 //! Minimal dense linear-algebra kernels for the GR transformer.
 //!
-//! `bat-model` needs exactly four primitives to run a transformer forward
+//! `bat-model` needs a small set of primitives to run a transformer forward
 //! pass: a row-major matrix with matmul, numerically-stable (masked)
-//! softmax, RMS normalization, and rotary position embeddings (RoPE, [Su et
-//! al. 2024], the position encoding the paper adjusts in §4.2). This crate
-//! implements them from scratch in portable f32 — no BLAS, no SIMD
-//! intrinsics — because the accuracy experiments run at laptop-scale
-//! dimensions where clarity beats throughput.
+//! softmax, RMS normalization, rotary position embeddings (RoPE, [Su et
+//! al. 2024], the position encoding the paper adjusts in §4.2), and the
+//! fused attention epilogues. Everything is portable f32 from scratch — no
+//! BLAS, no SIMD intrinsics — but the hot kernels are written for
+//! throughput: [`Matrix::matmul_nt`] streams a transposed-packed operand
+//! through a branch-free 4-wide-unrolled dot product with cache tiling, and
+//! output row blocks run in parallel on [`bat_exec`]'s work-stealing pool.
+//! Every kernel is deterministic: results are bit-identical for any thread
+//! count (see `bat_exec`'s crate docs for the contract).
 //!
 //! # Example
 //!
@@ -23,5 +27,9 @@ pub mod ops;
 pub mod rope;
 
 pub use matrix::Matrix;
-pub use ops::{rms_norm, silu, softmax_masked_in_place, stable_softmax_in_place};
+pub use ops::{
+    axpy, dot, dot_fast, fast_exp, fast_silu, fast_silu_in_place, fast_silu_mul_in_place,
+    fused_masked_softmax_av, fused_silu_av, rms_norm, silu, softmax_masked_in_place,
+    stable_softmax_fast_in_place, stable_softmax_in_place,
+};
 pub use rope::RopeTable;

@@ -1,4 +1,7 @@
-//! Elementwise and reduction kernels: softmax, RMSNorm, SiLU.
+//! Elementwise and reduction kernels: softmax, RMSNorm, SiLU, and the
+//! fused attention epilogues (masked-softmax·V, SiLU·V).
+
+use crate::Matrix;
 
 /// Numerically-stable in-place softmax over `logits`.
 ///
@@ -70,6 +73,211 @@ pub fn silu(x: f32) -> f32 {
     x / (1.0 + (-x).exp())
 }
 
+/// Polynomial `exp` approximation (relative error ≲ 2⁻²¹, i.e. well under
+/// f32 test tolerances), written so LLVM can autovectorize loops over it:
+/// range reduction uses the add-magic-constant rounding trick instead of
+/// `floor` (a libm call on baseline x86-64), the 2ᵏ reconstruction is pure
+/// integer bit math on the magic-shifted float itself — no float→int cast
+/// anywhere (Rust's casts saturate, which LLVM vectorizes as an expensive
+/// compare/select chain; dodging the cast roughly tripled the softmax
+/// exp-pass throughput) — and the polynomial is a chain of mul/adds.
+///
+/// The batched forward paths spend most of their non-matmul time in
+/// softmax/SiLU exponentials; swapping libm's scalar `exp` (~15 ns) for
+/// this (~1 ns vectorized) is a headline kernel win. Inputs below ≈ -87
+/// clamp to `exp(-87) ≈ 1.6e-38` rather than exactly 0 — callers that need
+/// exact zeros for masked slots (softmax over `-inf`) handle the
+/// fully-masked row before calling and tolerate ~1e-38 weights otherwise.
+#[inline]
+// The digits are Cephes' exact hi/lo split of ln 2 and minimax
+// coefficients; "rounding" them as clippy suggests would change the split.
+#[allow(clippy::excessive_precision)]
+pub fn fast_exp(x: f32) -> f32 {
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    // 1.5·2²³: adding it forces round-to-nearest-integer in the mantissa.
+    const MAGIC: f32 = 12_582_912.0;
+    let x = x.clamp(-87.0, 88.0);
+    let t = x * LOG2E + MAGIC; // mantissa now holds 2²² + round(x / ln 2)
+    let k = t - MAGIC; // round(x / ln 2), exact integer as a float
+    let r = x - k * LN2_HI - k * LN2_LO; // |r| ≤ ln2/2 in extended precision
+                                         // Degree-5 minimax polynomial for exp(r) on [-ln2/2, ln2/2] (Cephes).
+    let mut p = 1.987_569_2e-4f32;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_6e-1;
+    p = p * r + 5.000_000_1e-1;
+    let y = p * r * r + r + 1.0;
+    // 2ᵏ straight from `t`'s bits: its low mantissa bits are 2²² + k, so
+    // subtracting (2²² − 127) leaves k + 127 in the low bits and the shift
+    // pushes everything else out of the word. k ∈ [-126, 127] post-clamp.
+    let two_k = f32::from_bits(t.to_bits().wrapping_sub((1 << 22) - 127) << 23);
+    y * two_k
+}
+
+/// SiLU via [`fast_exp`] — the activation kernel of the batched forward.
+#[inline]
+pub fn fast_silu(x: f32) -> f32 {
+    x / (1.0 + fast_exp(-x))
+}
+
+/// SIMD lane width of the reduction kernels below: eight independent f32
+/// accumulator lanes fill one AVX register (two SSE registers), and because
+/// each lane is its own chain the compiler vectorizes without
+/// reassociating anything the contract cares about.
+const LANES: usize = 8;
+
+/// Lane-parallel maximum. `max` is exact and order-independent (for the
+/// non-NaN inputs the softmax shift sees), but the lane layout is fixed
+/// anyway: 8 parallel chains, a fixed tree fold, then the ascending tail.
+/// A plain `fold(NEG_INFINITY, f32::max)` is a serial dependency chain the
+/// compiler cannot widen — on a 250-long attention row that chain was
+/// roughly a third of the whole softmax cost.
+#[inline(always)]
+fn lane_max(xs: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; LANES];
+    let mut it = xs.chunks_exact(LANES);
+    for p in &mut it {
+        let p: &[f32; LANES] = p.try_into().unwrap();
+        for l in 0..LANES {
+            acc[l] = acc[l].max(p[l]);
+        }
+    }
+    let mut m = (acc[0].max(acc[1]).max(acc[2].max(acc[3])))
+        .max(acc[4].max(acc[5]).max(acc[6].max(acc[7])));
+    for &x in it.remainder() {
+        m = m.max(x);
+    }
+    m
+}
+
+/// Lane-parallel sum with the same fixed tree fold as [`lane_max`]. The
+/// association is a pure function of the slice length, so the result is
+/// deterministic; it differs from a left-to-right `iter().sum()` by normal
+/// f32 reassociation error (≈ 1 ulp per lane), which the softmax tolerance
+/// tests cover.
+#[inline(always)]
+fn lane_sum(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut it = xs.chunks_exact(LANES);
+    for p in &mut it {
+        let p: &[f32; LANES] = p.try_into().unwrap();
+        for l in 0..LANES {
+            acc[l] += p[l];
+        }
+    }
+    let mut s = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for &x in it.remainder() {
+        s += x;
+    }
+    s
+}
+
+/// Numerically-stable in-place softmax using [`fast_exp`], structured as
+/// separate vectorizable passes (lane-folded max, exponentiate, lane-folded
+/// sum, scale by reciprocal), dispatched to an AVX2-compiled copy on
+/// capable CPUs. Semantics match [`stable_softmax_in_place`] up to the
+/// approximation and reassociation error: a fully-`-inf` row becomes all
+/// zeros, and `-inf` entries in a mixed row receive weight ≲ 1e-38
+/// (exactly zero in the seed kernel). Every pass runs in a fixed order
+/// that depends only on the slice length, so results are deterministic.
+pub fn stable_softmax_fast_in_place(logits: &mut [f32]) {
+    if logits.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { softmax_fast_avx2(logits) };
+    }
+    softmax_fast_body(logits)
+}
+
+/// [`stable_softmax_fast_in_place`]'s body compiled with AVX2 enabled; the
+/// `#[inline(always)]` body is cloned in so the 8-wide registers apply.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn softmax_fast_avx2(logits: &mut [f32]) {
+    softmax_fast_body(logits)
+}
+
+#[inline(always)]
+fn softmax_fast_body(logits: &mut [f32]) {
+    let max = lane_max(logits);
+    if max == f32::NEG_INFINITY {
+        logits.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    logits.iter_mut().for_each(|v| *v = fast_exp(*v - max));
+    let sum = lane_sum(logits);
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        logits.iter_mut().for_each(|v| *v *= inv);
+    }
+}
+
+/// Elementwise `xs[i] ← fast_silu(xs[i])`, multiversioned like
+/// [`fast_silu_mul_in_place`] so the [`fast_exp`] chain vectorizes at the
+/// caller's full register width (HSTU's gated projections map SiLU over
+/// four matrices per layer).
+pub fn fast_silu_in_place(xs: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { fast_silu_in_place_avx2(xs) };
+    }
+    fast_silu_in_place_body(xs)
+}
+
+/// [`fast_silu_in_place`]'s body compiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fast_silu_in_place_avx2(xs: &mut [f32]) {
+    fast_silu_in_place_body(xs)
+}
+
+#[inline(always)]
+fn fast_silu_in_place_body(xs: &mut [f32]) {
+    for x in xs.iter_mut() {
+        *x = fast_silu(*x);
+    }
+}
+
+/// Fused SwiGLU gate: `acts[i] ← fast_silu(acts[i]) · ups[i]`, the
+/// elementwise epilogue between the FFN's gate/up projections and its down
+/// projection. One multiversioned pass (AVX2 when available) keeps the
+/// [`fast_exp`] chain in vector registers; calling [`fast_silu`] from a
+/// scalar `zip` loop in the model crate left it at the SSE2 baseline.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn fast_silu_mul_in_place(acts: &mut [f32], ups: &[f32]) {
+    assert_eq!(acts.len(), ups.len(), "silu gate arity mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { fast_silu_mul_avx2(acts, ups) };
+    }
+    fast_silu_mul_body(acts, ups)
+}
+
+/// [`fast_silu_mul_in_place`]'s body compiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fast_silu_mul_avx2(acts: &mut [f32], ups: &[f32]) {
+    fast_silu_mul_body(acts, ups)
+}
+
+#[inline(always)]
+fn fast_silu_mul_body(acts: &mut [f32], ups: &[f32]) {
+    for (a, &u) in acts.iter_mut().zip(ups) {
+        *a = fast_silu(*a) * u;
+    }
+}
+
 /// Dot product of two equal-length slices.
 ///
 /// # Panics
@@ -81,7 +289,25 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// `out += scale * v` elementwise.
+/// Lane-accumulated dot product: eight independent accumulation chains
+/// folded in a fixed tree order (deterministic — the association depends
+/// only on the length), dispatched to an AVX2-compiled copy on capable
+/// CPUs. Use in hot loops where [`dot`]'s strict left-to-right chain
+/// (which the compiler must not reassociate, so it cannot vectorize)
+/// would serialize — e.g. the attention value accumulation.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot arity mismatch");
+    crate::matrix::dot_unrolled(a, b)
+}
+
+/// `out += scale * v` elementwise. Element-independent, so the loop
+/// vectorizes as-is; the AVX2 dispatch only widens the registers
+/// (identical arithmetic, bit-identical results).
 ///
 /// # Panics
 ///
@@ -89,8 +315,114 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy(out: &mut [f32], scale: f32, v: &[f32]) {
     assert_eq!(out.len(), v.len(), "axpy arity mismatch");
+    // Below ~4 vectors the AVX2 clone's call overhead outweighs its wider
+    // registers; either path is the same arithmetic in the same order.
+    #[cfg(target_arch = "x86_64")]
+    if out.len() >= 32 && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { axpy_avx2(out, scale, v) };
+    }
+    axpy_body(out, scale, v)
+}
+
+/// [`axpy`]'s body compiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(out: &mut [f32], scale: f32, v: &[f32]) {
+    axpy_body(out, scale, v)
+}
+
+#[inline(always)]
+fn axpy_body(out: &mut [f32], scale: f32, v: &[f32]) {
     for (o, &x) in out.iter_mut().zip(v) {
         *o += scale * x;
+    }
+}
+
+/// Fused masked-softmax · V attention epilogue.
+///
+/// Takes one query's raw score row (`scores[g] = q · k_g`, length
+/// `values.rows()`), applies `scale` and the bipartite `allowed` mask,
+/// softmax-normalizes in place, and accumulates the probability-weighted
+/// value rows into `out` — one pass, no gathered temporaries. Masked (and
+/// underflowed) positions carry exactly zero weight and are skipped in the
+/// accumulation, matching the seed's gather-then-softmax path bit-for-bit:
+/// the masked `exp` terms are exact zeros, and adding `0.0` to a finite
+/// partial sum is exact.
+///
+/// `scores` is clobbered (it holds the attention probabilities on return).
+/// `out` is accumulated into, not overwritten, so per-head slices of a
+/// wider aggregation buffer can be passed directly. A fully-masked row
+/// contributes nothing. `scores` may cover a causal *prefix* of the value
+/// rows (`scores.len() <= values.rows()`), so one packed K/V matrix serves
+/// every query position.
+///
+/// # Panics
+///
+/// Panics if `scores` and `allowed` disagree, if `scores` is longer than
+/// `values.rows()`, or if `out.len() != values.cols()`.
+pub fn fused_masked_softmax_av(
+    scores: &mut [f32],
+    allowed: &[bool],
+    scale: f32,
+    values: &Matrix,
+    out: &mut [f32],
+) {
+    assert_eq!(scores.len(), allowed.len(), "mask arity mismatch");
+    assert!(
+        scores.len() <= values.rows(),
+        "scores/values arity mismatch"
+    );
+    assert_eq!(out.len(), values.cols(), "output arity mismatch");
+    for (v, &ok) in scores.iter_mut().zip(allowed) {
+        *v = if ok { *v * scale } else { f32::NEG_INFINITY };
+    }
+    stable_softmax_in_place(scores);
+    for (g, &w) in scores.iter().enumerate() {
+        if w != 0.0 {
+            axpy(out, w, values.row(g));
+        }
+    }
+}
+
+/// Fused SiLU-gated attention epilogue (HSTU-style pointwise attention).
+///
+/// For each allowed position `g`, computes `w = silu(scores[g] · scale)`
+/// and accumulates `w · values.row(g)` into `out`. Unlike softmax
+/// attention there is no normalization across positions here — HSTU
+/// divides by the allowed-position count at a wider scope (across all
+/// heads), so the caller owns that step.
+///
+/// `scores` is clobbered (masked slots are zeroed, allowed slots hold the
+/// SiLU weight on return). `out` is accumulated into. As with
+/// [`fused_masked_softmax_av`], `scores` may cover a causal prefix of the
+/// value rows.
+///
+/// # Panics
+///
+/// Panics if `scores` and `allowed` disagree, if `scores` is longer than
+/// `values.rows()`, or if `out.len() != values.cols()`.
+pub fn fused_silu_av(
+    scores: &mut [f32],
+    allowed: &[bool],
+    scale: f32,
+    values: &Matrix,
+    out: &mut [f32],
+) {
+    assert_eq!(scores.len(), allowed.len(), "mask arity mismatch");
+    assert!(
+        scores.len() <= values.rows(),
+        "scores/values arity mismatch"
+    );
+    assert_eq!(out.len(), values.cols(), "output arity mismatch");
+    for (g, (v, &ok)) in scores.iter_mut().zip(allowed).enumerate() {
+        if !ok {
+            *v = 0.0;
+            continue;
+        }
+        let w = silu(*v * scale);
+        *v = w;
+        axpy(out, w, values.row(g));
     }
 }
 
@@ -161,6 +493,161 @@ mod tests {
         let mut out = vec![1.0f32, 2.0];
         axpy(&mut out, 2.0, &[0.5, 0.5]);
         assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn fused_softmax_av_matches_gathered_reference() {
+        // Reference: gather allowed scores, softmax the short vector, axpy.
+        let values = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, -1.0], &[0.5, 0.5]]);
+        let raw = [0.3f32, -1.2, 0.8, 2.0];
+        let allowed = [true, false, true, true];
+        let scale = 0.7;
+
+        let mut gathered: Vec<f32> = raw
+            .iter()
+            .zip(&allowed)
+            .filter(|(_, &ok)| ok)
+            .map(|(&s, _)| s * scale)
+            .collect();
+        stable_softmax_in_place(&mut gathered);
+        let mut want = vec![0.0f32; 2];
+        let mut gi = 0;
+        for (g, &ok) in allowed.iter().enumerate() {
+            if ok {
+                axpy(&mut want, gathered[gi], values.row(g));
+                gi += 1;
+            }
+        }
+
+        let mut scores = raw;
+        let mut got = vec![0.0f32; 2];
+        fused_masked_softmax_av(&mut scores, &allowed, scale, &values, &mut got);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-6, "want {w}, got {g}");
+        }
+        assert_eq!(scores[1], 0.0, "masked slot must carry zero weight");
+    }
+
+    #[test]
+    fn fused_softmax_av_fully_masked_is_noop() {
+        let values = Matrix::identity(3);
+        let mut scores = [5.0f32, -2.0, 0.1];
+        let mut out = vec![7.0f32, 7.0, 7.0];
+        fused_masked_softmax_av(&mut scores, &[false, false, false], 1.0, &values, &mut out);
+        assert_eq!(out, vec![7.0, 7.0, 7.0]);
+        assert_eq!(scores, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_softmax_av_accumulates_into_out() {
+        let values = Matrix::from_rows(&[&[2.0]]);
+        let mut scores = [1.0f32];
+        let mut out = vec![10.0f32];
+        fused_masked_softmax_av(&mut scores, &[true], 1.0, &values, &mut out);
+        // Single allowed position → weight 1.0 → out += 2.0.
+        assert!((out[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_silu_av_matches_scalar_loop() {
+        let values = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let raw = [0.5f32, -0.25, 1.5];
+        let allowed = [true, true, false];
+        let scale = 0.4;
+
+        let mut want = vec![0.0f32; 2];
+        for (g, &ok) in allowed.iter().enumerate() {
+            if ok {
+                axpy(&mut want, silu(raw[g] * scale), values.row(g));
+            }
+        }
+
+        let mut scores = raw;
+        let mut got = vec![0.0f32; 2];
+        fused_silu_av(&mut scores, &allowed, scale, &values, &mut got);
+        assert_eq!(want, got);
+        assert_eq!(scores[2], 0.0);
+    }
+
+    #[test]
+    fn fast_exp_tracks_libm_exp() {
+        let mut x = -20.0f32;
+        while x <= 20.0 {
+            let want = x.exp();
+            let got = fast_exp(x);
+            assert!(
+                (got - want).abs() <= want * 3e-7 + 1e-30,
+                "fast_exp({x}) = {got}, libm = {want}"
+            );
+            x += 0.0137;
+        }
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert!(fast_exp(f32::NEG_INFINITY) < 1e-36);
+        assert!(fast_exp(1000.0).is_finite(), "clamped, not overflowed");
+    }
+
+    #[test]
+    fn fast_silu_tracks_silu() {
+        let mut x = -15.0f32;
+        while x <= 15.0 {
+            assert!((fast_silu(x) - silu(x)).abs() < 1e-5, "at {x}");
+            x += 0.0731;
+        }
+    }
+
+    #[test]
+    fn dot_fast_tracks_dot() {
+        let a: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..100).map(|i| (i as f32 * 0.21).cos()).collect();
+        assert!((dot_fast(&a, &b) - dot(&a, &b)).abs() < 1e-4);
+        assert_eq!(dot_fast(&[], &[]), 0.0);
+        assert_eq!(dot_fast(&[2.0, 3.0], &[4.0, 5.0]), 23.0);
+    }
+
+    #[test]
+    fn fast_silu_mul_matches_scalar_gate() {
+        let mut acts: Vec<f32> = (0..37).map(|i| (i as f32 * 0.43).sin() * 3.0).collect();
+        let ups: Vec<f32> = (0..37).map(|i| (i as f32 * 0.29).cos()).collect();
+        let want: Vec<f32> = acts
+            .iter()
+            .zip(&ups)
+            .map(|(&a, &u)| fast_silu(a) * u)
+            .collect();
+        fast_silu_mul_in_place(&mut acts, &ups);
+        for (g, w) in acts.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lane_reductions_match_serial_folds() {
+        for n in [0usize, 1, 7, 8, 9, 63, 250] {
+            let xs: Vec<f32> = (0..n).map(|i| ((i * 37) % 23) as f32 * 0.7 - 5.0).collect();
+            let serial_max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(lane_max(&xs), serial_max, "max over {n}");
+            let serial_sum: f32 = xs.iter().sum();
+            assert!((lane_sum(&xs) - serial_sum).abs() < 1e-3, "sum over {n}");
+        }
+    }
+
+    #[test]
+    fn fast_softmax_tracks_seed_softmax() {
+        let mut a: Vec<f32> = (0..64)
+            .map(|i| ((i * 37) % 19) as f32 * 0.3 - 2.0)
+            .collect();
+        let mut b = a.clone();
+        stable_softmax_in_place(&mut a);
+        stable_softmax_fast_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        // Fully-masked and mixed -inf rows behave like the seed kernel.
+        let mut v = vec![f32::NEG_INFINITY; 3];
+        stable_softmax_fast_in_place(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 0.0]);
+        let mut v = vec![1.0, f32::NEG_INFINITY, 1.0];
+        stable_softmax_fast_in_place(&mut v);
+        assert!(v[1] < 1e-36 && (v[0] - 0.5).abs() < 1e-6);
     }
 
     proptest! {

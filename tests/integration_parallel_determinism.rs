@@ -1,0 +1,204 @@
+//! The execution layer's determinism contract, end to end: every parallel
+//! primitive in `bat-exec` promises bit-identical results for **any**
+//! thread count, so a forward pass, a scored candidate list, and a full
+//! simulated or threaded serving run must produce exactly the same bits at
+//! 1, 2, 4, and 8 threads.
+//!
+//! The thread count here is flipped with [`bat::exec::set_threads`], the
+//! runtime override that sits above the `BAT_THREADS` environment variable
+//! in the resolution order (same code path, testable without process-wide
+//! env mutation; `batctl --threads` goes through the identical call).
+//!
+//! Note the override is process-global and Rust runs tests concurrently:
+//! another test may flip the count mid-forward. That is not a flaw in the
+//! harness — it is the strongest form of the contract. Results may not
+//! depend on the thread count *even while it changes*.
+
+use bat::exec::set_threads;
+use bat::{
+    GrModel, GrModelConfig, HstuModel, MaskScheme, PrefixKind, PromptLayout, SemanticConfig,
+    SemanticWorld, ServeOptions, ServeRuntime, Weights,
+};
+use bat_sim::{EngineConfig, RunStats, ServingEngine, SystemKind};
+use bat_types::{Bytes, ClusterConfig, DatasetConfig, ModelConfig};
+use bat_workload::{TraceGenerator, Workload};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at {i}: {x} vs {y}"
+        );
+    }
+}
+
+fn build_parts(
+    user_len: usize,
+    n_items: usize,
+    item_len: usize,
+) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u32>) {
+    let user: Vec<u32> = (0..user_len as u32).map(|i| 40 + i).collect();
+    let items: Vec<Vec<u32>> = (0..n_items as u32)
+        .map(|i| {
+            (0..item_len as u32)
+                .map(|j| i * item_len as u32 + j)
+                .collect()
+        })
+        .collect();
+    (user, items, vec![120, 121])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel `GrModel::forward` is bit-identical to serial for both
+    /// prefix orderings (UP and IP), across random prompt shapes, with and
+    /// without a cached prefix.
+    #[test]
+    fn gr_forward_is_bit_identical_across_thread_counts(
+        seed in 0u64..500,
+        user_len in 2usize..10,
+        n_items in 2usize..8,
+        item_len in 1usize..4,
+    ) {
+        let (user, items, instr) = build_parts(user_len, n_items, item_len);
+        let model = GrModel::new(Weights::random(GrModelConfig::small(128), seed));
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        for prefix_kind in [PrefixKind::User, PrefixKind::Item] {
+            let seq = layout.build(prefix_kind, &user, &items, &instr);
+            let prefix_len = match prefix_kind {
+                PrefixKind::User => user.len(),
+                PrefixKind::Item => items.iter().map(Vec::len).sum(),
+            };
+            let (head, tail) = seq.split_at(prefix_len);
+
+            set_threads(1);
+            let serial_full = model.forward(&seq, None);
+            let serial_kv = model.compute_kv(&head);
+            let serial_cached = model.forward(&tail, Some(&serial_kv));
+
+            for n in THREAD_COUNTS {
+                set_threads(n);
+                let par_full = model.forward(&seq, None);
+                assert_bits_eq(
+                    &par_full.logits,
+                    &serial_full.logits,
+                    &format!("{prefix_kind} full logits @ {n} threads"),
+                );
+                assert_bits_eq(
+                    &par_full.hidden_last,
+                    &serial_full.hidden_last,
+                    &format!("{prefix_kind} hidden @ {n} threads"),
+                );
+                let par_cached = model.forward(&tail, Some(&model.compute_kv(&head)));
+                assert_bits_eq(
+                    &par_cached.logits,
+                    &serial_cached.logits,
+                    &format!("{prefix_kind} cached logits @ {n} threads"),
+                );
+            }
+            set_threads(1);
+        }
+    }
+}
+
+/// Parallel `HstuModel::forward` (the pointwise-attention baseline) is
+/// bit-identical to serial on both mask schemes.
+#[test]
+fn hstu_forward_is_bit_identical_across_thread_counts() {
+    let (user, items, instr) = build_parts(6, 5, 2);
+    // HSTU's pointwise unit needs matched query/KV heads (no GQA).
+    let cfg = GrModelConfig {
+        query_heads: 2,
+        kv_heads: 2,
+        ..GrModelConfig::tiny(128)
+    };
+    let model = HstuModel::random(cfg, 17);
+    for scheme in [MaskScheme::NaiveCausal, MaskScheme::Bipartite] {
+        let seq = PromptLayout::new(scheme).build(PrefixKind::User, &user, &items, &instr);
+        set_threads(1);
+        let serial = model.forward(&seq, None);
+        for n in THREAD_COUNTS {
+            set_threads(n);
+            let par = model.forward(&seq, None);
+            assert_bits_eq(
+                &par.logits,
+                &serial.logits,
+                &format!("HSTU {scheme:?} logits @ {n} threads"),
+            );
+        }
+        set_threads(1);
+    }
+}
+
+/// The parallel per-candidate scoring path used by the Table 3 accuracy
+/// pipeline returns bit-identical candidate scores at every thread count.
+#[test]
+fn semantic_scoring_is_bit_identical_across_thread_counts() {
+    let world = SemanticWorld::generate(SemanticConfig::test_world());
+    let task = world.task(0);
+    set_threads(1);
+    let serial = world.score(&task, PrefixKind::Item, MaskScheme::Bipartite);
+    for n in THREAD_COUNTS {
+        set_threads(n);
+        let par = world.score(&task, PrefixKind::Item, MaskScheme::Bipartite);
+        assert_bits_eq(&par, &serial, &format!("candidate scores @ {n} threads"));
+    }
+    set_threads(1);
+}
+
+fn run_stats_key(s: &RunStats) -> (usize, u64, u64) {
+    (s.completed, s.total_tokens, s.reused_tokens)
+}
+
+/// A full simulator run and a full threaded-runtime run both report the
+/// same `RunStats` regardless of the execution layer's thread count —
+/// cache accounting, token totals, and completion counts are functions of
+/// the trace and policy, never of scheduling.
+#[test]
+fn run_stats_are_unchanged_across_thread_counts() {
+    let ds = DatasetConfig {
+        num_users: 200,
+        ..DatasetConfig::games()
+    };
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 3), 4);
+    let trace = gen.generate(3.0, 30.0);
+    let mut cluster = ClusterConfig::a100_4node().with_nodes(2);
+    cluster.node.kv_cache_capacity = Bytes::from_gb(20);
+
+    for kind in [SystemKind::UserPrefix, SystemKind::Bat] {
+        let cfg = EngineConfig::for_system(kind, ModelConfig::qwen2_1_5b(), cluster.clone(), &ds);
+
+        set_threads(1);
+        let serial_sim = ServingEngine::new(cfg.clone()).unwrap().run(&trace);
+        let serial_live = ServeRuntime::new(cfg.clone(), ServeOptions::default())
+            .unwrap()
+            .serve(&trace);
+
+        for n in THREAD_COUNTS {
+            set_threads(n);
+            let par_sim = ServingEngine::new(cfg.clone()).unwrap().run(&trace);
+            assert_eq!(
+                run_stats_key(&par_sim),
+                run_stats_key(&serial_sim),
+                "{} sim stats @ {n} threads",
+                kind.label()
+            );
+            let par_live = ServeRuntime::new(cfg.clone(), ServeOptions::default())
+                .unwrap()
+                .serve(&trace);
+            assert_eq!(
+                run_stats_key(&par_live),
+                run_stats_key(&serial_live),
+                "{} live stats @ {n} threads",
+                kind.label()
+            );
+        }
+        set_threads(1);
+    }
+}
