@@ -1,0 +1,158 @@
+//! Meta-failover ablation: the replicated cache-meta service under leader
+//! loss and control-plane partitions.
+//!
+//! Three runs over the same trace: fault-free, leader killed a third of
+//! the way in (respawning halfway), and leader crash plus a cut fabric
+//! link between the client's worker and a peer. The headline claim is
+//! that the meta tier is *bitwise invisible* to serving — every request
+//! completes and the final RunStats match the fault-free run exactly —
+//! while the consensus trail (elections, epochs, fenced appends, snapshot
+//! catch-up) shows the failover actually happened.
+
+use bat::meta::MetaGroup;
+use bat::{
+    ClusterConfig, DatasetConfig, EngineConfig, FaultEvent, FaultKind, FaultReport, FaultSchedule,
+    ModelConfig, RunStats, ServingEngine, SystemKind, WorkerId,
+};
+use bat_bench::{f1, f3, print_table, write_artifact, HarnessArgs};
+use bat_workload::{TraceGenerator, Workload};
+
+const NODES: usize = 2;
+
+fn serving_only(stats: &RunStats) -> RunStats {
+    let mut s = stats.clone();
+    s.faults = FaultReport::default();
+    s
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let duration = args.scale(120.0, 12.0);
+    let rate = args.scale(80.0, 60.0);
+    let model = ModelConfig::qwen2_1_5b();
+    let cluster = ClusterConfig::a100_4node().with_nodes(NODES);
+    let ds = DatasetConfig::games();
+
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 7), 9);
+    let trace = gen.generate(duration, rate);
+
+    let base = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds);
+    let replicas = base.meta_replicas;
+    let leader = MetaGroup::new(replicas, base.meta_seed)
+        .ensure_leader()
+        .expect("fresh group elects");
+    let crash_at = duration / 3.0;
+    let restart_at = duration / 2.0;
+    println!(
+        "{} requests over {duration:.0}s on {NODES} workers, {replicas}-replica meta group; \
+         leader is replica {leader}",
+        trace.len()
+    );
+
+    let crash = FaultSchedule::single_meta_crash(NODES, replicas, leader, crash_at, restart_at)
+        .expect("leader crash keeps a quorum");
+    let mut crash_and_cut_events = crash.events().to_vec();
+    crash_and_cut_events.push(FaultEvent {
+        at_secs: duration * 0.6,
+        kind: FaultKind::CutLink {
+            a: WorkerId::new(0),
+            b: WorkerId::new(1),
+        },
+    });
+    crash_and_cut_events.push(FaultEvent {
+        at_secs: duration * 0.8,
+        kind: FaultKind::HealLink {
+            a: WorkerId::new(0),
+            b: WorkerId::new(1),
+        },
+    });
+    let crash_and_cut = FaultSchedule::with_meta_nodes(NODES, replicas, crash_and_cut_events)
+        .expect("crash + partition schedule validates");
+
+    let runs: Vec<(&str, RunStats)> = [
+        ("fault-free", None),
+        ("leader crash", Some(crash)),
+        ("crash + partition", Some(crash_and_cut)),
+    ]
+    .into_iter()
+    .map(|(label, schedule)| {
+        // Keep the same label across runs: `RunStats.system` is part of the
+        // bitwise comparison.
+        let cfg = base.clone().with_faults(schedule);
+        let stats = ServingEngine::new(cfg).expect("config valid").run(&trace);
+        (label, stats)
+    })
+    .collect();
+    let baseline = serving_only(&runs[0].1);
+
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|(label, s)| {
+            let r = &s.faults;
+            vec![
+                (*label).to_owned(),
+                format!("{}/{}", s.completed, trace.len()),
+                f3(s.hit_rate()),
+                f1(s.p99_latency_ms),
+                r.meta_elections.to_string(),
+                r.meta_final_epoch.to_string(),
+                r.meta_fenced_appends.to_string(),
+                r.meta_snapshot_installs.to_string(),
+                r.meta_unreachable_leader_elections.to_string(),
+                if serving_only(s) == baseline {
+                    "yes".to_owned()
+                } else {
+                    "NO".to_owned()
+                },
+            ]
+        })
+        .collect();
+    println!();
+    print_table(
+        &[
+            "Run", "Done", "Hit", "P99", "Elect", "Epoch", "Fenced", "Snap", "Forced", "Bitwise",
+        ],
+        &rows,
+    );
+
+    let all_complete = runs.iter().all(|(_, s)| s.completed == trace.len());
+    let all_bitwise = runs.iter().all(|(_, s)| serving_only(s) == baseline);
+    let epochs_advance = runs[1..]
+        .iter()
+        .all(|(_, s)| s.faults.meta_final_epoch > 1 && s.faults.meta_elections >= 2);
+    println!(
+        "\nall runs complete every request: {} | serving bitwise-identical across runs: {} | \
+         failovers re-elected at higher epochs: {}",
+        if all_complete { "yes" } else { "NO" },
+        if all_bitwise { "yes" } else { "NO" },
+        if epochs_advance { "yes" } else { "NO" },
+    );
+
+    write_artifact(
+        "ablation_meta_failover.json",
+        &serde_json::json!({
+            "duration_secs": duration,
+            "requests": trace.len(),
+            "meta_replicas": replicas,
+            "initial_leader": leader,
+            "crash_at": crash_at,
+            "restart_at": restart_at,
+            "runs": runs
+                .iter()
+                .map(|(label, s)| {
+                    serde_json::json!({
+                        "label": label,
+                        "completed": s.completed,
+                        "hit_rate": s.hit_rate(),
+                        "p99_latency_ms": s.p99_latency_ms,
+                        "fault_report": &s.faults,
+                        "bitwise_identical": serving_only(s) == baseline,
+                    })
+                })
+                .collect::<Vec<_>>(),
+            "all_complete": all_complete,
+            "all_bitwise_identical": all_bitwise,
+            "epochs_advance": epochs_advance,
+        }),
+    );
+}

@@ -10,6 +10,8 @@
 //! batctl breakdown --dataset industry --duration 30 --rate 80
 //! batctl faults   --dataset games --duration 60 --rate 120 \
 //!                 [--crash 1 --at 20 --down 10 | --crashes 2 --seed 1]
+//! batctl meta     --dataset games --duration 30 --rate 60 \
+//!                 [--replicas 3 --at 10 --down 5]
 //! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json]
 //! ```
 //!
@@ -382,6 +384,87 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_meta(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 30.0)?;
+    let rate = flag_f64(flags, "rate", 60.0)?;
+    let seed = flag_f64(flags, "seed", 1.0)? as u64;
+    let nodes = flag_usize(flags, "nodes", 2)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+
+    let cfg = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds);
+    let replicas = flag_usize(flags, "replicas", cfg.meta_replicas)?;
+    let crash_at = flag_f64(flags, "at", duration / 3.0)?;
+    let down = flag_f64(flags, "down", duration / 6.0)?;
+    let mut cfg = cfg;
+    cfg.meta_replicas = replicas;
+
+    // Probe the seeded group to learn which replica wins the first election,
+    // then schedule its crash — the worst case for the meta service.
+    let leader = bat::meta::MetaGroup::new(cfg.meta_replicas, cfg.meta_seed)
+        .ensure_leader()
+        .map_err(|e| format!("meta group cannot elect: {e}"))?;
+    let schedule =
+        FaultSchedule::single_meta_crash(nodes, replicas, leader, crash_at, crash_at + down)
+            .map_err(|e| e.to_string())?;
+
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), seed), seed ^ 0xbadc0ffe);
+    let trace = gen.generate(duration, rate);
+    let baseline = ServingEngine::new(cfg.clone())
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let faulted = ServingEngine::new(cfg.with_faults(Some(schedule)))
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let r = &faulted.faults;
+
+    println!(
+        "{} on {nodes} nodes, {replicas}-replica meta group, {} requests over {duration:.0}s:",
+        ds.name,
+        trace.len()
+    );
+    println!(
+        "leader (replica {leader}) killed at t={crash_at:.1}s, respawned at t={:.1}s",
+        crash_at + down
+    );
+    println!(
+        "\ncompleted {}/{} (meta failover never drops requests)",
+        faulted.completed,
+        trace.len()
+    );
+    let rows = vec![
+        vec!["meta crashes".to_owned(), r.meta_crashes.to_string()],
+        vec!["meta restarts".to_owned(), r.meta_restarts.to_string()],
+        vec!["elections".to_owned(), r.meta_elections.to_string()],
+        vec!["final epoch".to_owned(), r.meta_final_epoch.to_string()],
+        vec![
+            "fenced appends".to_owned(),
+            r.meta_fenced_appends.to_string(),
+        ],
+        vec![
+            "snapshot installs".to_owned(),
+            r.meta_snapshot_installs.to_string(),
+        ],
+        vec![
+            "client-forced elections".to_owned(),
+            r.meta_unreachable_leader_elections.to_string(),
+        ],
+    ];
+    print_table(&["Meta replication", "Value"], &rows);
+
+    let mut zeroed = faulted.clone();
+    zeroed.faults = bat::FaultReport::default();
+    let mut base = baseline;
+    base.faults = bat::FaultReport::default();
+    if zeroed == base {
+        println!("\nserving stats bitwise-identical to the fault-free run: yes");
+        Ok(())
+    } else {
+        Err("serving stats diverged from the fault-free run".into())
+    }
+}
+
 fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let quick = flags.contains_key("quick");
     // Measure at 1 thread and at --threads (default 4): the summary then
@@ -403,7 +486,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|bench> [--flags]
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|meta|bench> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details
 global: --threads N sizes the bat-exec worker pool";
 
@@ -431,6 +514,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&flags),
         "breakdown" => cmd_breakdown(&flags),
         "faults" => cmd_faults(&flags),
+        "meta" => cmd_meta(&flags),
         "bench" => cmd_bench(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };

@@ -27,5 +27,5 @@ mod view;
 
 pub use cursor::FaultCursor;
 pub use report::FaultReport;
-pub use schedule::{FaultEvent, FaultKind, FaultSchedule};
+pub use schedule::{FaultEvent, FaultKind, FaultSchedule, DEFAULT_META_NODES};
 pub use view::{AppliedFault, ClusterView};

@@ -34,6 +34,33 @@ pub struct FaultReport {
     pub stall_forced_recomputes: u64,
     /// Items proactively re-warmed onto a restarted worker.
     pub rewarmed_items: u64,
+    /// Meta-replica crashes injected.
+    #[serde(default)]
+    pub meta_crashes: u64,
+    /// Meta-replica restarts (snapshot + log-replay catch-ups) injected.
+    #[serde(default)]
+    pub meta_restarts: u64,
+    /// Leader elections the replicated meta group ran (including the
+    /// initial one, when a replicated group served the run).
+    #[serde(default)]
+    pub meta_elections: u64,
+    /// Election epoch the meta group ended the run at (0 when the run used
+    /// a local, unreplicated meta index).
+    #[serde(default)]
+    pub meta_final_epoch: u64,
+    /// Stale-epoch appends rejected by epoch fencing.
+    #[serde(default)]
+    pub meta_fenced_appends: u64,
+    /// Snapshot installs performed to catch rejoining replicas up.
+    #[serde(default)]
+    pub meta_snapshot_installs: u64,
+    /// Per-link partition windows injected (cut events).
+    #[serde(default)]
+    pub link_partitions: u64,
+    /// Elections forced by the meta client because the current leader was
+    /// unreachable across a cut link.
+    #[serde(default)]
+    pub meta_unreachable_leader_elections: u64,
     /// Steady-state hit rate observed before the first crash.
     pub pre_fault_hit_rate: f64,
     /// Lowest windowed hit rate observed after the first crash.
@@ -50,7 +77,12 @@ pub struct FaultReport {
 impl FaultReport {
     /// True when no fault of any kind fired during the run.
     pub fn is_quiet(&self) -> bool {
-        self.crashes == 0 && self.restarts == 0 && self.link_degrades == 0 && self.meta_stalls == 0
+        self.crashes == 0
+            && self.restarts == 0
+            && self.link_degrades == 0
+            && self.meta_stalls == 0
+            && self.meta_crashes == 0
+            && self.link_partitions == 0
     }
 
     /// Fills the recovery metrics from a windowed hit-rate timeline

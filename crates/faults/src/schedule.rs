@@ -28,6 +28,30 @@ pub enum FaultKind {
         /// Length of the unresponsive window, seconds.
         duration_secs: f64,
     },
+    /// Replica `node` of the replicated cache-meta group dies, losing its
+    /// log and state; if it was the leader, the survivors must elect a new
+    /// one before the next meta command can commit.
+    MetaCrash(usize),
+    /// Meta replica `node` rejoins empty and catches up from the leader via
+    /// snapshot + log replay.
+    MetaRestart(usize),
+    /// The link between workers `a` and `b` is cut (symmetric): `a` can no
+    /// longer reach `b` while every other pair stays connected. A meta
+    /// client whose leader is hosted across a cut link treats the leader as
+    /// unreachable and forces an election.
+    CutLink {
+        /// One endpoint of the severed link.
+        a: WorkerId,
+        /// The other endpoint.
+        b: WorkerId,
+    },
+    /// The previously cut link between `a` and `b` heals.
+    HealLink {
+        /// One endpoint of the healed link.
+        a: WorkerId,
+        /// The other endpoint.
+        b: WorkerId,
+    },
 }
 
 /// One scheduled fault.
@@ -39,17 +63,31 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// A validated fault schedule for a cluster of `num_workers` cache workers.
+/// Default size of the replicated meta group when a schedule (or an old
+/// serialized schedule that predates meta faults) doesn't say.
+pub const DEFAULT_META_NODES: usize = 3;
+
+/// A validated fault schedule for a cluster of `num_workers` cache workers
+/// and a replicated meta group of `meta_nodes` replicas.
 ///
 /// Invariants enforced at construction:
 /// * events are finite-timed, non-negative, and sorted by time (ties keep
 ///   insertion order);
 /// * every crash targets a live worker and every restart a crashed one;
 /// * at least one cache worker is alive at every instant;
+/// * every meta crash targets a live replica, every meta restart a crashed
+///   one, and a majority of the meta group stays alive at every instant (a
+///   quorum-less group cannot commit, so such schedules are unservable);
+/// * link cuts target distinct in-range workers, cut only intact links, and
+///   heals only cut ones;
 /// * degrade factors are ≥ 1 and stall durations are > 0.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultSchedule {
     num_workers: usize,
+    /// 0 only in schedules deserialized from before meta faults existed;
+    /// [`FaultSchedule::meta_nodes`] normalizes that to the default.
+    #[serde(default)]
+    meta_nodes: usize,
     events: Vec<FaultEvent>,
 }
 
@@ -61,10 +99,28 @@ impl FaultSchedule {
     ///
     /// Returns [`BatError::InvalidConfig`] describing the first violated
     /// invariant.
-    pub fn new(num_workers: usize, mut events: Vec<FaultEvent>) -> Result<Self, BatError> {
+    pub fn new(num_workers: usize, events: Vec<FaultEvent>) -> Result<Self, BatError> {
+        FaultSchedule::with_meta_nodes(num_workers, DEFAULT_META_NODES, events)
+    }
+
+    /// Like [`FaultSchedule::new`] but for a meta group of `meta_nodes`
+    /// replicas instead of the default [`DEFAULT_META_NODES`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatError::InvalidConfig`] describing the first violated
+    /// invariant.
+    pub fn with_meta_nodes(
+        num_workers: usize,
+        meta_nodes: usize,
+        mut events: Vec<FaultEvent>,
+    ) -> Result<Self, BatError> {
         let invalid = |msg: String| Err(BatError::InvalidConfig(msg));
         if num_workers == 0 {
             return invalid("fault schedule needs at least one worker".into());
+        }
+        if meta_nodes == 0 {
+            return invalid("fault schedule needs at least one meta replica".into());
         }
         for e in &events {
             if !e.at_secs.is_finite() || e.at_secs < 0.0 {
@@ -76,6 +132,23 @@ impl FaultSchedule {
                         return invalid(format!(
                             "fault targets {w} but the cluster has {num_workers} workers"
                         ));
+                    }
+                }
+                FaultKind::MetaCrash(m) | FaultKind::MetaRestart(m) => {
+                    if m >= meta_nodes {
+                        return invalid(format!(
+                            "meta fault targets replica {m} but the group has {meta_nodes} nodes"
+                        ));
+                    }
+                }
+                FaultKind::CutLink { a, b } | FaultKind::HealLink { a, b } => {
+                    if a.index() >= num_workers || b.index() >= num_workers {
+                        return invalid(format!(
+                            "link fault {a}<->{b} exceeds the {num_workers}-worker cluster"
+                        ));
+                    }
+                    if a == b {
+                        return invalid(format!("link fault endpoints must differ, got {a}<->{b}"));
                     }
                 }
                 FaultKind::LinkDegrade { factor } => {
@@ -97,9 +170,13 @@ impl FaultSchedule {
                 .expect("fault times are finite")
         });
         // Replay membership to catch dead-worker crashes, double restarts,
-        // and full-cluster loss.
+        // full-cluster loss, meta-quorum loss, and double link cuts.
         let mut alive = vec![true; num_workers];
         let mut n_alive = num_workers;
+        let mut meta_alive = vec![true; meta_nodes];
+        let mut n_meta_alive = meta_nodes;
+        let quorum = meta_nodes / 2 + 1;
+        let mut cut = vec![false; num_workers * num_workers];
         for e in &events {
             match e.kind {
                 FaultKind::WorkerCrash(w) => {
@@ -125,11 +202,61 @@ impl FaultSchedule {
                     alive[w.index()] = true;
                     n_alive += 1;
                 }
+                FaultKind::MetaCrash(m) => {
+                    if !meta_alive[m] {
+                        return invalid(format!(
+                            "meta replica {m} crashes at t={} while already down",
+                            e.at_secs
+                        ));
+                    }
+                    meta_alive[m] = false;
+                    n_meta_alive -= 1;
+                    if n_meta_alive < quorum {
+                        return invalid(format!(
+                            "meta quorum lost at t={}: {n_meta_alive}/{meta_nodes} alive but \
+                             {quorum} needed to commit",
+                            e.at_secs
+                        ));
+                    }
+                }
+                FaultKind::MetaRestart(m) => {
+                    if meta_alive[m] {
+                        return invalid(format!(
+                            "meta replica {m} restarts at t={} while alive",
+                            e.at_secs
+                        ));
+                    }
+                    meta_alive[m] = true;
+                    n_meta_alive += 1;
+                }
+                FaultKind::CutLink { a, b } => {
+                    let idx = a.index() * num_workers + b.index();
+                    if cut[idx] {
+                        return invalid(format!(
+                            "link {a}<->{b} cut at t={} while already cut",
+                            e.at_secs
+                        ));
+                    }
+                    cut[idx] = true;
+                    cut[b.index() * num_workers + a.index()] = true;
+                }
+                FaultKind::HealLink { a, b } => {
+                    let idx = a.index() * num_workers + b.index();
+                    if !cut[idx] {
+                        return invalid(format!(
+                            "link {a}<->{b} heals at t={} while intact",
+                            e.at_secs
+                        ));
+                    }
+                    cut[idx] = false;
+                    cut[b.index() * num_workers + a.index()] = false;
+                }
                 _ => {}
             }
         }
         Ok(FaultSchedule {
             num_workers,
+            meta_nodes,
             events,
         })
     }
@@ -138,6 +265,7 @@ impl FaultSchedule {
     pub fn none(num_workers: usize) -> Self {
         FaultSchedule {
             num_workers: num_workers.max(1),
+            meta_nodes: DEFAULT_META_NODES,
             events: Vec::new(),
         }
     }
@@ -170,6 +298,42 @@ impl FaultSchedule {
                 FaultEvent {
                     at_secs: restart_at,
                     kind: FaultKind::WorkerRestart(worker),
+                },
+            ],
+        )
+    }
+
+    /// The canonical meta-failover experiment: meta replica `node` (pass
+    /// the initial leader to exercise election) crashes at `crash_at` and
+    /// rejoins at `restart_at` to catch up via snapshot + log replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatError::InvalidConfig`] for out-of-range replicas,
+    /// `restart_at <= crash_at`, or a group too small to keep quorum.
+    pub fn single_meta_crash(
+        num_workers: usize,
+        meta_nodes: usize,
+        node: usize,
+        crash_at: f64,
+        restart_at: f64,
+    ) -> Result<Self, BatError> {
+        if restart_at <= crash_at {
+            return Err(BatError::InvalidConfig(format!(
+                "meta restart at t={restart_at} must come after crash at t={crash_at}"
+            )));
+        }
+        FaultSchedule::with_meta_nodes(
+            num_workers,
+            meta_nodes,
+            vec![
+                FaultEvent {
+                    at_secs: crash_at,
+                    kind: FaultKind::MetaCrash(node),
+                },
+                FaultEvent {
+                    at_secs: restart_at,
+                    kind: FaultKind::MetaRestart(node),
                 },
             ],
         )
@@ -236,6 +400,38 @@ impl FaultSchedule {
     /// Cluster size the schedule was validated against.
     pub fn num_workers(&self) -> usize {
         self.num_workers
+    }
+
+    /// Replicated meta-group size the schedule was validated against
+    /// (pre-meta serialized schedules read as [`DEFAULT_META_NODES`]).
+    pub fn meta_nodes(&self) -> usize {
+        if self.meta_nodes == 0 {
+            DEFAULT_META_NODES
+        } else {
+            self.meta_nodes
+        }
+    }
+
+    /// True when the schedule contains meta-replica or link-partition
+    /// events (the kinds that exercise the replicated meta service).
+    pub fn has_meta_events(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::MetaCrash(_)
+                    | FaultKind::MetaRestart(_)
+                    | FaultKind::CutLink { .. }
+                    | FaultKind::HealLink { .. }
+            )
+        })
+    }
+
+    /// Time of the first scheduled meta-replica crash, if any.
+    pub fn first_meta_crash_at(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .find(|e| matches!(e.kind, FaultKind::MetaCrash(_)))
+            .map(|e| e.at_secs)
     }
 
     /// True when no events are scheduled.
@@ -395,5 +591,133 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: FaultSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn old_serialized_schedules_default_meta_nodes() {
+        // JSON written before meta faults existed has no meta_nodes field.
+        let back: FaultSchedule = serde_json::from_str(r#"{"num_workers":4,"events":[]}"#).unwrap();
+        assert_eq!(back.meta_nodes(), DEFAULT_META_NODES);
+    }
+
+    #[test]
+    fn meta_crash_keeps_quorum() {
+        let ok = FaultSchedule::single_meta_crash(4, 3, 0, 10.0, 30.0).unwrap();
+        assert_eq!(ok.meta_nodes(), 3);
+        assert!(ok.has_meta_events());
+        assert_eq!(ok.first_meta_crash_at(), Some(10.0));
+        assert_eq!(
+            ok.first_crash_at(),
+            None,
+            "meta crashes are not worker crashes"
+        );
+
+        // Killing a second replica of a 3-group before the first rejoins
+        // drops below quorum (2 of 3).
+        let err = FaultSchedule::with_meta_nodes(
+            4,
+            3,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::MetaCrash(0),
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::MetaCrash(1),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("quorum"), "{err}");
+    }
+
+    #[test]
+    fn rejects_double_meta_crash_and_out_of_range_replica() {
+        assert!(FaultSchedule::with_meta_nodes(
+            4,
+            3,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::MetaCrash(1),
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::MetaCrash(1),
+                },
+            ],
+        )
+        .is_err());
+        assert!(FaultSchedule::with_meta_nodes(
+            4,
+            3,
+            vec![FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::MetaRestart(0),
+            }],
+        )
+        .is_err());
+        assert!(FaultSchedule::with_meta_nodes(
+            4,
+            3,
+            vec![FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::MetaCrash(7),
+            }],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn link_cuts_validate_pairing() {
+        let ok = FaultSchedule::new(
+            4,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::CutLink { a: w(0), b: w(2) },
+                },
+                FaultEvent {
+                    at_secs: 5.0,
+                    kind: FaultKind::HealLink { a: w(2), b: w(0) },
+                },
+            ],
+        );
+        // Heal may name the endpoints in either order: links are symmetric.
+        assert!(ok.is_ok());
+        assert!(ok.unwrap().has_meta_events());
+
+        // Self-link, double cut, and spurious heal are rejected.
+        assert!(FaultSchedule::new(
+            4,
+            vec![FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::CutLink { a: w(1), b: w(1) },
+            }],
+        )
+        .is_err());
+        assert!(FaultSchedule::new(
+            4,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::CutLink { a: w(0), b: w(1) },
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::CutLink { a: w(1), b: w(0) },
+                },
+            ],
+        )
+        .is_err());
+        assert!(FaultSchedule::new(
+            4,
+            vec![FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::HealLink { a: w(0), b: w(1) },
+            }],
+        )
+        .is_err());
     }
 }

@@ -16,15 +16,25 @@ pub enum AppliedFault {
     LinkFactor(f64),
     /// The meta service is unresponsive until the given time.
     MetaStalledUntil(f64),
+    /// Meta replica `node` just died, losing its log and state.
+    MetaCrashed(usize),
+    /// Meta replica `node` just rejoined empty and must catch up.
+    MetaRestarted(usize),
+    /// The link between these two workers was just cut (symmetric).
+    LinkCut(WorkerId, WorkerId),
+    /// The link between these two workers just healed.
+    LinkHealed(WorkerId, WorkerId),
 }
 
 /// Live membership of the cache-worker cluster.
 ///
-/// The `epoch` advances on every membership change (crash or restart), so
-/// downstream caches of placement decisions can cheaply detect staleness.
-/// Each worker also carries an `incarnation` counter, bumped when it
-/// rejoins: warmth recorded under an old incarnation must not count for the
-/// rejoined (empty) worker.
+/// The `epoch` advances on every *worker* membership change (crash or
+/// restart), so downstream caches of placement decisions can cheaply detect
+/// staleness. Each worker also carries an `incarnation` counter, bumped when
+/// it rejoins: warmth recorded under an old incarnation must not count for
+/// the rejoined (empty) worker. Meta-replica liveness and per-link
+/// partitions are tracked alongside but do not bump the worker epoch — the
+/// replicated meta group fences with its own election epoch.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterView {
     epoch: u64,
@@ -32,18 +42,33 @@ pub struct ClusterView {
     incarnation: Vec<u64>,
     link_factor: f64,
     meta_stall_until: f64,
+    /// Liveness of the replicated meta group, index = replica id.
+    #[serde(default)]
+    meta_alive: Vec<bool>,
+    /// Symmetric worker-pair link cuts, row-major `a * n + b`.
+    #[serde(default)]
+    link_cut: Vec<bool>,
 }
 
 impl ClusterView {
-    /// A fresh view with all `num_workers` workers alive at epoch 0.
+    /// A fresh view with all `num_workers` workers alive at epoch 0 and a
+    /// default-sized meta group (see [`crate::DEFAULT_META_NODES`]).
     pub fn new(num_workers: usize) -> Self {
+        ClusterView::with_meta(num_workers, crate::schedule::DEFAULT_META_NODES)
+    }
+
+    /// A fresh view with an explicit meta-group size.
+    pub fn with_meta(num_workers: usize, meta_nodes: usize) -> Self {
         assert!(num_workers > 0, "cluster needs at least one worker");
+        assert!(meta_nodes > 0, "meta group needs at least one replica");
         ClusterView {
             epoch: 0,
             alive: vec![true; num_workers],
             incarnation: vec![0; num_workers],
             link_factor: 1.0,
             meta_stall_until: f64::NEG_INFINITY,
+            meta_alive: vec![true; meta_nodes],
+            link_cut: vec![false; num_workers * num_workers],
         }
     }
 
@@ -96,6 +121,45 @@ impl ClusterView {
         now < self.meta_stall_until
     }
 
+    /// Size of the replicated meta group this view tracks.
+    pub fn meta_nodes(&self) -> usize {
+        self.meta_alive.len()
+    }
+
+    /// Whether meta replica `node` is currently up. Out-of-range (including
+    /// views deserialized from before meta faults existed) reads as alive.
+    pub fn meta_is_alive(&self, node: usize) -> bool {
+        self.meta_alive.get(node).copied().unwrap_or(true)
+    }
+
+    /// Number of live meta replicas.
+    pub fn n_meta_alive(&self) -> usize {
+        self.meta_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Whether workers `a` and `b` can talk: both alive and the `a<->b`
+    /// link not cut. A worker always reaches itself while alive. Views
+    /// deserialized from before partitions existed have every link intact.
+    pub fn reachable(&self, a: WorkerId, b: WorkerId) -> bool {
+        if !self.is_alive(a) || !self.is_alive(b) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        let n = self.alive.len();
+        !self
+            .link_cut
+            .get(a.index() * n + b.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Number of currently cut links (unordered pairs).
+    pub fn cut_links(&self) -> usize {
+        self.link_cut.iter().filter(|&&c| c).count() / 2
+    }
+
     /// Applies one fault event, returning what changed. Events must come
     /// from a validated [`crate::FaultSchedule`]; applying a crash to a dead
     /// worker (or restart to a live one) panics, because it means the caller
@@ -132,6 +196,48 @@ impl ClusterView {
             FaultKind::MetaStall { duration_secs } => {
                 self.meta_stall_until = event.at_secs + duration_secs;
                 AppliedFault::MetaStalledUntil(self.meta_stall_until)
+            }
+            FaultKind::MetaCrash(m) => {
+                if self.meta_alive.len() <= m {
+                    self.meta_alive.resize(m + 1, true);
+                }
+                assert!(
+                    self.meta_alive[m],
+                    "meta replica {m} crashed while already down — events applied out of order"
+                );
+                self.meta_alive[m] = false;
+                AppliedFault::MetaCrashed(m)
+            }
+            FaultKind::MetaRestart(m) => {
+                assert!(
+                    self.meta_alive.get(m) == Some(&false),
+                    "meta replica {m} restarted while alive — events applied out of order"
+                );
+                self.meta_alive[m] = true;
+                AppliedFault::MetaRestarted(m)
+            }
+            FaultKind::CutLink { a, b } => {
+                let n = self.alive.len();
+                if self.link_cut.len() < n * n {
+                    self.link_cut.resize(n * n, false);
+                }
+                assert!(
+                    !self.link_cut[a.index() * n + b.index()],
+                    "link {a}<->{b} cut while already cut — events applied out of order"
+                );
+                self.link_cut[a.index() * n + b.index()] = true;
+                self.link_cut[b.index() * n + a.index()] = true;
+                AppliedFault::LinkCut(a, b)
+            }
+            FaultKind::HealLink { a, b } => {
+                let n = self.alive.len();
+                assert!(
+                    self.link_cut.get(a.index() * n + b.index()) == Some(&true),
+                    "link {a}<->{b} healed while intact — events applied out of order"
+                );
+                self.link_cut[a.index() * n + b.index()] = false;
+                self.link_cut[b.index() * n + a.index()] = false;
+                AppliedFault::LinkHealed(a, b)
             }
         }
     }
@@ -203,5 +309,75 @@ mod tests {
         let mut v = ClusterView::new(2);
         v.apply(&crash(1.0, 0));
         v.apply(&crash(2.0, 0));
+    }
+
+    #[test]
+    fn meta_faults_and_partitions_do_not_bump_worker_epoch() {
+        let mut v = ClusterView::with_meta(4, 3);
+        assert_eq!(v.meta_nodes(), 3);
+        assert_eq!(v.n_meta_alive(), 3);
+
+        assert_eq!(
+            v.apply(&FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::MetaCrash(1),
+            }),
+            AppliedFault::MetaCrashed(1)
+        );
+        assert_eq!(v.epoch(), 0, "meta liveness is not worker membership");
+        assert!(!v.meta_is_alive(1));
+        assert_eq!(v.n_meta_alive(), 2);
+
+        assert_eq!(
+            v.apply(&FaultEvent {
+                at_secs: 2.0,
+                kind: FaultKind::MetaRestart(1),
+            }),
+            AppliedFault::MetaRestarted(1)
+        );
+        assert!(v.meta_is_alive(1));
+
+        let (a, b) = (WorkerId::new(0), WorkerId::new(2));
+        assert!(v.reachable(a, b));
+        v.apply(&FaultEvent {
+            at_secs: 3.0,
+            kind: FaultKind::CutLink { a, b },
+        });
+        assert_eq!(v.epoch(), 0, "partitions are not membership changes");
+        assert!(!v.reachable(a, b));
+        assert!(!v.reachable(b, a), "cuts are symmetric");
+        assert!(v.reachable(a, WorkerId::new(1)), "other pairs unaffected");
+        assert!(v.reachable(a, a), "a live worker reaches itself");
+        assert_eq!(v.cut_links(), 1);
+
+        v.apply(&FaultEvent {
+            at_secs: 4.0,
+            kind: FaultKind::HealLink { a: b, b: a },
+        });
+        assert!(v.reachable(a, b));
+        assert_eq!(v.cut_links(), 0);
+    }
+
+    #[test]
+    fn dead_workers_are_unreachable_regardless_of_links() {
+        let mut v = ClusterView::new(3);
+        v.apply(&crash(1.0, 2));
+        assert!(!v.reachable(WorkerId::new(0), WorkerId::new(2)));
+        assert!(!v.reachable(WorkerId::new(2), WorkerId::new(2)));
+        assert!(v.reachable(WorkerId::new(0), WorkerId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn double_meta_crash_panics() {
+        let mut v = ClusterView::with_meta(2, 3);
+        v.apply(&FaultEvent {
+            at_secs: 1.0,
+            kind: FaultKind::MetaCrash(0),
+        });
+        v.apply(&FaultEvent {
+            at_secs: 2.0,
+            kind: FaultKind::MetaCrash(0),
+        });
     }
 }

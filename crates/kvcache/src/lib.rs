@@ -14,7 +14,9 @@
 //! * [`user_cache::UserCache`] — the user-prefix cache region with both
 //!   plain-LRU and hotness-aware admission primitives;
 //! * [`meta::CacheKey`] — user/item-granularity entry identifiers tracked by
-//!   the cache meta service;
+//!   the cache meta service, and [`meta::MetaIndex`] — the meta service's
+//!   behavioural contract, implemented locally here
+//!   ([`meta::LocalMetaIndex`]) and as a replicated group in `bat-meta`;
 //! * [`tiered::TieredUserCache`] — the DRAM + cold-storage hierarchy the
 //!   paper's §3.3.2 footnote defers to future work.
 
@@ -27,7 +29,7 @@ pub mod user_cache;
 
 pub use hotness::FreqEstimator;
 pub use lru::LruIndex;
-pub use meta::CacheKey;
+pub use meta::{meta_digest, meta_time_ms, CacheKey, LocalMetaIndex, MetaIndex};
 pub use pool::PagedPool;
 pub use tiered::{TierHit, TieredConfig, TieredUserCache};
 pub use user_cache::{AdmitOutcome, UserCache, UserCacheConfig};

@@ -127,6 +127,12 @@ impl UserCache {
         self.entries.contains_key(&user)
     }
 
+    /// The page-rounded resident size of `user`'s entry, without touching
+    /// the LRU stamp — what the meta service records for the entry.
+    pub fn entry_bytes(&self, user: UserId) -> Option<Bytes> {
+        self.entries.get(&user).copied()
+    }
+
     /// The user's estimated requests-per-window at `now`.
     pub fn freq_per_window(&self, user: UserId, now: f64) -> f64 {
         self.freq.per_window(&user, now)

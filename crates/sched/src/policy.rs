@@ -31,6 +31,13 @@ pub trait PromptPolicy: Send {
     /// every cluster-membership change; policies that account for item
     /// availability ([`DegradedModePolicy`]) react, the rest ignore it.
     fn set_item_availability(&self, _frac: f64) {}
+
+    /// Meta-service hook: the replicated view epoch the availability signal
+    /// was computed at. Placement reads flow through the cache-meta client,
+    /// and the epoch stamps *which* membership view the policy is acting
+    /// on — a fenced (stale-epoch) signal must never overwrite a newer one.
+    /// Policies that don't track membership ignore it.
+    fn set_view_epoch(&self, _epoch: u64) {}
 }
 
 /// Always the same prefix: the UP and IP baselines of §6.1.
@@ -153,6 +160,10 @@ pub struct DegradedModePolicy {
     /// reference, and the planner is externally synchronized (the threaded
     /// runtime locks it).
     item_availability: std::cell::Cell<f64>,
+    /// Replicated view epoch the availability signal was computed at; a
+    /// stale-epoch update is rejected (the meta service fences deposed
+    /// leaders the same way).
+    view_epoch: std::cell::Cell<u64>,
 }
 
 impl DegradedModePolicy {
@@ -161,12 +172,18 @@ impl DegradedModePolicy {
         DegradedModePolicy {
             inner,
             item_availability: std::cell::Cell::new(1.0),
+            view_epoch: std::cell::Cell::new(0),
         }
     }
 
     /// The current reachable fraction of the item pool.
     pub fn item_availability(&self) -> f64 {
         self.item_availability.get()
+    }
+
+    /// The replicated view epoch the current availability was computed at.
+    pub fn view_epoch(&self) -> u64 {
+        self.view_epoch.get()
     }
 }
 
@@ -206,6 +223,14 @@ impl PromptPolicy for DegradedModePolicy {
 
     fn set_item_availability(&self, frac: f64) {
         self.item_availability.set(frac.clamp(0.0, 1.0));
+    }
+
+    fn set_view_epoch(&self, epoch: u64) {
+        // Monotone: a fenced writer replaying an old membership view must
+        // not roll the recorded epoch back.
+        if epoch >= self.view_epoch.get() {
+            self.view_epoch.set(epoch);
+        }
     }
 }
 
@@ -470,6 +495,21 @@ mod tests {
         policy.set_item_availability(1.0);
         assert_eq!(policy.decide(&r, &mut c, 50.0), PrefixKind::Item);
         StaticPolicy(PrefixKind::Item).set_item_availability(0.0);
+    }
+
+    #[test]
+    fn degraded_mode_view_epoch_is_monotone() {
+        let policy = DegradedModePolicy::new(HotnessAwarePolicy::new(1));
+        assert_eq!(policy.view_epoch(), 0);
+        policy.set_view_epoch(3);
+        assert_eq!(policy.view_epoch(), 3);
+        // A fenced stale writer cannot roll the epoch back.
+        policy.set_view_epoch(1);
+        assert_eq!(policy.view_epoch(), 3);
+        policy.set_view_epoch(4);
+        assert_eq!(policy.view_epoch(), 4);
+        // Epoch-less policies ignore the hook entirely.
+        StaticPolicy(PrefixKind::User).set_view_epoch(9);
     }
 
     #[test]

@@ -318,11 +318,17 @@ impl ServeRuntime {
                                 ctx.alive.store(true, Ordering::Release);
                                 scope.spawn(move || run_worker(&ctx, params));
                             }
-                            // Link and meta faults have no thread-level
-                            // effect; the planner prices/plans them.
+                            // Link, partition and meta faults have no
+                            // thread-level effect; the planner (which hosts
+                            // the replicated meta group and the reachability
+                            // matrix) prices/plans them on nominal time.
                             FaultKind::LinkDegrade { .. }
                             | FaultKind::LinkRestore
-                            | FaultKind::MetaStall { .. } => {}
+                            | FaultKind::MetaStall { .. }
+                            | FaultKind::MetaCrash(_)
+                            | FaultKind::MetaRestart(_)
+                            | FaultKind::CutLink { .. }
+                            | FaultKind::HealLink { .. } => {}
                         }
                     }
                     done_flag.store(true, Ordering::Release);
@@ -353,17 +359,25 @@ impl ServeRuntime {
                     } else {
                         &live
                     };
-                    let min_load = candidates
+                    // Snapshot every candidate's load once: workers decrement
+                    // these atomics concurrently, so re-reading them while
+                    // filtering can leave no candidate equal to a stale
+                    // minimum (an empty tie set, and a panicking dispatch).
+                    let loads: Vec<(usize, u64)> = candidates
                         .iter()
-                        .map(|&i| queued_ref[i].load(Ordering::Relaxed))
+                        .map(|&i| (i, queued_ref[i].load(Ordering::Relaxed)))
+                        .collect();
+                    let min_load = loads
+                        .iter()
+                        .map(|&(_, load)| load)
                         .min()
                         .expect("at least one candidate");
-                    let tied: Vec<usize> = candidates
+                    let tied: Vec<usize> = loads
                         .iter()
-                        .copied()
-                        .filter(|&i| queued_ref[i].load(Ordering::Relaxed) == min_load)
+                        .filter(|&&(_, load)| load == min_load)
+                        .map(|&(i, _)| i)
                         .collect();
-                    let w = tied[*rotate % tied.len().max(1)];
+                    let w = tied[*rotate % tied.len()];
                     *rotate = rotate.wrapping_add(1);
                     queued_ref[w].fetch_add(item.suffix_tokens, Ordering::Relaxed);
                     worker_txs[w].send(item).expect("worker outlives scheduler");

@@ -113,6 +113,13 @@ pub struct EngineConfig {
     /// The simulator replays it as heap events, the threaded runtime as
     /// real worker shutdown/respawn — cache accounting stays identical.
     pub faults: Option<bat_faults::FaultSchedule>,
+    /// Replicas of the cache-meta service's state machine. `0` runs the
+    /// single-node [`bat_kvcache::LocalMetaIndex`] instead of the
+    /// replicated group — required to be the schedule's `meta_nodes()`
+    /// whenever the fault schedule carries meta-replica events.
+    pub meta_replicas: usize,
+    /// Seed of the meta group's randomized-by-seed election timeouts.
+    pub meta_seed: u64,
 }
 
 impl EngineConfig {
@@ -184,6 +191,8 @@ impl EngineConfig {
             track_item_hotness: false,
             item_refresh_interval_secs: None,
             faults: None,
+            meta_replicas: bat_faults::DEFAULT_META_NODES,
+            meta_seed: 0xB47_5EED,
             model,
             cluster,
         }
@@ -252,6 +261,13 @@ impl EngineConfig {
                     "fault schedule covers {} workers but the cluster has {} nodes",
                     schedule.num_workers(),
                     self.cluster.num_nodes
+                )));
+            }
+            if schedule.has_meta_events() && self.meta_replicas != schedule.meta_nodes() {
+                return Err(BatError::InvalidConfig(format!(
+                    "fault schedule targets a {}-replica meta group but the engine runs {}",
+                    schedule.meta_nodes(),
+                    self.meta_replicas
                 )));
             }
         }

@@ -35,5 +35,5 @@ pub mod stats;
 pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
 pub use compute::ComputeModel;
 pub use engine::{AdmissionKind, EngineConfig, PolicyKind, ServingEngine, SystemKind};
-pub use planner::{PlannedJob, RequestPlanner};
+pub use planner::{MetaBackend, PlannedJob, RequestPlanner};
 pub use stats::{breakdown_by_prefix, RequestRecord, RunStats};

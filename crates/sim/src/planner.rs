@@ -11,7 +11,8 @@
 use crate::compute::ComputeModel;
 use crate::engine::{AdmissionKind, EngineConfig, PolicyKind};
 use bat_faults::{AppliedFault, ClusterView, FaultCursor, FaultReport};
-use bat_kvcache::{UserCache, UserCacheConfig};
+use bat_kvcache::{AdmitOutcome, LocalMetaIndex, MetaIndex, UserCache, UserCacheConfig};
+use bat_meta::MetaClient;
 use bat_placement::{DegradedLocation, DegradedPlacement, ItemLocation, ItemPlacementPlan};
 use bat_sched::{
     CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy,
@@ -152,6 +153,36 @@ impl FaultState {
     }
 }
 
+/// The cache-meta service behind the planner: either the single-node
+/// reference index or the replicated group's client. Both implement
+/// [`bat_kvcache::MetaIndex`], and the planner mirrors every cache
+/// mutation through whichever backend is configured — so the replicated
+/// index provably never diverges from what a local meta service records
+/// ([`MetaIndex::digest`] is comparable across the two).
+pub enum MetaBackend {
+    /// Single-node meta service (`meta_replicas == 0`).
+    Local(LocalMetaIndex),
+    /// Leader/follower replicated group behind the retry/redirect client.
+    Replicated(MetaClient),
+}
+
+impl MetaBackend {
+    /// The backend as the common meta-index interface.
+    pub fn as_index(&self) -> &dyn MetaIndex {
+        match self {
+            MetaBackend::Local(m) => m,
+            MetaBackend::Replicated(c) => c,
+        }
+    }
+
+    fn as_index_mut(&mut self) -> &mut dyn MetaIndex {
+        match self {
+            MetaBackend::Local(m) => m,
+            MetaBackend::Replicated(c) => c,
+        }
+    }
+}
+
 /// Stateful per-request planner shared by the simulator and the runtime.
 pub struct RequestPlanner {
     compute: ComputeModel,
@@ -160,6 +191,9 @@ pub struct RequestPlanner {
     placement: Option<ItemPlacementPlan>,
     admission: AdmissionKind,
     caching: bool,
+    /// The cache-meta service; `None` only when caching is disabled (RE has
+    /// no cache state to index).
+    meta: Option<MetaBackend>,
     /// Item access-frequency estimator for the §5.2 Step 3 background
     /// refresh; populated only when tracking is enabled.
     item_freq: Option<bat_kvcache::FreqEstimator<bat_types::ItemId>>,
@@ -214,6 +248,17 @@ impl RequestPlanner {
                 bucket_secs: FAULT_WINDOW_SECS,
             }
         });
+        let meta = cfg.caching.then(|| {
+            if cfg.meta_replicas == 0 {
+                MetaBackend::Local(LocalMetaIndex::new())
+            } else {
+                MetaBackend::Replicated(MetaClient::new(
+                    cfg.meta_replicas,
+                    cfg.meta_seed,
+                    cfg.cluster.num_nodes,
+                ))
+            }
+        });
         RequestPlanner {
             compute,
             user_cache,
@@ -221,6 +266,7 @@ impl RequestPlanner {
             placement: cfg.placement.clone(),
             admission: cfg.admission,
             caching: cfg.caching,
+            meta,
             item_freq: cfg
                 .track_item_hotness
                 .then(|| bat_kvcache::FreqEstimator::new(cfg.freq_window_secs)),
@@ -291,6 +337,7 @@ impl RequestPlanner {
                 .advance_to(now, &mut fs.view, |e, a| applied.push((e.at_secs, a)));
         }
         let mut membership_changed = false;
+        let mut reach_changed = false;
         for &(at, a) in &applied {
             match a {
                 AppliedFault::Crashed(w) => {
@@ -303,19 +350,33 @@ impl RequestPlanner {
                         .view
                         .num_workers();
                     let (entries, bytes) = self.user_cache.invalidate_partition(w.index(), n);
+                    if let Some(meta) = &mut self.meta {
+                        // The replicated index drops the same partition; the
+                        // counts must agree or the mirror has diverged.
+                        let dropped = meta.as_index_mut().drop_user_partition(w.index(), n, at);
+                        debug_assert_eq!(
+                            dropped, entries,
+                            "meta service and user cache disagree on worker {w}'s partition"
+                        );
+                    }
                     let fs = self.faults.as_mut().expect("checked above");
                     fs.report.crashes += 1;
                     fs.report.invalidated_entries += entries;
                     fs.report.invalidated_bytes += bytes.as_u64();
                     membership_changed = true;
+                    reach_changed = true;
                 }
                 AppliedFault::Restarted(w, _incarnation) => {
+                    if let Some(meta) = &mut self.meta {
+                        meta.as_index_mut().note_worker_restart(w.index(), at);
+                    }
                     let fs = self.faults.as_mut().expect("checked above");
                     fs.report.restarts += 1;
                     // The worker rejoins empty: it serves nothing until the
                     // re-warm stream completes (settle_rewarms).
                     fs.rewarm_ready_at[w.index()] = at + fs.rewarm_secs;
                     membership_changed = true;
+                    reach_changed = true;
                 }
                 AppliedFault::LinkFactor(factor) => {
                     if factor > 1.0 {
@@ -333,13 +394,64 @@ impl RequestPlanner {
                         .report
                         .meta_stalls += 1;
                 }
+                AppliedFault::MetaCrashed(m) => {
+                    self.faults
+                        .as_mut()
+                        .expect("checked above")
+                        .report
+                        .meta_crashes += 1;
+                    if let Some(MetaBackend::Replicated(client)) = &mut self.meta {
+                        client.crash_replica(m, at);
+                    }
+                }
+                AppliedFault::MetaRestarted(m) => {
+                    self.faults
+                        .as_mut()
+                        .expect("checked above")
+                        .report
+                        .meta_restarts += 1;
+                    if let Some(MetaBackend::Replicated(client)) = &mut self.meta {
+                        client.restart_replica(m, at);
+                    }
+                }
+                AppliedFault::LinkCut(..) => {
+                    self.faults
+                        .as_mut()
+                        .expect("checked above")
+                        .report
+                        .link_partitions += 1;
+                    reach_changed = true;
+                }
+                AppliedFault::LinkHealed(..) => {
+                    reach_changed = true;
+                }
             }
+        }
+        if reach_changed {
+            self.update_meta_reachability();
         }
         if membership_changed {
             self.rebuild_degraded();
         }
         self.settle_rewarms(now);
         applied.into_iter().map(|(_, a)| a).collect()
+    }
+
+    /// Recomputes which meta replicas the client can reach over the worker
+    /// fabric, from the current membership + link-cut matrix. A leader
+    /// behind a cut link is as good as down: the client will force an
+    /// election among the replicas it can still reach.
+    fn update_meta_reachability(&mut self) {
+        let Some(MetaBackend::Replicated(client)) = &mut self.meta else {
+            return;
+        };
+        let Some(fs) = &self.faults else {
+            return;
+        };
+        let view = &fs.view;
+        client.update_reachability(|from, to| {
+            view.reachable(WorkerId::new(from as u64), WorkerId::new(to as u64))
+        });
     }
 
     /// Rebuilds the membership-aware re-plan after an epoch change and
@@ -357,6 +469,12 @@ impl RequestPlanner {
         }
         let frac = self.item_availability();
         self.policy.set_item_availability(frac);
+        // Stamp the availability signal with the meta service's replicated
+        // view epoch: placement reads flow through the client, and the
+        // policy records which membership view it is acting on.
+        if let Some(meta) = &self.meta {
+            self.policy.set_view_epoch(meta.as_index().view_epoch());
+        }
     }
 
     /// Completes any due re-warms: a restarted worker becomes warm once its
@@ -446,6 +564,19 @@ impl RequestPlanner {
     pub fn finish_faults(&mut self) -> Option<FaultReport> {
         self.faults.as_ref()?;
         self.advance_faults(f64::INFINITY);
+        // Fold the replicated meta service's consensus counters into the
+        // report. Elections and epochs are driven by logical ticks off
+        // nominal trace time, so both execution paths land on identical
+        // numbers.
+        if let Some(MetaBackend::Replicated(client)) = &self.meta {
+            let group = client.group().stats();
+            let fs = self.faults.as_mut().expect("checked above");
+            fs.report.meta_elections = group.elections;
+            fs.report.meta_final_epoch = client.group().epoch();
+            fs.report.meta_fenced_appends = group.fenced_appends;
+            fs.report.meta_snapshot_installs = group.snapshot_installs;
+            fs.report.meta_unreachable_leader_elections = client.stats().forced_elections;
+        }
         let timeline = self.fault_timeline();
         let fs = self.faults.as_mut().expect("checked above");
         let mut report = fs.report.clone();
@@ -472,6 +603,21 @@ impl RequestPlanner {
     /// Read access to the user cache (tests, reporting).
     pub fn user_cache(&self) -> &UserCache {
         &self.user_cache
+    }
+
+    /// The cache-meta service backend (`None` only when caching is
+    /// disabled).
+    pub fn meta(&self) -> Option<&MetaBackend> {
+        self.meta.as_ref()
+    }
+
+    /// The replicated meta client, when the planner runs one
+    /// (`meta_replicas > 0`).
+    pub fn meta_client(&self) -> Option<&MetaClient> {
+        match &self.meta {
+            Some(MetaBackend::Replicated(c)) => Some(c),
+            _ => None,
+        }
     }
 
     /// Replaces the prefix-selection policy (e.g. with the clairvoyant
@@ -517,6 +663,11 @@ impl RequestPlanner {
         }
         let kind = self.policy.decide(req, &mut self.user_cache, now);
         self.user_cache.record_access(req.user, now);
+        if let Some(meta) = &mut self.meta {
+            // The meta service is the frequency book: every access lands in
+            // its replicated hotness table.
+            meta.as_index_mut().touch(req.user.into(), now);
+        }
         job.prefix = kind;
         match kind {
             PrefixKind::User => {
@@ -527,13 +678,27 @@ impl RequestPlanner {
                     job.local_load = user_bytes;
                 } else {
                     // Miss: recompute everything, then admit the new prefix.
-                    match self.admission {
-                        AdmissionKind::Lru => {
-                            let _ = self.user_cache.admit_lru(req.user, user_bytes);
-                        }
+                    let outcome = match self.admission {
+                        AdmissionKind::Lru => self.user_cache.admit_lru(req.user, user_bytes),
                         AdmissionKind::HotnessAware => {
-                            let _ = self.user_cache.admit_if_hotter(req.user, user_bytes, now);
+                            self.user_cache.admit_if_hotter(req.user, user_bytes, now)
                         }
+                    };
+                    if let (AdmitOutcome::Admitted { evicted }, Some(meta)) =
+                        (outcome, &mut self.meta)
+                    {
+                        // Mirror the admission churn into the meta index:
+                        // evictions unregister, the new resident registers
+                        // its page-rounded footprint.
+                        let meta = meta.as_index_mut();
+                        for victim in evicted {
+                            meta.evict(victim.into(), now);
+                        }
+                        let resident = self
+                            .user_cache
+                            .entry_bytes(req.user)
+                            .expect("entry was just admitted");
+                        meta.register(req.user.into(), resident.as_u64(), now);
                     }
                 }
             }

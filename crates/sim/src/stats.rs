@@ -58,7 +58,11 @@ pub fn breakdown_by_prefix(records: &[RequestRecord]) -> Vec<(PrefixKind, usize,
 }
 
 /// Aggregated results of one simulated serving run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` is bitwise (floats included): the meta-failover tests assert
+/// that a leader crash changes *nothing* about serving, not merely that the
+/// aggregates are close.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
     /// System label ("RE", "UP", "IP", "BAT", ...).
     pub system: String,
