@@ -5,9 +5,13 @@
 //! the way in (respawning halfway), and leader crash plus a cut fabric
 //! link between the client's worker and a peer. The headline claim is
 //! that the meta tier is *bitwise invisible* to serving — every request
-//! completes and the final RunStats match the fault-free run exactly —
-//! while the consensus trail (elections, epochs, fenced appends, snapshot
-//! catch-up) shows the failover actually happened.
+//! completes and a pure meta-replica crash leaves the final RunStats
+//! matching the fault-free run exactly — while the consensus trail
+//! (elections, epochs, fenced appends, snapshot catch-up) shows the
+//! failover actually happened. The fabric cut is different: the data
+//! plane also respects the partition (DESIGN §5c), so the third run
+//! still completes everything but detours warm remote-KV pulls to
+//! recompute while the link is down (`unreachable_kv_fallbacks`).
 
 use bat::meta::MetaGroup;
 use bat::{
@@ -99,8 +103,12 @@ fn main() {
                 r.meta_fenced_appends.to_string(),
                 r.meta_snapshot_installs.to_string(),
                 r.meta_unreachable_leader_elections.to_string(),
+                r.unreachable_kv_fallbacks.to_string(),
                 if serving_only(s) == baseline {
                     "yes".to_owned()
+                } else if r.link_partitions > 0 {
+                    // Expected: the data plane detoured around the cut link.
+                    "no (cut)".to_owned()
                 } else {
                     "NO".to_owned()
                 },
@@ -110,21 +118,32 @@ fn main() {
     println!();
     print_table(
         &[
-            "Run", "Done", "Hit", "P99", "Elect", "Epoch", "Fenced", "Snap", "Forced", "Bitwise",
+            "Run", "Done", "Hit", "P99", "Elect", "Epoch", "Fenced", "Snap", "Forced", "Detour",
+            "Bitwise",
         ],
         &rows,
     );
 
     let all_complete = runs.iter().all(|(_, s)| s.completed == trace.len());
-    let all_bitwise = runs.iter().all(|(_, s)| serving_only(s) == baseline);
+    // Pure meta faults must be bitwise-invisible; runs with a fabric cut
+    // are exempt — their data plane legitimately detours around the link.
+    let crash_bitwise = runs
+        .iter()
+        .filter(|(_, s)| s.faults.link_partitions == 0)
+        .all(|(_, s)| serving_only(s) == baseline);
+    let cut_detours = runs
+        .iter()
+        .filter(|(_, s)| s.faults.link_partitions > 0)
+        .all(|(_, s)| s.faults.unreachable_kv_fallbacks >= 1);
     let epochs_advance = runs[1..]
         .iter()
         .all(|(_, s)| s.faults.meta_final_epoch > 1 && s.faults.meta_elections >= 2);
     println!(
-        "\nall runs complete every request: {} | serving bitwise-identical across runs: {} | \
-         failovers re-elected at higher epochs: {}",
+        "\nall runs complete every request: {} | meta-crash serving bitwise-identical: {} | \
+         partitioned run detours warm pulls: {} | failovers re-elected at higher epochs: {}",
         if all_complete { "yes" } else { "NO" },
-        if all_bitwise { "yes" } else { "NO" },
+        if crash_bitwise { "yes" } else { "NO" },
+        if cut_detours { "yes" } else { "NO" },
         if epochs_advance { "yes" } else { "NO" },
     );
 
@@ -151,7 +170,8 @@ fn main() {
                 })
                 .collect::<Vec<_>>(),
             "all_complete": all_complete,
-            "all_bitwise_identical": all_bitwise,
+            "meta_crash_bitwise_identical": crash_bitwise,
+            "partitioned_run_detours": cut_detours,
             "epochs_advance": epochs_advance,
         }),
     );

@@ -12,7 +12,7 @@
 //!                 [--crash 1 --at 20 --down 10 | --crashes 2 --seed 1]
 //! batctl meta     --dataset games --duration 30 --rate 60 \
 //!                 [--replicas 3 --at 10 --down 5]
-//! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json]
+//! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json] [--check BENCH_KERNELS.json]
 //! ```
 //!
 //! The global `--threads N` flag sizes the `bat-exec` worker pool for any
@@ -477,6 +477,26 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("{json}");
     if !summary.deterministic {
         return Err("parallel runs were not bit-identical to serial".into());
+    }
+    // Perf-regression gate: compare every kernel/forward entry against a
+    // committed baseline and fail on >25 % wall-clock regression (or on a
+    // baseline row the fresh run no longer measures). Requires the run and
+    // the baseline to use the same problem sizes (same --quick setting).
+    if let Some(path) = flags.get("check") {
+        let base = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let base: bat_bench::perf::PerfSummary =
+            serde_json::from_str(&base).map_err(|e| format!("parse {path}: {e}"))?;
+        let bad = bat_bench::perf::regressions(&summary, &base, 0.25);
+        if bad.is_empty() {
+            eprintln!("perf gate: no entry regressed >25% vs {path}");
+        } else {
+            return Err(format!(
+                "perf gate: {} entr{} regressed >25% vs {path}:\n  {}",
+                bad.len(),
+                if bad.len() == 1 { "y" } else { "ies" },
+                bad.join("\n  ")
+            ));
+        }
     }
     if let Some(out) = flags.get("out") {
         std::fs::write(out, &json).map_err(|e| format!("write {out}: {e}"))?;

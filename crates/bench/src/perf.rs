@@ -14,12 +14,12 @@
 
 use bat::exec;
 use bat_model::prompt::{MaskScheme, PromptLayout, TokenSeq};
-use bat_model::{GrModel, GrModelConfig, Weights};
+use bat_model::{ForwardWorkspace, GrModel, GrModelConfig, KvSegment, Weights};
 use bat_tensor::Matrix;
 use bat_types::PrefixKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
 }
 
 /// One timed measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchResult {
     /// Benchmark id, e.g. `"matmul_blocked"` or `"forward_batched"`.
     pub name: String,
@@ -40,7 +40,7 @@ pub struct BenchResult {
 }
 
 /// Headline before/after ratio.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Speedup {
     /// What is being compared, e.g. `"forward"`.
     pub name: String,
@@ -53,7 +53,7 @@ pub struct Speedup {
 }
 
 /// Everything `batctl bench` reports.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfSummary {
     /// Hardware parallelism visible to the process.
     pub nproc: usize,
@@ -98,6 +98,28 @@ fn forward_scenario(candidates: usize) -> (GrModel, TokenSeq) {
         &[250, 251],
     );
     (model, seq)
+}
+
+/// The prefix-heavy serving scenario: the same proxy model with a long
+/// cached user prefix *and* `candidates` cached item blocks, so the
+/// computed suffix is just the two instruction tokens — the steady state
+/// of a warm Bat worker, where per-request KV data movement (not FLOPs)
+/// used to dominate. Returns the model, the cached-head sequence, and the
+/// suffix to compute.
+fn prefix_heavy_scenario(user_tokens: usize, candidates: usize) -> (GrModel, TokenSeq, TokenSeq) {
+    let cfg = GrModelConfig::qwen2_1_5b_proxy(300 + candidates);
+    let model = GrModel::new(Weights::random(cfg, 13));
+    let user: Vec<u32> = (0..user_tokens).map(|i| 100 + (i % 100) as u32).collect();
+    let items: Vec<Vec<u32>> = (0..candidates as u32).map(|i| vec![i, 200 + i]).collect();
+    let seq = PromptLayout::new(MaskScheme::Bipartite).build(
+        PrefixKind::User,
+        &user,
+        &items,
+        &[250, 251],
+    );
+    let cached = seq.len() - 2;
+    let (head, tail) = seq.split_at(cached);
+    (model, head, tail)
 }
 
 /// Checks the determinism contract: matmul and forward at each width in
@@ -191,6 +213,53 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
         best_fwd = best_fwd.min(fwd);
     }
 
+    // Prefix-heavy scenario: long cached user prefix + cached candidate
+    // blocks, two-token suffix. `forward_prefix_repack` is the pre-change
+    // data movement (fresh workspace + per-layer repack of the whole
+    // prefix); `forward_packed_prefix` is the canonical path (reused
+    // workspace, zero-copy splice of the stored packed planes). The calls
+    // are sub-millisecond, so they get more samples.
+    let (user_tokens, p_candidates) = if quick { (256, 20) } else { (2048, 100) };
+    let p_samples = samples * 8;
+    let (p_model, p_head, p_tail) = prefix_heavy_scenario(user_tokens, p_candidates);
+    exec::set_threads(1);
+    let p_kv: KvSegment = p_model.compute_kv(&p_head);
+    let repack_secs = time_best(
+        || {
+            drop(black_box(p_model.forward_prefix_repack_baseline(
+                black_box(&p_tail),
+                Some(black_box(&p_kv)),
+            )));
+        },
+        p_samples,
+    );
+    forward.push(BenchResult {
+        name: "forward_prefix_repack".into(),
+        threads: 1,
+        secs: repack_secs,
+    });
+    let mut best_packed = f64::INFINITY;
+    let mut ws = ForwardWorkspace::new();
+    for &w in thread_counts {
+        exec::set_threads(w);
+        let packed = time_best(
+            || {
+                black_box(p_model.forward_with(
+                    black_box(&p_tail),
+                    Some(black_box(&p_kv)),
+                    &mut ws,
+                ));
+            },
+            p_samples,
+        );
+        forward.push(BenchResult {
+            name: "forward_packed_prefix".into(),
+            threads: w,
+            secs: packed,
+        });
+        best_packed = best_packed.min(packed);
+    }
+
     let deterministic = check_determinism(thread_counts);
     exec::set_threads(restore);
 
@@ -207,6 +276,12 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
             after_secs: best_fwd,
             speedup: fwd_ref_secs / best_fwd,
         },
+        Speedup {
+            name: "forward_prefix".into(),
+            before_secs: repack_secs,
+            after_secs: best_packed,
+            speedup: repack_secs / best_packed,
+        },
     ];
 
     PerfSummary {
@@ -219,6 +294,53 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
     }
 }
 
+/// Sub-millisecond entries jitter more than 25 % run to run on a shared
+/// machine, so the gate grants every comparison this much absolute slack
+/// on top of the relative tolerance — large enough to ignore scheduler
+/// noise on a 100 µs kernel, far too small to hide a real regression on
+/// any forward-pass entry.
+const GATE_ABS_SLACK_SECS: f64 = 0.0005;
+
+/// Compares a fresh summary against a committed baseline (the parsed
+/// `BENCH_KERNELS.json`), returning one line per kernel/forward entry that
+/// regressed by more than `tolerance` (fractional, e.g. `0.25` for the CI
+/// gate's 25 %, plus [`GATE_ABS_SLACK_SECS`]) — or that the fresh run no
+/// longer measures at all, since a silently dropped row would otherwise
+/// un-gate itself. Entries the baseline doesn't know about are new
+/// measurements and pass freely. Only meaningful when both runs used the
+/// same problem sizes (same `quick` flag) and overlapping thread widths.
+pub fn regressions(fresh: &PerfSummary, baseline: &PerfSummary, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    let fresh_rows: Vec<&BenchResult> = fresh.kernels.iter().chain(&fresh.forward).collect();
+    for base in baseline.kernels.iter().chain(&baseline.forward) {
+        // Skip baseline widths the fresh run was not asked to measure.
+        if base.threads != 1 && !fresh.thread_counts.contains(&base.threads) {
+            continue;
+        }
+        match fresh_rows
+            .iter()
+            .find(|r| r.name == base.name && r.threads == base.threads)
+        {
+            Some(r) if r.secs > base.secs * (1.0 + tolerance) + GATE_ABS_SLACK_SECS => {
+                out.push(format!(
+                    "{} @ {} threads: {:.6}s vs baseline {:.6}s (+{:.0}%)",
+                    base.name,
+                    base.threads,
+                    r.secs,
+                    base.secs,
+                    (r.secs / base.secs - 1.0) * 100.0
+                ))
+            }
+            Some(_) => {}
+            None => out.push(format!(
+                "{} @ {} threads: present in baseline but not measured",
+                base.name, base.threads
+            )),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,10 +349,11 @@ mod tests {
     fn quick_suite_is_deterministic_and_faster_than_seed() {
         let summary = run(true, &[1, 2]);
         assert!(summary.deterministic, "parallel runs must be bit-identical");
-        assert_eq!(summary.speedups.len(), 2);
+        assert_eq!(summary.speedups.len(), 3);
         for s in &summary.speedups {
             assert!(s.before_secs > 0.0 && s.after_secs > 0.0);
-            // The blocked/fused kernels must not regress below the seed.
+            // The blocked/fused kernels must not regress below the seed,
+            // and the packed splice must not regress below repacking.
             assert!(
                 s.speedup > 1.0,
                 "{} regressed: {:.2}x vs seed",
@@ -246,5 +369,55 @@ mod tests {
         let json = serde_json::to_string(&summary).unwrap();
         assert!(json.contains("\"deterministic\":true"));
         assert!(json.contains("forward_batched"));
+        assert!(json.contains("forward_packed_prefix"));
+        let back: PerfSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.forward.len(), summary.forward.len());
+    }
+
+    #[test]
+    fn regression_gate_flags_slowdowns_and_missing_rows() {
+        let row = |name: &str, threads: usize, secs: f64| BenchResult {
+            name: name.into(),
+            threads,
+            secs,
+        };
+        let baseline = PerfSummary {
+            nproc: 1,
+            thread_counts: vec![1, 4],
+            deterministic: true,
+            kernels: vec![row("matmul_blocked", 1, 0.001)],
+            forward: vec![
+                row("forward_batched", 1, 0.010),
+                row("forward_batched", 4, 0.010),
+                row("forward_packed_prefix", 1, 0.002),
+            ],
+            speedups: vec![],
+        };
+        let mut fresh = baseline.clone();
+        assert!(regressions(&fresh, &baseline, 0.25).is_empty());
+        // 20% slower passes the 25% gate; 40% slower fails.
+        fresh.forward[0].secs = 0.012;
+        assert!(regressions(&fresh, &baseline, 0.25).is_empty());
+        fresh.forward[0].secs = 0.014;
+        assert_eq!(regressions(&fresh, &baseline, 0.25).len(), 1);
+        // Sub-millisecond entries get absolute slack against jitter: a
+        // 100 µs kernel reading 60% high is noise, not a regression.
+        fresh.forward[0].secs = 0.010;
+        fresh.kernels[0].secs = 0.0016;
+        assert!(regressions(&fresh, &baseline, 0.25).is_empty());
+        fresh.kernels[0].secs = 0.0020;
+        assert_eq!(regressions(&fresh, &baseline, 0.25).len(), 1);
+        fresh.kernels[0].secs = 0.001;
+        // Dropping a measured row is flagged, not silently passed.
+        fresh.forward[0].secs = 0.010;
+        fresh.forward.remove(2);
+        assert_eq!(regressions(&fresh, &baseline, 0.25).len(), 1);
+        // Baseline widths the fresh run didn't measure are skipped.
+        fresh.thread_counts = vec![1];
+        fresh.forward = vec![row("forward_batched", 1, 0.010)];
+        fresh.kernels = vec![row("matmul_blocked", 1, 0.001)];
+        let misses = regressions(&fresh, &baseline, 0.25);
+        assert_eq!(misses.len(), 1, "{misses:?}");
+        assert!(misses[0].contains("forward_packed_prefix"));
     }
 }

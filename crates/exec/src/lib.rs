@@ -218,6 +218,47 @@ where
     partials.into_iter().fold(0.0f32, |acc, p| acc + p)
 }
 
+/// Hands the calling thread its own lazily-created instance of `T` —
+/// per-thread workspace plumbing for kernels that run inside the pool's
+/// tasks. Pool workers are persistent daemon threads, so a scratch value
+/// warms up once per worker and is then reused across every task, layer,
+/// and request that lands on that thread: steady-state calls perform no
+/// heap allocation beyond what `f` itself does with an already-grown `T`.
+///
+/// Distinct types get distinct slots (keyed by `TypeId`), so independent
+/// subsystems can each keep scratch on the same thread without
+/// coordination.
+///
+/// # Panics
+///
+/// Panics if `f` re-enters `with_thread_scratch` for the **same** `T` on
+/// the same thread (the scratch value is exclusively borrowed while `f`
+/// runs). Nesting with a different `T` is fine.
+pub fn with_thread_scratch<T, R>(f: impl FnOnce(&mut T) -> R) -> R
+where
+    T: Default + 'static,
+{
+    use std::any::{Any, TypeId};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::rc::Rc;
+
+    thread_local! {
+        static SCRATCH: RefCell<HashMap<TypeId, Rc<dyn Any>>> = RefCell::new(HashMap::new());
+    }
+    let slot: Rc<RefCell<T>> = SCRATCH.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let slot = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Rc::new(RefCell::new(T::default())) as Rc<dyn Any>);
+        Rc::clone(slot)
+            .downcast::<RefCell<T>>()
+            .expect("scratch slot type confusion")
+    });
+    let mut guard = slot.borrow_mut();
+    f(&mut guard)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +276,30 @@ mod tests {
             );
         }
         set_threads(1);
+    }
+
+    #[test]
+    fn thread_scratch_persists_and_separates_types() {
+        #[derive(Default)]
+        struct A(Vec<u32>);
+        #[derive(Default)]
+        struct B(String);
+        with_thread_scratch(|a: &mut A| a.0.push(7));
+        // Different type nests fine while A's slot exists.
+        let b_len = with_thread_scratch(|b: &mut B| {
+            b.0.push('x');
+            with_thread_scratch(|a: &mut A| a.0.push(8));
+            b.0.len()
+        });
+        assert_eq!(b_len, 1);
+        // Same thread sees the same instance across calls.
+        let a_now = with_thread_scratch(|a: &mut A| a.0.clone());
+        assert_eq!(a_now, vec![7, 8]);
+        // Another thread gets a fresh instance.
+        let other = std::thread::spawn(|| with_thread_scratch(|a: &mut A| a.0.clone()))
+            .join()
+            .unwrap();
+        assert!(other.is_empty());
     }
 
     #[test]

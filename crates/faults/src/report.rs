@@ -61,6 +61,11 @@ pub struct FaultReport {
     /// unreachable across a cut link.
     #[serde(default)]
     pub meta_unreachable_leader_elections: u64,
+    /// Item lookups that had to skip a warm KV holder because the requester
+    /// could not reach it under the current partition view (served by
+    /// another reachable holder when one existed, recomputed otherwise).
+    #[serde(default)]
+    pub unreachable_kv_fallbacks: u64,
     /// Steady-state hit rate observed before the first crash.
     pub pre_fault_hit_rate: f64,
     /// Lowest windowed hit rate observed after the first crash.

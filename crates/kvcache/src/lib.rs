@@ -18,12 +18,16 @@
 //!   behavioural contract, implemented locally here
 //!   ([`meta::LocalMetaIndex`]) and as a replicated group in `bat-meta`;
 //! * [`tiered::TieredUserCache`] — the DRAM + cold-storage hierarchy the
-//!   paper's §3.3.2 footnote defers to future work.
+//!   paper's §3.3.2 footnote defers to future work;
+//! * [`segments::SegmentStore`] — materialized packed [`bat_model::KvSegment`]s
+//!   charged to a [`pool::PagedPool`] at their packed-layout resident size,
+//!   so cached prefixes are stored in exactly the form forwards consume.
 
 pub mod hotness;
 pub mod lru;
 pub mod meta;
 pub mod pool;
+pub mod segments;
 pub mod tiered;
 pub mod user_cache;
 
@@ -31,5 +35,6 @@ pub use hotness::FreqEstimator;
 pub use lru::LruIndex;
 pub use meta::{meta_digest, meta_time_ms, CacheKey, LocalMetaIndex, MetaIndex};
 pub use pool::PagedPool;
+pub use segments::SegmentStore;
 pub use tiered::{TierHit, TieredConfig, TieredUserCache};
 pub use user_cache::{AdmitOutcome, UserCache, UserCacheConfig};

@@ -1,0 +1,178 @@
+//! Materialized packed-segment storage over the paged pool.
+//!
+//! The accounting layers in this crate track KV entries by bytes alone; the
+//! actual floats live in [`bat_model::KvSegment`]. [`SegmentStore`] joins
+//! the two: it holds real segments **in their canonical transposed-packed
+//! form** — exactly the layout every forward pass consumes zero-copy — and
+//! charges a [`PagedPool`] for the bytes the packed planes actually keep
+//! resident ([`bat_model::KvSegment::packed_bytes`]). A cached prefix is
+//! therefore packed exactly once, when it is computed; storing it, serving
+//! it, and splicing it into a forward never reshapes the data again.
+
+use crate::meta::CacheKey;
+use crate::pool::PagedPool;
+use bat_model::KvSegment;
+use bat_types::Bytes;
+use std::collections::HashMap;
+
+/// A pool-accounted store of packed KV segments.
+///
+/// ```
+/// use bat_kvcache::{CacheKey, SegmentStore};
+/// use bat_model::KvSegment;
+/// use bat_types::{Bytes, UserId};
+///
+/// let mut store = SegmentStore::new(Bytes::new(1 << 20), 4096);
+/// let mut seg = KvSegment::empty(2, 4);
+/// seg.segs.push(bat_model::SegTag::User);
+/// seg.pos.push(0);
+/// for l in &mut seg.layers {
+///     l.push(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+/// }
+/// let key = CacheKey::User(UserId::new(7));
+/// assert!(store.insert(key, seg));
+/// assert_eq!(store.get(key).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentStore {
+    pool: PagedPool,
+    segments: HashMap<CacheKey, KvSegment>,
+}
+
+impl SegmentStore {
+    /// A store over `capacity` bytes carved into `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes` is zero.
+    pub fn new(capacity: Bytes, page_bytes: u64) -> Self {
+        SegmentStore {
+            pool: PagedPool::new(capacity, page_bytes),
+            segments: HashMap::new(),
+        }
+    }
+
+    /// Bytes the packed segment keeps resident — what the pool is charged.
+    pub fn charge_for(seg: &KvSegment) -> Bytes {
+        Bytes::new(seg.packed_bytes() as u64)
+    }
+
+    /// Inserts a segment, charging the pool for its packed resident bytes
+    /// (rounded up to whole pages). Returns `false` — storing nothing — if
+    /// the key is already present or the segment does not fit.
+    ///
+    /// Segments cloned out of a forward's output are already compacted
+    /// (plane capacity == length), so the charge equals the packed payload
+    /// plus per-token metadata.
+    pub fn insert(&mut self, key: CacheKey, seg: KvSegment) -> bool {
+        if !self.pool.alloc(key, Self::charge_for(&seg)) {
+            return false;
+        }
+        self.segments.insert(key, seg);
+        true
+    }
+
+    /// The stored segment, ready for zero-copy splicing into a forward.
+    pub fn get(&self, key: CacheKey) -> Option<&KvSegment> {
+        self.segments.get(&key)
+    }
+
+    /// Removes a segment, releasing its pages.
+    pub fn remove(&mut self, key: CacheKey) -> Option<KvSegment> {
+        let seg = self.segments.remove(&key)?;
+        self.pool.free(key);
+        Some(seg)
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains(&self, key: CacheKey) -> bool {
+        self.segments.contains_key(&key)
+    }
+
+    /// Number of stored segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Bytes currently allocated (whole pages).
+    pub fn used(&self) -> Bytes {
+        self.pool.used()
+    }
+
+    /// Free capacity (whole pages).
+    pub fn free_bytes(&self) -> Bytes {
+        self.pool.free_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_types::{ItemId, UserId};
+
+    fn seg_with(layers: usize, kv_dim: usize, tokens: usize) -> KvSegment {
+        let mut seg = KvSegment::empty(layers, kv_dim);
+        for t in 0..tokens {
+            seg.segs.push(bat_model::SegTag::User);
+            seg.pos.push(t as u32);
+        }
+        for l in &mut seg.layers {
+            for t in 0..tokens {
+                let col: Vec<f32> = (0..kv_dim).map(|c| (t * kv_dim + c) as f32).collect();
+                l.push(&col, &col);
+            }
+        }
+        seg
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let mut store = SegmentStore::new(Bytes::new(1 << 16), 256);
+        let seg = seg_with(2, 4, 5).clone(); // clone compacts plane capacity
+        let key = CacheKey::Item(ItemId::new(3));
+        let charge = SegmentStore::charge_for(&seg);
+        assert!(charge.as_u64() >= (2 * 2 * 4 * 5 * 4) as u64);
+        assert!(store.insert(key, seg.clone()));
+        assert!(!store.insert(key, seg.clone()), "duplicate rejected");
+        assert_eq!(
+            store.get(key).unwrap().layers[0].key(2),
+            seg.layers[0].key(2)
+        );
+        assert!(store.used().as_u64() >= charge.as_u64());
+        let back = store.remove(key).unwrap();
+        assert_eq!(back.len(), 5);
+        assert_eq!(store.used(), Bytes::ZERO);
+        assert!(store.remove(key).is_none(), "double remove is a no-op");
+    }
+
+    #[test]
+    fn rejects_when_full_and_frees_make_room() {
+        let seg = seg_with(1, 8, 16); // 2 planes blocks × 8×16×4B = 1 KiB packed
+        let charge = SegmentStore::charge_for(&seg).as_u64();
+        let mut store = SegmentStore::new(Bytes::new(charge.div_ceil(256) * 256), 256);
+        assert!(store.insert(CacheKey::User(UserId::new(1)), seg.clone()));
+        assert!(
+            !store.insert(CacheKey::User(UserId::new(2)), seg.clone()),
+            "second segment must not fit"
+        );
+        store.remove(CacheKey::User(UserId::new(1)));
+        assert!(store.insert(CacheKey::User(UserId::new(2)), seg));
+    }
+
+    /// The charge follows the packed layout: a compacted clone of an
+    /// over-reserved segment is charged less.
+    #[test]
+    fn charge_tracks_packed_residency() {
+        let mut seg = seg_with(1, 4, 3);
+        let compact = seg.clone(); // ColBlock::clone compacts capacity
+        for l in &mut seg.layers {
+            l.reserve(100);
+        }
+        assert!(SegmentStore::charge_for(&seg) > SegmentStore::charge_for(&compact));
+    }
+}

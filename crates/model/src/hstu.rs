@@ -21,11 +21,10 @@
 use crate::config::GrModelConfig;
 use crate::kv::KvSegment;
 use crate::prompt::TokenSeq;
-use crate::transformer::{
-    build_mask_rows, combined_tags, norm_rows, pack_kv_transposed, ForwardOutput,
-};
-use bat_tensor::ops::{axpy, fast_silu, fast_silu_in_place, rms_norm};
-use bat_tensor::{Matrix, RopeTable};
+use crate::transformer::{norm_rows_into, ForwardOutput, ForwardWorkspace, MaskBuf};
+use bat_exec::with_thread_scratch;
+use bat_tensor::ops::{axpy, fast_silu, fast_silu_in_place, rms_norm_into};
+use bat_tensor::{Matrix, RopeTable, SplitCols};
 use rand::{rngs::SmallRng, SeedableRng};
 
 /// Weights of one HSTU layer.
@@ -132,6 +131,31 @@ impl HstuModel {
     ///
     /// Panics if `suffix` is empty or the prefix layer count mismatches.
     pub fn forward(&self, suffix: &TokenSeq, prefix: Option<&KvSegment>) -> ForwardOutput {
+        let mut ws = ForwardWorkspace::new();
+        self.forward_impl(suffix, prefix, &mut ws);
+        ws.into_output()
+    }
+
+    /// [`HstuModel::forward`] into a caller-owned workspace, mirroring
+    /// [`crate::GrModel::forward_with`]: a warmed workspace makes the
+    /// steady-state HSTU forward allocation-free, with bit-identical
+    /// results.
+    pub fn forward_with<'w>(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+        ws: &'w mut ForwardWorkspace,
+    ) -> &'w ForwardOutput {
+        self.forward_impl(suffix, prefix, ws);
+        ws.output()
+    }
+
+    fn forward_impl(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+        ws: &mut ForwardWorkspace,
+    ) {
         assert!(!suffix.is_empty(), "forward needs at least one token");
         let cfg = &self.cfg;
         if let Some(p) = prefix {
@@ -143,35 +167,64 @@ impl HstuModel {
         let d = cfg.head_dim;
         let scale = 1.0 / (d as f32).sqrt();
 
-        let tags = combined_tags(suffix, prefix);
-        let mask_rows = build_mask_rows(suffix.scheme, &tags, p_len, s_len);
+        // Workspace mapping: `act` holds the gated unit output and `up`
+        // the elementwise gate `U` (the FFN slots, unused by HSTU).
+        let ForwardWorkspace {
+            tags,
+            mask,
+            h,
+            xn,
+            q,
+            k,
+            v,
+            o,
+            act,
+            up,
+            out,
+            ..
+        } = ws;
+        let ForwardOutput {
+            hidden_all,
+            suffix_kv,
+            logits,
+        } = out;
 
-        let mut h = Matrix::zeros(s_len, cfg.hidden_dim);
+        tags.clear();
+        tags.extend((0..g_len).map(|g| {
+            if g < p_len {
+                prefix.unwrap().segs[g]
+            } else {
+                suffix.segs[g - p_len]
+            }
+        }));
+        mask.build(suffix.scheme, tags, p_len, s_len);
+        let grain = mask.attn_grain(cfg.q_dim());
+
+        h.reset(s_len, cfg.hidden_dim);
         for (t, &tok) in suffix.tokens.iter().enumerate() {
             h.row_mut(t)
                 .copy_from_slice(self.embedding.row(tok as usize));
         }
-        let mut suffix_kv = KvSegment::empty(cfg.layers, cfg.kv_dim());
-        suffix_kv.segs = suffix.segs.clone();
-        suffix_kv.pos = suffix.pos.clone();
+        suffix_kv.reset_for(cfg.layers, cfg.kv_dim());
+        suffix_kv.segs.extend_from_slice(&suffix.segs);
+        suffix_kv.pos.extend_from_slice(&suffix.pos);
+        for lkv in suffix_kv.layers.iter_mut() {
+            lkv.reserve(s_len);
+        }
 
         for l in 0..cfg.layers {
             let lw = &self.layers[l];
 
             // Batched SiLU-gated projections for every suffix token, then
             // RoPE per row (SiLU first, as in the per-token formulation).
-            let xn = norm_rows(&h, &lw.norm);
-            let silu_rows = |m: &mut Matrix| {
+            norm_rows_into(h, &lw.norm, xn);
+            xn.matmul_into(&lw.wq, q);
+            xn.matmul_into(&lw.wk, k);
+            xn.matmul_into(&lw.wv, v);
+            xn.matmul_into(&lw.wu, up);
+            for m in [&mut *q, &mut *k, &mut *v, &mut *up] {
                 m.par_rows_mut(4, |_, row| fast_silu_in_place(row));
-            };
-            let mut q = xn.matmul(&lw.wq);
-            let mut k = xn.matmul(&lw.wk);
-            let mut v = xn.matmul(&lw.wv);
-            let mut u_mat = xn.matmul(&lw.wu);
-            silu_rows(&mut q);
-            silu_rows(&mut k);
-            silu_rows(&mut v);
-            silu_rows(&mut u_mat);
+            }
             q.par_rows_mut(4, |t, row| {
                 let pos = suffix.pos[t] as usize;
                 for head in 0..cfg.query_heads {
@@ -188,73 +241,89 @@ impl HstuModel {
                 suffix_kv.layers[l].push(k.row(t), v.row(t));
             }
 
-            // Per-head transposed-packed K/V over [prefix ++ suffix] (HSTU
-            // is single-group: query_heads == kv_heads).
-            let (keys_t, vals_t) =
-                pack_kv_transposed(cfg.kv_heads, d, g_len, prefix.map(|p| &p.layers[l]), &k, &v);
+            // Zero-copy split view over the packed [prefix ++ suffix]
+            // blocks (HSTU is single-group: query_heads == kv_heads).
+            let sl = &suffix_kv.layers[l];
+            let kview = SplitCols::new(prefix.map(|p| p.layers[l].keys()), sl.keys());
+            let vview = SplitCols::new(prefix.map(|p| p.layers[l].values()), sl.values());
             // Adaptive masked SiLU attention + count normalization +
             // elementwise gate, parallel over tokens (the softmax analogue
             // is `attend_token` in [`crate::transformer`]).
-            let mut gated = Matrix::zeros(s_len, cfg.hidden_dim);
-            gated.par_rows_mut(1, |t, grow| {
-                let mask = &mask_rows[t];
+            act.reset(s_len, cfg.hidden_dim);
+            let q_ro: &Matrix = q;
+            let u_ro: &Matrix = up;
+            let mask_ro: &MaskBuf = mask;
+            act.par_rows_mut(grain, |t, grow| {
+                let mask = mask_ro.row(t);
                 let window = mask.len();
-                let count = mask.iter().filter(|&&b| b).count();
-                let q_row = q.row(t);
-                let mut agg = vec![0.0f32; cfg.kv_dim()];
-                for head in 0..cfg.kv_heads {
-                    let qv = &q_row[head * d..(head + 1) * d];
-                    let out = &mut agg[head * d..(head + 1) * d];
-                    if count * 4 >= window {
-                        // Dense row: vectorized full-window sweep; masked
-                        // positions get weight exactly 0.
-                        let mut s = vec![0.0f32; window];
-                        for (c, &qc) in qv.iter().enumerate() {
-                            axpy(&mut s, qc, &keys_t[head].row(c)[..window]);
-                        }
-                        for (sj, &ok) in s.iter_mut().zip(mask) {
-                            *sj = if ok { fast_silu(*sj * scale) } else { 0.0 };
-                        }
-                        vals_t[head].rows_dot_acc(&s, out);
-                    } else {
-                        // Sparse row: gather only the allowed positions.
-                        for j in (0..window).filter(|&j| mask[j]) {
-                            let mut sc = 0.0f32;
+                let count = mask_ro.allowed(t);
+                let q_row = q_ro.row(t);
+                with_thread_scratch(|scr: &mut HstuScratch| {
+                    let HstuScratch { s, agg, normed } = scr;
+                    agg.clear();
+                    agg.resize(cfg.kv_dim(), 0.0);
+                    for head in 0..cfg.kv_heads {
+                        let qv = &q_row[head * d..(head + 1) * d];
+                        let out = &mut agg[head * d..(head + 1) * d];
+                        if count * 4 >= window {
+                            // Dense row: vectorized full-window sweep;
+                            // masked positions get weight exactly 0.
+                            s.clear();
+                            s.resize(window, 0.0);
                             for (c, &qc) in qv.iter().enumerate() {
-                                sc += qc * keys_t[head].row(c)[j];
+                                kview.axpy_plane(head * d + c, window, qc, s);
                             }
-                            let w = fast_silu(sc * scale);
-                            if w != 0.0 {
-                                for (c, o) in out.iter_mut().enumerate() {
-                                    *o += w * vals_t[head].row(c)[j];
+                            for (sj, &ok) in s.iter_mut().zip(mask) {
+                                *sj = if ok { fast_silu(*sj * scale) } else { 0.0 };
+                            }
+                            vview.rows_dot_acc(head * d, s, out);
+                        } else {
+                            // Sparse row: gather only the allowed positions.
+                            for j in (0..window).filter(|&j| mask[j]) {
+                                let mut sc = 0.0f32;
+                                for (c, &qc) in qv.iter().enumerate() {
+                                    sc += qc * kview.at(head * d + c, j);
+                                }
+                                let w = fast_silu(sc * scale);
+                                if w != 0.0 {
+                                    for (c, o) in out.iter_mut().enumerate() {
+                                        *o += w * vview.at(head * d + c, j);
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                // Context-size normalization (HSTU's pointwise aggregation).
-                let inv = 1.0 / count.max(1) as f32;
-                agg.iter_mut().for_each(|x| *x *= inv);
-                let normed = rms_norm(&agg, &self.final_norm, 1e-6);
-                for (slot, (a, g)) in grow.iter_mut().zip(normed.iter().zip(u_mat.row(t))) {
-                    *slot = a * g;
-                }
+                    // Context-size normalization (HSTU's pointwise
+                    // aggregation).
+                    let inv = 1.0 / count.max(1) as f32;
+                    agg.iter_mut().for_each(|x| *x *= inv);
+                    normed.clear();
+                    normed.resize(agg.len(), 0.0);
+                    rms_norm_into(agg, &self.final_norm, 1e-6, normed);
+                    for (slot, (a, g)) in grow.iter_mut().zip(normed.iter().zip(u_ro.row(t))) {
+                        *slot = a * g;
+                    }
+                });
             });
-            let o = gated.matmul(&lw.wo);
-            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o.row(t)));
+            act.matmul_into(&lw.wo, o);
+            let o_ro: &Matrix = o;
+            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o_ro.row(t)));
         }
 
-        let normed = norm_rows(&h, &self.final_norm);
-        let hidden_all: Vec<Vec<f32>> = (0..s_len).map(|t| normed.row(t).to_vec()).collect();
-        let hidden_last = hidden_all.last().cloned().unwrap();
-        let logits = self.embedding_t.vecmul(&hidden_last);
-        ForwardOutput {
-            hidden_last,
-            hidden_all,
-            suffix_kv,
-            logits,
-        }
+        norm_rows_into(h, &self.final_norm, hidden_all);
+        self.embedding_t
+            .vecmul_into(hidden_all.row(s_len - 1), logits);
     }
+}
+
+/// Thread-local scratch of the HSTU attention closure: SiLU score row,
+/// per-head aggregate, and its normalized copy. See
+/// [`bat_exec::with_thread_scratch`].
+#[derive(Default)]
+struct HstuScratch {
+    s: Vec<f32>,
+    agg: Vec<f32>,
+    normed: Vec<f32>,
 }
 
 #[cfg(test)]
@@ -331,9 +400,9 @@ mod tests {
         let solo = model.compute_kv(&layout.item_standalone(1, &i[1], 0));
         for l in 0..model.config().layers {
             for (t, g) in (2..4).enumerate() {
-                assert!(max_diff(full.suffix_kv.layers[l].key(g), solo.layers[l].key(t)) < 1e-5);
+                assert!(max_diff(&full.suffix_kv.layers[l].key(g), &solo.layers[l].key(t)) < 1e-5);
                 assert!(
-                    max_diff(full.suffix_kv.layers[l].value(g), solo.layers[l].value(t)) < 1e-5
+                    max_diff(&full.suffix_kv.layers[l].value(g), &solo.layers[l].value(t)) < 1e-5
                 );
             }
         }
@@ -350,7 +419,7 @@ mod tests {
         let solo = model.compute_kv(&layout.item_standalone(1, &i[1], 0));
         let mut differs = false;
         for l in 0..model.config().layers {
-            if max_diff(full.suffix_kv.layers[l].key(2), solo.layers[l].key(0)) > 1e-3 {
+            if max_diff(&full.suffix_kv.layers[l].key(2), &solo.layers[l].key(0)) > 1e-3 {
                 differs = true;
             }
         }

@@ -6,8 +6,22 @@
 //! (§5.1): one segment per user profile, one segment per item. Segments can
 //! be concatenated to assemble the attention context of a prefix-cached
 //! forward pass.
+//!
+//! # Storage layout
+//!
+//! Keys and values are stored **transposed-packed** in [`ColBlock`]s
+//! (plane-major: plane `r` holds component `r` of every token), which is
+//! exactly the layout the attention kernels sweep. A segment is therefore
+//! packed *once*, when its forward pass computes it; a prefix-cached
+//! forward later attends over `[prefix ++ suffix]` through a zero-copy
+//! [`bat_tensor::SplitCols`] view instead of re-gathering the cached
+//! entries per layer per request (what `pack_kv_transposed` used to do).
+//! This one-time packing is sound because the bipartite scheme pins every
+//! block's base position (§4.2): a cached segment's planes never need
+//! re-rotation or reordering when spliced behind a different prompt.
 
 use crate::prompt::SegTag;
+use bat_tensor::ColBlock;
 
 /// Converts an `f32` to IEEE-754 half precision (round-to-nearest-even)
 /// and back — the storage precision of the paper's KV cache ("We use FP16
@@ -93,12 +107,15 @@ pub fn f16_to_f32(h: u16) -> f32 {
 }
 
 /// Keys and values of one transformer layer for a block of tokens, stored
-/// flat as `[token × kv_dim]` row-major.
+/// **transposed-packed**: two [`ColBlock`]s of `kv_dim` planes, one column
+/// per token. The attention hot path reads the blocks directly (through
+/// [`LayerKv::keys`]/[`LayerKv::values`]); the per-token accessors gather a
+/// column and are meant for oracles, repair passes, and tests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerKv {
     kv_dim: usize,
-    keys: Vec<f32>,
-    values: Vec<f32>,
+    keys: ColBlock,
+    values: ColBlock,
 }
 
 impl LayerKv {
@@ -106,15 +123,21 @@ impl LayerKv {
     pub fn new(kv_dim: usize) -> Self {
         LayerKv {
             kv_dim,
-            keys: Vec::new(),
-            values: Vec::new(),
+            keys: ColBlock::new(kv_dim),
+            values: ColBlock::new(kv_dim),
         }
+    }
+
+    /// KV width (number of planes).
+    #[inline]
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
     }
 
     /// Number of tokens stored.
     #[inline]
     pub fn len(&self) -> usize {
-        self.keys.len() / self.kv_dim.max(1)
+        self.keys.len()
     }
 
     /// Whether no tokens are stored.
@@ -123,28 +146,39 @@ impl LayerKv {
         self.keys.is_empty()
     }
 
-    /// Appends one token's key and value rows.
+    /// The packed key planes — what the attention kernels sweep.
+    #[inline]
+    pub fn keys(&self) -> &ColBlock {
+        &self.keys
+    }
+
+    /// The packed value planes.
+    #[inline]
+    pub fn values(&self) -> &ColBlock {
+        &self.values
+    }
+
+    /// Appends one token's key and value rows (one strided scatter each —
+    /// the only packing a segment ever undergoes).
     ///
     /// # Panics
     ///
     /// Panics if the rows do not have width `kv_dim`.
     pub fn push(&mut self, key: &[f32], value: &[f32]) {
-        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
-        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
-        self.keys.extend_from_slice(key);
-        self.values.extend_from_slice(value);
+        self.keys.push_col(key);
+        self.values.push_col(value);
     }
 
-    /// Key row of token `t`.
+    /// Key row of token `t`, gathered from the packed planes.
     #[inline]
-    pub fn key(&self, t: usize) -> &[f32] {
-        &self.keys[t * self.kv_dim..(t + 1) * self.kv_dim]
+    pub fn key(&self, t: usize) -> Vec<f32> {
+        self.keys.col(t)
     }
 
-    /// Value row of token `t`.
+    /// Value row of token `t`, gathered from the packed planes.
     #[inline]
-    pub fn value(&self, t: usize) -> &[f32] {
-        &self.values[t * self.kv_dim..(t + 1) * self.kv_dim]
+    pub fn value(&self, t: usize) -> Vec<f32> {
+        self.values.col(t)
     }
 
     /// Overwrites token `t`'s key and value rows (used by the PIC repair
@@ -155,21 +189,39 @@ impl LayerKv {
     /// Panics if `t` is out of range or the rows have the wrong width.
     pub fn set_row(&mut self, t: usize, key: &[f32], value: &[f32]) {
         assert!(t < self.len(), "token index out of range");
-        assert_eq!(key.len(), self.kv_dim, "key width mismatch");
-        assert_eq!(value.len(), self.kv_dim, "value width mismatch");
-        self.keys[t * self.kv_dim..(t + 1) * self.kv_dim].copy_from_slice(key);
-        self.values[t * self.kv_dim..(t + 1) * self.kv_dim].copy_from_slice(value);
+        self.keys.set_col(t, key);
+        self.values.set_col(t, value);
     }
 
-    /// Appends all rows of `other`.
+    /// Appends all rows of `other` (per-plane block copies, no per-token
+    /// gather).
     ///
     /// # Panics
     ///
     /// Panics if widths differ.
     pub fn extend(&mut self, other: &LayerKv) {
         assert_eq!(self.kv_dim, other.kv_dim, "kv width mismatch");
-        self.keys.extend_from_slice(&other.keys);
-        self.values.extend_from_slice(&other.values);
+        self.keys.extend_from(&other.keys);
+        self.values.extend_from(&other.values);
+    }
+
+    /// Drops all tokens, keeping the packed allocations for reuse — the
+    /// forward workspace clears and refills its suffix segment per request.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.values.clear();
+    }
+
+    /// Ensures room for `tokens` more columns without reallocating.
+    pub fn reserve(&mut self, tokens: usize) {
+        self.keys.reserve_cols(tokens);
+        self.values.reserve_cols(tokens);
+    }
+
+    /// Bytes of packed storage currently resident (keys + values,
+    /// capacity-accounted) — what a cache pool charges for this layer.
+    pub fn resident_bytes(&self) -> usize {
+        self.keys.resident_bytes() + self.values.resident_bytes()
     }
 }
 
@@ -240,11 +292,13 @@ impl KvSegment {
             if a.kv_dim != b.kv_dim {
                 return None;
             }
-            for (x, y) in a.keys.iter().zip(&b.keys) {
-                max = max.max((x - y).abs());
-            }
-            for (x, y) in a.values.iter().zip(&b.values) {
-                max = max.max((x - y).abs());
+            for r in 0..a.kv_dim {
+                for (x, y) in a.keys.plane(r).iter().zip(b.keys.plane(r)) {
+                    max = max.max((x - y).abs());
+                }
+                for (x, y) in a.values.plane(r).iter().zip(b.values.plane(r)) {
+                    max = max.max((x - y).abs());
+                }
             }
         }
         Some(max)
@@ -256,10 +310,17 @@ impl KvSegment {
     pub fn quantize_fp16(&mut self) -> f32 {
         let mut max_err = 0.0f32;
         for layer in &mut self.layers {
-            for v in layer.keys.iter_mut().chain(layer.values.iter_mut()) {
-                let q = fp16_round_trip(*v);
-                max_err = max_err.max((q - *v).abs());
-                *v = q;
+            for r in 0..layer.kv_dim {
+                for v in layer
+                    .keys
+                    .plane_mut(r)
+                    .iter_mut()
+                    .chain(layer.values.plane_mut(r).iter_mut())
+                {
+                    let q = fp16_round_trip(*v);
+                    max_err = max_err.max((q - *v).abs());
+                    *v = q;
+                }
             }
         }
         max_err
@@ -275,19 +336,53 @@ impl KvSegment {
         assert_eq!(self.len(), other.len(), "token count mismatch");
         assert_eq!(self.layers.len(), other.layers.len(), "layer mismatch");
         let mut drift = vec![0.0f32; self.len()];
+        // Plane-major sweep: cache-friendly over the packed layout, and the
+        // per-token max is order-independent, so this matches the old
+        // token-major walk exactly.
         for (a, b) in self.layers.iter().zip(&other.layers) {
-            for (t, slot) in drift.iter_mut().enumerate() {
-                let d = a
-                    .key(t)
-                    .iter()
-                    .zip(b.key(t))
-                    .chain(a.value(t).iter().zip(b.value(t)))
-                    .map(|(x, y)| (x - y).abs())
-                    .fold(0.0f32, f32::max);
-                *slot = slot.max(d);
+            for r in 0..a.kv_dim {
+                for ((slot, x), y) in drift.iter_mut().zip(a.keys.plane(r)).zip(b.keys.plane(r)) {
+                    *slot = slot.max((x - y).abs());
+                }
+                for ((slot, x), y) in drift
+                    .iter_mut()
+                    .zip(a.values.plane(r))
+                    .zip(b.values.plane(r))
+                {
+                    *slot = slot.max((x - y).abs());
+                }
             }
         }
         drift
+    }
+
+    /// Reinitializes this segment for reuse as a forward workspace output:
+    /// token metadata is dropped and every layer cleared, keeping packed
+    /// allocations when the shape already matches (the steady-state case).
+    pub fn reset_for(&mut self, layers: usize, kv_dim: usize) {
+        let shape_ok =
+            self.layers.len() == layers && self.layers.iter().all(|l| l.kv_dim == kv_dim);
+        if shape_ok {
+            for l in &mut self.layers {
+                l.clear();
+            }
+        } else {
+            self.layers = (0..layers).map(|_| LayerKv::new(kv_dim)).collect();
+        }
+        self.segs.clear();
+        self.pos.clear();
+    }
+
+    /// Bytes of packed KV storage currently resident across all layers
+    /// (capacity-accounted) — the figure a cache pool charges for storing
+    /// this segment in its canonical packed form.
+    pub fn packed_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(LayerKv::resident_bytes)
+            .sum::<usize>()
+            + self.segs.len() * std::mem::size_of::<SegTag>()
+            + self.pos.len() * std::mem::size_of::<u32>()
     }
 }
 

@@ -36,5 +36,5 @@ pub use config::GrModelConfig;
 pub use hstu::HstuModel;
 pub use kv::{KvSegment, LayerKv};
 pub use prompt::{MaskScheme, PromptLayout, SegTag, TokenSeq};
-pub use transformer::{ForwardOutput, GrModel};
+pub use transformer::{ForwardOutput, ForwardWorkspace, GrModel};
 pub use weights::Weights;

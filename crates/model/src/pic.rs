@@ -98,8 +98,8 @@ pub fn repaired_item_prefix(
     order.sort_by(|&a, &b| drift[b].partial_cmp(&drift[a]).unwrap());
     for &t in order.iter().take(n_recompute) {
         for l in 0..prefix.layers.len() {
-            let key = reference.layers[l].key(t).to_vec();
-            let value = reference.layers[l].value(t).to_vec();
+            let key = reference.layers[l].key(t);
+            let value = reference.layers[l].value(t);
             prefix.layers[l].set_row(t, &key, &value);
         }
     }

@@ -10,29 +10,51 @@ use crate::config::GrModelConfig;
 use crate::kv::KvSegment;
 use crate::prompt::{SegTag, TokenSeq};
 use crate::weights::Weights;
-use bat_exec::parallel_map_indexed;
+use bat_exec::with_thread_scratch;
 use bat_tensor::ops::{
-    axpy, dot, dot_fast, fast_silu_mul_in_place, rms_norm, silu, stable_softmax_fast_in_place,
-    stable_softmax_in_place,
+    axpy, dot, dot_fast, fast_silu_mul_in_place, rms_norm, rms_norm_into, silu,
+    stable_softmax_fast_in_place, stable_softmax_in_place,
 };
-use bat_tensor::{Matrix, RopeTable};
+use bat_tensor::{ColBlock, Matrix, RopeTable, SplitCols};
 
 /// Result of a forward pass.
 #[derive(Debug, Clone)]
 pub struct ForwardOutput {
-    /// Final (RMS-normalized) hidden state of the last suffix token — the
-    /// discriminant token of the single-discriminant ranking prompt (§4.2).
-    pub hidden_last: Vec<f32>,
-    /// Final (RMS-normalized) hidden states of **all** suffix tokens; the
+    /// Final (RMS-normalized) hidden states of **all** suffix tokens as one
+    /// contiguous `s_len × hidden` matrix; read rows via
+    /// [`ForwardOutput::hidden`] / [`ForwardOutput::hidden_last`]. The
     /// multi-discriminant extension reads per-item scores from these.
-    pub hidden_all: Vec<Vec<f32>>,
-    /// KV cache of the suffix tokens, ready to be stored for reuse.
+    pub hidden_all: Matrix,
+    /// KV cache of the suffix tokens in the canonical transposed-packed
+    /// layout, ready to be stored for reuse.
     pub suffix_kv: KvSegment,
     /// Vocabulary logits of the last token (tied output head).
     pub logits: Vec<f32>,
 }
 
 impl ForwardOutput {
+    /// An empty output placeholder (workspace initial state).
+    pub fn empty() -> Self {
+        ForwardOutput {
+            hidden_all: Matrix::zeros(0, 0),
+            suffix_kv: KvSegment::empty(0, 0),
+            logits: Vec::new(),
+        }
+    }
+
+    /// Final hidden state of suffix token `t` (a row view, no copy).
+    #[inline]
+    pub fn hidden(&self, t: usize) -> &[f32] {
+        self.hidden_all.row(t)
+    }
+
+    /// Final hidden state of the last suffix token — the discriminant token
+    /// of the single-discriminant ranking prompt (§4.2).
+    #[inline]
+    pub fn hidden_last(&self) -> &[f32] {
+        self.hidden_all.row(self.hidden_all.rows() - 1)
+    }
+
     /// The paper's relevance scores (§2.2): softmax over the logits of the
     /// candidate identifier tokens `v_i`, in candidate order.
     pub fn candidate_scores(&self, candidate_tokens: &[u32]) -> Vec<f32> {
@@ -42,6 +64,66 @@ impl ForwardOutput {
             .collect();
         stable_softmax_in_place(&mut s);
         s
+    }
+}
+
+/// Reusable scratch for [`GrModel::forward_with`] (and the HSTU twin): every
+/// intermediate of the forward pass — norms, projections, attention rows,
+/// FFN activations, masks, and the output itself — lives here and is
+/// re-shaped (capacity kept) instead of re-allocated. Keep one per worker
+/// and the steady-state forward performs **zero heap allocations** after
+/// the first call at a given shape; per-token attention scratch is
+/// thread-local via [`bat_exec::with_thread_scratch`], so pool workers
+/// (persistent daemon threads) warm theirs once.
+pub struct ForwardWorkspace {
+    pub(crate) tags: Vec<SegTag>,
+    pub(crate) mask: MaskBuf,
+    pub(crate) h: Matrix,
+    pub(crate) xn: Matrix,
+    pub(crate) q: Matrix,
+    pub(crate) k: Matrix,
+    pub(crate) v: Matrix,
+    pub(crate) attn: Matrix,
+    pub(crate) o: Matrix,
+    pub(crate) act: Matrix,
+    pub(crate) up: Matrix,
+    pub(crate) out: ForwardOutput,
+}
+
+impl ForwardWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        let m = || Matrix::zeros(0, 0);
+        ForwardWorkspace {
+            tags: Vec::new(),
+            mask: MaskBuf::default(),
+            h: m(),
+            xn: m(),
+            q: m(),
+            k: m(),
+            v: m(),
+            attn: m(),
+            o: m(),
+            act: m(),
+            up: m(),
+            out: ForwardOutput::empty(),
+        }
+    }
+
+    /// Consumes the workspace, yielding the last forward's output.
+    pub fn into_output(self) -> ForwardOutput {
+        self.out
+    }
+
+    /// The last forward's output.
+    pub fn output(&self) -> &ForwardOutput {
+        &self.out
+    }
+}
+
+impl Default for ForwardWorkspace {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -146,6 +228,50 @@ impl GrModel {
     /// Panics if `suffix` is empty, if a position ID exceeds the RoPE table,
     /// or if the prefix segment's layer count does not match the model.
     pub fn forward(&self, suffix: &TokenSeq, prefix: Option<&KvSegment>) -> ForwardOutput {
+        let mut ws = ForwardWorkspace::new();
+        self.forward_impl(suffix, prefix, &mut ws, false);
+        ws.out
+    }
+
+    /// [`GrModel::forward`] into a caller-owned [`ForwardWorkspace`]: every
+    /// intermediate and the output itself are re-shaped in place, so a
+    /// warmed workspace makes the steady-state forward **allocation-free**
+    /// (the zero-alloc integration test pins this). Bit-identical to
+    /// [`GrModel::forward`].
+    pub fn forward_with<'w>(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+        ws: &'w mut ForwardWorkspace,
+    ) -> &'w ForwardOutput {
+        self.forward_impl(suffix, prefix, ws, false);
+        &ws.out
+    }
+
+    /// The pre-packed-layout data movement, kept as the honest "before"
+    /// baseline for the perf suite: per layer, the whole cached prefix is
+    /// copied together with the suffix into one contiguous block before
+    /// attention — what every forward used to pay per request when
+    /// segments were stored row-major. Bit-identical to
+    /// [`GrModel::forward`]; not a production path.
+    #[doc(hidden)]
+    pub fn forward_prefix_repack_baseline(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+    ) -> ForwardOutput {
+        let mut ws = ForwardWorkspace::new();
+        self.forward_impl(suffix, prefix, &mut ws, true);
+        ws.out
+    }
+
+    fn forward_impl(
+        &self,
+        suffix: &TokenSeq,
+        prefix: Option<&KvSegment>,
+        ws: &mut ForwardWorkspace,
+        repack: bool,
+    ) {
         assert!(!suffix.is_empty(), "forward needs at least one token");
         let cfg = &self.weights.cfg;
         if let Some(p) = prefix {
@@ -157,34 +283,66 @@ impl GrModel {
         let d = cfg.head_dim;
         let group = cfg.gqa_group();
         let scale = 1.0 / (d as f32).sqrt();
+        let kv_dim = cfg.kv_dim();
+
+        let ForwardWorkspace {
+            tags,
+            mask,
+            h,
+            xn,
+            q,
+            k,
+            v,
+            attn,
+            o,
+            act,
+            up,
+            out,
+        } = ws;
+        let ForwardOutput {
+            hidden_all,
+            suffix_kv,
+            logits,
+        } = out;
 
         // Combined tags over [prefix ++ suffix] and the bipartite mask
         // rows, one per suffix token over its causal window. Tags and
         // scheme are layer- and head-independent, so these are computed
         // exactly once per forward.
-        let tags = combined_tags(suffix, prefix);
-        let mask_rows = build_mask_rows(suffix.scheme, &tags, p_len, s_len);
+        tags.clear();
+        tags.extend((0..g_len).map(|g| {
+            if g < p_len {
+                prefix.unwrap().segs[g]
+            } else {
+                suffix.segs[g - p_len]
+            }
+        }));
+        mask.build(suffix.scheme, tags, p_len, s_len);
+        let grain = mask.attn_grain(cfg.q_dim());
 
         // Hidden states of suffix tokens as one s_len × hidden matrix.
-        let mut h = Matrix::zeros(s_len, cfg.hidden_dim);
+        h.reset(s_len, cfg.hidden_dim);
         for (t, &tok) in suffix.tokens.iter().enumerate() {
             h.row_mut(t)
                 .copy_from_slice(self.weights.embedding.row(tok as usize));
         }
 
-        let mut suffix_kv = KvSegment::empty(cfg.layers, cfg.kv_dim());
-        suffix_kv.segs = suffix.segs.clone();
-        suffix_kv.pos = suffix.pos.clone();
+        suffix_kv.reset_for(cfg.layers, kv_dim);
+        suffix_kv.segs.extend_from_slice(&suffix.segs);
+        suffix_kv.pos.extend_from_slice(&suffix.pos);
+        for lkv in suffix_kv.layers.iter_mut() {
+            lkv.reserve(s_len);
+        }
 
         for l in 0..cfg.layers {
             let lw = &self.weights.layers[l];
 
             // Batched projections for every suffix token (they only depend
             // on the previous layer's hidden states), then RoPE per row.
-            let xn = norm_rows(&h, &lw.attn_norm);
-            let mut q = xn.matmul(&lw.wq);
-            let mut k = xn.matmul(&lw.wk);
-            let v = xn.matmul(&lw.wv);
+            norm_rows_into(h, &lw.attn_norm, xn);
+            xn.matmul_into(&lw.wq, q);
+            xn.matmul_into(&lw.wk, k);
+            xn.matmul_into(&lw.wv, v);
             q.par_rows_mut(4, |t, row| {
                 let pos = suffix.pos[t] as usize;
                 for qh in 0..cfg.query_heads {
@@ -201,61 +359,97 @@ impl GrModel {
                 suffix_kv.layers[l].push(k.row(t), v.row(t));
             }
 
-            // Per-KV-head keys/values over the whole context
-            // [prefix ++ suffix], packed **transposed** (`d × g_len`): the
-            // dense attention path then reads full contiguous rows (one
-            // dimension each), which is what the vectorized axpy/dot
-            // kernels want.
-            let (keys_t, vals_t) =
-                pack_kv_transposed(cfg.kv_heads, d, g_len, prefix.map(|p| &p.layers[l]), &k, &v);
-
-            // Adaptive masked attention, parallel over tokens. Dense rows
-            // (user/instruction tokens, which see most of the context)
-            // score the full causal window with vectorized axpy/dot sweeps
+            // Attention reads the cached prefix block and the just-pushed
+            // suffix block through a zero-copy [`SplitCols`] view — the
+            // canonical packed layout means nothing is gathered or repacked
+            // per request. Adaptive per token: dense rows (user tokens,
+            // which see most of the context) sweep the full causal window
             // and mask by -inf; sparse rows (item tokens, which see only
             // their own item under the bipartite scheme) gather just the
             // allowed positions. Path choice depends only on the mask row,
             // never on the thread count.
-            let mut attn = Matrix::zeros(s_len, cfg.q_dim());
-            attn.par_rows_mut(1, |t, row| {
-                attend_token(
-                    q.row(t),
-                    &keys_t,
-                    &vals_t,
-                    &mask_rows[t],
-                    group,
-                    d,
-                    scale,
-                    row,
-                );
-            });
-            let o = attn.matmul(&lw.wo);
-            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o.row(t)));
+            let sl = &suffix_kv.layers[l];
+            attn.reset(s_len, cfg.q_dim());
+            let q_ro: &Matrix = q;
+            let mask_ro: &MaskBuf = mask;
+            if repack {
+                // Replay the pre-change data movement faithfully: the old
+                // `pack_kv_transposed` walked the row-major segment token
+                // by token and scattered each row into the transposed
+                // planes — one strided write per element, fresh blocks per
+                // layer per request. A plane-level memcpy would understate
+                // that cost, so the baseline packs column-wise too.
+                let mut kcomb = ColBlock::with_capacity(kv_dim, g_len);
+                let mut vcomb = ColBlock::with_capacity(kv_dim, g_len);
+                let k_src = SplitCols::new(prefix.map(|p| p.layers[l].keys()), sl.keys());
+                let v_src = SplitCols::new(prefix.map(|p| p.layers[l].values()), sl.values());
+                let mut colbuf = vec![0.0f32; kv_dim];
+                for j in 0..g_len {
+                    for (r, c) in colbuf.iter_mut().enumerate() {
+                        *c = k_src.at(r, j);
+                    }
+                    kcomb.push_col(&colbuf);
+                }
+                for j in 0..g_len {
+                    for (r, c) in colbuf.iter_mut().enumerate() {
+                        *c = v_src.at(r, j);
+                    }
+                    vcomb.push_col(&colbuf);
+                }
+                let kview = SplitCols::new(None, &kcomb);
+                let vview = SplitCols::new(None, &vcomb);
+                attn.par_rows_mut(grain, |t, row| {
+                    attend_token(
+                        q_ro.row(t),
+                        kview,
+                        vview,
+                        mask_ro.row(t),
+                        mask_ro.allowed(t),
+                        group,
+                        d,
+                        scale,
+                        row,
+                    );
+                });
+            } else {
+                let kview = SplitCols::new(prefix.map(|p| p.layers[l].keys()), sl.keys());
+                let vview = SplitCols::new(prefix.map(|p| p.layers[l].values()), sl.values());
+                attn.par_rows_mut(grain, |t, row| {
+                    attend_token(
+                        q_ro.row(t),
+                        kview,
+                        vview,
+                        mask_ro.row(t),
+                        mask_ro.allowed(t),
+                        group,
+                        d,
+                        scale,
+                        row,
+                    );
+                });
+            }
+            attn.matmul_into(&lw.wo, o);
+            let o_ro: &Matrix = o;
+            h.par_rows_mut(8, |t, row| axpy(row, 1.0, o_ro.row(t)));
 
             // SwiGLU FFN, batched; skipped when structurally zero.
             if !self.ffn_zero[l] {
-                let xn2 = norm_rows(&h, &lw.ffn_norm);
-                let mut act = xn2.matmul(&lw.w_gate);
-                let up = xn2.matmul(&lw.w_up);
-                act.par_rows_mut(4, |t, row| fast_silu_mul_in_place(row, up.row(t)));
-                let down = act.matmul(&lw.w_down);
-                h.par_rows_mut(8, |t, row| axpy(row, 1.0, down.row(t)));
+                norm_rows_into(h, &lw.ffn_norm, xn);
+                xn.matmul_into(&lw.w_gate, act);
+                xn.matmul_into(&lw.w_up, up);
+                let up_ro: &Matrix = up;
+                act.par_rows_mut(4, |t, row| fast_silu_mul_in_place(row, up_ro.row(t)));
+                act.matmul_into(&lw.w_down, o);
+                let o_ro: &Matrix = o;
+                h.par_rows_mut(8, |t, row| axpy(row, 1.0, o_ro.row(t)));
             }
         }
 
-        let normed = norm_rows(&h, &self.weights.final_norm);
-        let hidden_all: Vec<Vec<f32>> = (0..s_len).map(|t| normed.row(t).to_vec()).collect();
-        let hidden_last = hidden_all.last().cloned().unwrap();
+        norm_rows_into(h, &self.weights.final_norm, hidden_all);
         // Tied output head: logit_i = ⟨E[i], h⟩, computed axpy-form over
         // the pre-transposed embedding so the whole vocab vectorizes.
-        let logits = self.embedding_t.vecmul(&hidden_last);
-
-        ForwardOutput {
-            hidden_last,
-            hidden_all,
-            suffix_kv,
-            logits,
-        }
+        self.embedding_t
+            .vecmul_into(hidden_all.row(s_len - 1), logits);
     }
 
     /// The seed's serial per-token forward pass, kept verbatim as the
@@ -370,17 +564,16 @@ impl GrModel {
             }
         }
 
-        let hidden_all: Vec<Vec<f32>> = h
-            .iter()
-            .map(|ht| rms_norm(ht, &self.weights.final_norm, 1e-6))
-            .collect();
-        let hidden_last = hidden_all.last().cloned().unwrap();
+        let mut hidden_all = Matrix::zeros(s_len, cfg.hidden_dim);
+        for (t, ht) in h.iter().enumerate() {
+            rms_norm_into(ht, &self.weights.final_norm, 1e-6, hidden_all.row_mut(t));
+        }
+        let hidden_last = hidden_all.row(s_len - 1);
         let logits: Vec<f32> = (0..cfg.vocab_size)
-            .map(|i| dot(self.weights.embedding.row(i), &hidden_last))
+            .map(|i| dot(self.weights.embedding.row(i), hidden_last))
             .collect();
 
         ForwardOutput {
-            hidden_last,
             hidden_all,
             suffix_kv,
             logits,
@@ -411,7 +604,7 @@ impl GrModel {
                 assert!(i < candidate_tokens.len(), "discriminant beyond candidates");
                 scores[i] = dot(
                     self.weights.embedding.row(candidate_tokens[i] as usize),
-                    &out.hidden_all[t],
+                    out.hidden(t),
                 );
                 found += 1;
             }
@@ -428,108 +621,122 @@ impl GrModel {
 
 use crate::prompt::allowed_tags as allowed;
 
-/// Block tags of the combined `[prefix ++ suffix]` context.
-pub(crate) fn combined_tags(suffix: &TokenSeq, prefix: Option<&KvSegment>) -> Vec<SegTag> {
-    let p_len = prefix.map_or(0, KvSegment::len);
-    (0..p_len + suffix.len())
-        .map(|g| {
-            if g < p_len {
-                prefix.unwrap().segs[g]
-            } else {
-                suffix.segs[g - p_len]
+/// One flat bipartite-mask row per suffix token, covering its causal window
+/// `0..=p_len + t`, with per-row offsets and allowed counts. Masks depend
+/// only on tags and the scheme, never on the layer or head, so each forward
+/// builds them exactly once — in place, keeping capacity, so a warmed
+/// workspace rebuilds masks without allocating. Also records the estimated
+/// attention cost under `attend_token`'s adaptive dense/sparse choice,
+/// which gates parallel dispatch.
+#[derive(Default)]
+pub(crate) struct MaskBuf {
+    flat: Vec<bool>,
+    off: Vec<usize>,
+    allowed: Vec<usize>,
+    cost: usize,
+}
+
+impl MaskBuf {
+    pub(crate) fn build(
+        &mut self,
+        scheme: crate::prompt::MaskScheme,
+        tags: &[SegTag],
+        p_len: usize,
+        s_len: usize,
+    ) {
+        self.flat.clear();
+        self.off.clear();
+        self.allowed.clear();
+        self.cost = 0;
+        self.off.push(0);
+        for t in 0..s_len {
+            let tq = tags[p_len + t];
+            let window = p_len + t + 1;
+            let mut count = 0usize;
+            for tg in &tags[..window] {
+                let ok = allowed(scheme, tq, *tg);
+                count += ok as usize;
+                self.flat.push(ok);
             }
-        })
-        .collect()
-}
-
-/// One bipartite-mask row per suffix token, covering its causal window
-/// `0..=p_len + t`. Masks depend only on tags and the scheme, never on the
-/// layer or head, so each forward pass builds them exactly once.
-pub(crate) fn build_mask_rows(
-    scheme: crate::prompt::MaskScheme,
-    tags: &[SegTag],
-    p_len: usize,
-    s_len: usize,
-) -> Vec<Vec<bool>> {
-    parallel_map_indexed(s_len, 8, |t| {
-        let tq = tags[p_len + t];
-        (0..=p_len + t)
-            .map(|g| allowed(scheme, tq, tags[g]))
-            .collect()
-    })
-}
-
-/// RMS-normalizes every row of `h` with `gain`, in parallel.
-pub(crate) fn norm_rows(h: &Matrix, gain: &[f32]) -> Matrix {
-    let mut out = Matrix::zeros(h.rows(), h.cols());
-    out.par_rows_mut(4, |t, row| {
-        row.copy_from_slice(&rms_norm(h.row(t), gain, 1e-6));
-    });
-    out
-}
-
-/// Packs one layer's keys/values over `[prefix ++ suffix]` into per-KV-head
-/// **transposed** matrices (`d × g_len`): row `c` of head `kh` holds
-/// component `c` of every position's key (resp. value). The attention
-/// kernels then sweep contiguous rows instead of strided columns.
-pub(crate) fn pack_kv_transposed(
-    kv_heads: usize,
-    d: usize,
-    g_len: usize,
-    prefix: Option<&crate::kv::LayerKv>,
-    k: &Matrix,
-    v: &Matrix,
-) -> (Vec<Matrix>, Vec<Matrix>) {
-    let p_len = prefix.map_or(0, crate::kv::LayerKv::len);
-    let mut keys_t = Vec::with_capacity(kv_heads);
-    let mut vals_t = Vec::with_capacity(kv_heads);
-    for kh in 0..kv_heads {
-        let lo = kh * d;
-        let mut kt = Matrix::zeros(d, g_len);
-        let mut vt = Matrix::zeros(d, g_len);
-        for g in 0..p_len {
-            let p = prefix.unwrap();
-            let (key, val) = (p.key(g), p.value(g));
-            for c in 0..d {
-                kt.row_mut(c)[g] = key[lo + c];
-                vt.row_mut(c)[g] = val[lo + c];
-            }
+            self.off.push(self.flat.len());
+            self.allowed.push(count);
+            // Positions this row actually sweeps: dense rows pay the whole
+            // window, sparse rows only their gathered allowed positions.
+            self.cost += if count * 4 >= window { window } else { count };
         }
-        for t in 0..g_len - p_len {
-            let (key, val) = (k.row(t), v.row(t));
-            for c in 0..d {
-                kt.row_mut(c)[p_len + t] = key[lo + c];
-                vt.row_mut(c)[p_len + t] = val[lo + c];
-            }
-        }
-        keys_t.push(kt);
-        vals_t.push(vt);
     }
-    (keys_t, vals_t)
+
+    /// Mask row of suffix token `t` (length = its causal window).
+    #[inline]
+    pub(crate) fn row(&self, t: usize) -> &[bool] {
+        &self.flat[self.off[t]..self.off[t + 1]]
+    }
+
+    /// Allowed-position count of suffix token `t`'s row.
+    #[inline]
+    pub(crate) fn allowed(&self, t: usize) -> usize {
+        self.allowed[t]
+    }
+
+    /// Parallel grain for the attention stage: rows are farmed out to the
+    /// pool only when the stage's estimated MAC count clears the same
+    /// threshold the matmul kernels use; tiny attentions run inline and
+    /// skip dispatch overhead. The choice is a pure function of the masks
+    /// and model width — never the thread count — so parallel results stay
+    /// bit-identical (path choices and write slots are unchanged).
+    pub(crate) fn attn_grain(&self, q_dim: usize) -> usize {
+        const ATTN_PAR_MACS: usize = 32 * 1024;
+        if self.cost * q_dim * 2 >= ATTN_PAR_MACS {
+            1
+        } else {
+            usize::MAX
+        }
+    }
 }
 
-/// Softmax attention of **all** query heads for one token, over
-/// transposed-packed per-KV-head keys/values and the token's bipartite-mask
-/// row (whose length is the causal window). Adaptive: when at least a
-/// quarter of the window is allowed, each head scores the whole window with
-/// vectorized axpy sweeps and masks by `-inf` (under
-/// [`stable_softmax_fast_in_place`] a masked slot carries weight ≲ 1e-38 —
-/// zero at f32 accumulation scale); otherwise the allowed positions are
-/// gathered **once per token** into contiguous per-KV-head buffers that
-/// all heads then sweep branch-free (under the item-prefix layout a sparse
-/// row allows ~10 of ~200 positions, so the per-head cost used to be pure
-/// gather/alloc overhead — hoisting it was worth ~25 % of the attention
-/// stage). The path choice depends only on the mask row, so results are
-/// thread-count-independent either way.
+/// RMS-normalizes every row of `h` with `gain` into `out`, in parallel,
+/// reusing `out`'s storage.
+pub(crate) fn norm_rows_into(h: &Matrix, gain: &[f32], out: &mut Matrix) {
+    out.reset(h.rows(), h.cols());
+    out.par_rows_mut(4, |t, row| rms_norm_into(h.row(t), gain, 1e-6, row));
+}
+
+/// Thread-local scratch of [`attend_token`]: score row, gathered indices,
+/// and gathered K/V buffers. Held via [`bat_exec::with_thread_scratch`], so
+/// each pool worker (a persistent daemon thread) warms its own buffers once
+/// and every later token on any request reuses them allocation-free.
+#[derive(Default)]
+struct AttnScratch {
+    s: Vec<f32>,
+    idx: Vec<usize>,
+    kg: Vec<f32>,
+    vg: Vec<f32>,
+}
+
+/// Softmax attention of **all** query heads for one token, over the
+/// zero-copy [`SplitCols`] views of the packed `[prefix ++ suffix]`
+/// keys/values and the token's bipartite-mask row (whose length is the
+/// causal window). Adaptive: when at least a quarter of the window is
+/// allowed, each head scores the whole window with vectorized axpy-plane
+/// sweeps and masks by `-inf` (under [`stable_softmax_fast_in_place`] a
+/// masked slot carries weight ≲ 1e-38 — zero at f32 accumulation scale);
+/// otherwise the allowed positions are gathered **once per token** into
+/// contiguous per-KV-head buffers that all heads then sweep branch-free
+/// (under the item-prefix layout a sparse row allows ~10 of ~200 positions,
+/// so the per-head cost used to be pure gather overhead). The path choice
+/// depends only on the mask row, so results are thread-count-independent
+/// either way; the split kernels are bit-identical to contiguous sweeps
+/// (see [`bat_tensor::packed`]).
 // Flat scalar/slice args: this sits inside the parallel per-token closure,
 // and bundling them into a struct would just move the construction cost
 // into the hot loop.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn attend_token(
     q_row: &[f32],
-    keys_t: &[Matrix],
-    vals_t: &[Matrix],
+    keys: SplitCols<'_>,
+    vals: SplitCols<'_>,
     mask: &[bool],
+    allowed: usize,
     group: usize,
     d: usize,
     scale: f32,
@@ -537,61 +744,64 @@ pub(crate) fn attend_token(
 ) {
     let window = mask.len();
     let heads = q_row.len() / d;
-    let allowed = mask.iter().filter(|&&b| b).count();
-    if allowed * 4 >= window {
-        let mut s = vec![0.0f32; window];
-        for qh in 0..heads {
-            let (kt, vt) = (&keys_t[qh / group], &vals_t[qh / group]);
-            let qv = &q_row[qh * d..(qh + 1) * d];
-            s.fill(0.0);
-            for (c, &qc) in qv.iter().enumerate() {
-                axpy(&mut s, qc, &kt.row(c)[..window]);
+    with_thread_scratch(|scr: &mut AttnScratch| {
+        if allowed * 4 >= window {
+            let s = &mut scr.s;
+            s.clear();
+            s.resize(window, 0.0);
+            for qh in 0..heads {
+                let kh = qh / group;
+                let qv = &q_row[qh * d..(qh + 1) * d];
+                s.fill(0.0);
+                for (c, &qc) in qv.iter().enumerate() {
+                    keys.axpy_plane(kh * d + c, window, qc, s);
+                }
+                for (sj, &ok) in s.iter_mut().zip(mask) {
+                    *sj = if ok { *sj * scale } else { f32::NEG_INFINITY };
+                }
+                stable_softmax_fast_in_place(s);
+                vals.rows_dot_acc(kh * d, s, &mut out_row[qh * d..(qh + 1) * d]);
             }
-            for (sj, &ok) in s.iter_mut().zip(mask) {
-                *sj = if ok { *sj * scale } else { f32::NEG_INFINITY };
+        } else {
+            let AttnScratch { s, idx, kg, vg } = scr;
+            idx.clear();
+            idx.extend((0..window).filter(|&j| mask[j]));
+            let n = idx.len();
+            if n == 0 {
+                return; // fully-masked row: attention output stays zero
             }
-            stable_softmax_fast_in_place(&mut s);
-            vt.rows_dot_acc(&s, &mut out_row[qh * d..(qh + 1) * d]);
-        }
-    } else {
-        let idx: Vec<usize> = (0..window).filter(|&j| mask[j]).collect();
-        let n = idx.len();
-        if n == 0 {
-            return; // fully-masked row: attention output stays zero
-        }
-        // Gathered K/V, packed `d × n` per KV head so the per-head loops
-        // below run the same contiguous axpy/dot kernels as the dense path.
-        let kv_heads = keys_t.len();
-        let mut kg = vec![0.0f32; kv_heads * d * n];
-        let mut vg = vec![0.0f32; kv_heads * d * n];
-        for kh in 0..kv_heads {
-            for c in 0..d {
-                let (krow, vrow) = (keys_t[kh].row(c), vals_t[kh].row(c));
-                let lo = (kh * d + c) * n;
-                for (t, &j) in idx.iter().enumerate() {
-                    kg[lo + t] = krow[j];
-                    vg[lo + t] = vrow[j];
+            // Gathered K/V, packed `d × n` per KV head so the per-head
+            // loops below run the same contiguous axpy/dot kernels as the
+            // dense path.
+            let kv_dim = keys.rows();
+            kg.clear();
+            kg.resize(kv_dim * n, 0.0);
+            vg.clear();
+            vg.resize(kv_dim * n, 0.0);
+            for r in 0..kv_dim {
+                keys.gather_plane_into(r, idx, &mut kg[r * n..(r + 1) * n]);
+                vals.gather_plane_into(r, idx, &mut vg[r * n..(r + 1) * n]);
+            }
+            s.clear();
+            s.resize(n, 0.0);
+            for qh in 0..heads {
+                let kh = qh / group;
+                let qv = &q_row[qh * d..(qh + 1) * d];
+                s.fill(0.0);
+                for (c, &qc) in qv.iter().enumerate() {
+                    let lo = (kh * d + c) * n;
+                    axpy(s, qc, &kg[lo..lo + n]);
+                }
+                s.iter_mut().for_each(|x| *x *= scale);
+                stable_softmax_fast_in_place(s);
+                let out = &mut out_row[qh * d..(qh + 1) * d];
+                for (c, o) in out.iter_mut().enumerate() {
+                    let lo = (kh * d + c) * n;
+                    *o += dot_fast(s, &vg[lo..lo + n]);
                 }
             }
         }
-        let mut s = vec![0.0f32; n];
-        for qh in 0..heads {
-            let kh = qh / group;
-            let qv = &q_row[qh * d..(qh + 1) * d];
-            s.fill(0.0);
-            for (c, &qc) in qv.iter().enumerate() {
-                let lo = (kh * d + c) * n;
-                axpy(&mut s, qc, &kg[lo..lo + n]);
-            }
-            s.iter_mut().for_each(|x| *x *= scale);
-            stable_softmax_fast_in_place(&mut s);
-            let out = &mut out_row[qh * d..(qh + 1) * d];
-            for (c, o) in out.iter_mut().enumerate() {
-                let lo = (kh * d + c) * n;
-                *o += dot_fast(&s, &vg[lo..lo + n]);
-            }
-        }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -646,7 +856,7 @@ mod tests {
         let prefix_kv = model.compute_kv(&user_block);
         let cached = model.forward(&rest, Some(&prefix_kv));
 
-        assert!(max_diff(&full.hidden_last, &cached.hidden_last) < 1e-4);
+        assert!(max_diff(full.hidden_last(), cached.hidden_last()) < 1e-4);
         assert!(max_diff(&full.logits, &cached.logits) < 1e-3);
     }
 
@@ -665,7 +875,7 @@ mod tests {
         let prefix_kv = model.compute_kv(&item_block);
         let cached = model.forward(&rest, Some(&prefix_kv));
 
-        assert!(max_diff(&full.hidden_last, &cached.hidden_last) < 1e-4);
+        assert!(max_diff(full.hidden_last(), cached.hidden_last()) < 1e-4);
         assert!(max_diff(&full.logits, &cached.logits) < 1e-3);
     }
 
@@ -685,11 +895,13 @@ mod tests {
         let solo_kv = model.compute_kv(&standalone);
         for l in 0..model.config().layers {
             for (t, g) in (4..6).enumerate() {
-                assert!(max_diff(full.suffix_kv.layers[l].key(g), solo_kv.layers[l].key(t)) < 1e-5);
+                assert!(
+                    max_diff(&full.suffix_kv.layers[l].key(g), &solo_kv.layers[l].key(t)) < 1e-5
+                );
                 assert!(
                     max_diff(
-                        full.suffix_kv.layers[l].value(g),
-                        solo_kv.layers[l].value(t)
+                        &full.suffix_kv.layers[l].value(g),
+                        &solo_kv.layers[l].value(t)
                     ) < 1e-5
                 );
             }
@@ -713,7 +925,7 @@ mod tests {
         // Item 2 occupies tokens 4..6; its position there is 4, not 0.
         let mut differs = false;
         for l in 0..model.config().layers {
-            if max_diff(full.suffix_kv.layers[l].key(4), solo_kv.layers[l].key(0)) > 1e-3 {
+            if max_diff(&full.suffix_kv.layers[l].key(4), &solo_kv.layers[l].key(0)) > 1e-3 {
                 differs = true;
             }
         }
@@ -793,7 +1005,7 @@ mod tests {
                 max_diff(&new.logits, &old.logits) < 1e-3,
                 "{kind}: batched forward diverged from the seed oracle"
             );
-            assert!(max_diff(&new.hidden_last, &old.hidden_last) < 1e-4);
+            assert!(max_diff(new.hidden_last(), old.hidden_last()) < 1e-4);
             assert!(new.suffix_kv.max_abs_diff(&old.suffix_kv).unwrap() < 1e-5);
 
             let prefix_len = match kind {
@@ -852,6 +1064,70 @@ mod tests {
         marker[0] = 1.0;
         let routed = GrModel::new(Weights::routed(cfg, emb, &marker, 0.5, 0.5));
         assert!(routed.ffn_zero.iter().all(|&z| z));
+    }
+
+    /// A reused workspace must not leak state between calls: running a
+    /// different request in between leaves the original bit-identical,
+    /// including through a cached-prefix splice.
+    #[test]
+    fn forward_with_reused_workspace_is_bit_identical() {
+        let model = tiny_model(37);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        let seq = layout.build(PrefixKind::User, &u, &i, &s);
+        let (head, tail) = seq.split_at(u.len());
+        let kv = model.compute_kv(&head);
+
+        let gold_full = model.forward(&seq, None);
+        let gold_cached = model.forward(&tail, Some(&kv));
+
+        let mut ws = ForwardWorkspace::new();
+        // Interleave differently-shaped calls through one workspace.
+        let _ = model.forward_with(&tail, Some(&kv), &mut ws);
+        let got_full = model.forward_with(&seq, None, &mut ws);
+        assert_eq!(got_full.logits.len(), gold_full.logits.len());
+        assert!(got_full
+            .logits
+            .iter()
+            .zip(&gold_full.logits)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(got_full.suffix_kv, gold_full.suffix_kv);
+
+        let got_cached = model.forward_with(&tail, Some(&kv), &mut ws);
+        assert!(got_cached
+            .logits
+            .iter()
+            .zip(&gold_cached.logits)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(got_cached.hidden_all, gold_cached.hidden_all);
+    }
+
+    /// The zero-copy split-view forward must be bit-identical to the
+    /// repack-per-layer baseline (the old data movement) for both prefix
+    /// orderings — the guarantee that made the packed layout a pure win.
+    #[test]
+    fn packed_forward_bit_matches_repack_baseline() {
+        let model = tiny_model(41);
+        let (u, i, s) = parts();
+        let layout = PromptLayout::new(MaskScheme::Bipartite);
+        for kind in [PrefixKind::User, PrefixKind::Item] {
+            let seq = layout.build(kind, &u, &i, &s);
+            let prefix_len = match kind {
+                PrefixKind::User => u.len(),
+                PrefixKind::Item => i.iter().map(Vec::len).sum(),
+            };
+            let (head, tail) = seq.split_at(prefix_len);
+            let kv = model.compute_kv(&head);
+            let packed = model.forward(&tail, Some(&kv));
+            let repacked = model.forward_prefix_repack_baseline(&tail, Some(&kv));
+            assert!(packed
+                .logits
+                .iter()
+                .zip(&repacked.logits)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(packed.hidden_all, repacked.hidden_all);
+            assert_eq!(packed.suffix_kv, repacked.suffix_kv);
+        }
     }
 
     #[test]

@@ -101,6 +101,16 @@ impl FaultState {
         self.view.is_alive(id) && self.warm_incarnation[w] == self.view.incarnation(id)
     }
 
+    /// Whether a remote KV pull from worker `w` can reach the request's
+    /// affinity worker (worker 0) under the current partition view. When
+    /// the affinity worker itself is down the request is served from some
+    /// other node we don't model, so partition gating only applies while
+    /// worker 0 is up.
+    fn pull_reachable(&self, w: WorkerId) -> bool {
+        let local = WorkerId::new(0);
+        !self.view.is_alive(local) || self.view.reachable(local, w)
+    }
+
     /// Item lookup under the current membership and warmth. Mirrors
     /// [`ItemPlacementPlan::locate`] with affinity worker 0 when everyone is
     /// warm, and degrades per the re-plan otherwise.
@@ -114,39 +124,65 @@ impl FaultState {
             if self.is_warm(0) {
                 return FaultedLocation::LocalHit;
             }
-            if (0..n).any(|w| self.is_warm(w)) {
-                // The affinity worker's copy is gone, but replication means
-                // any surviving warm worker can serve the hot item.
-                return FaultedLocation::RemoteHit { from_replica: true };
+            // The affinity worker's copy is gone; replication means any
+            // surviving warm worker can serve the hot item — but a remote
+            // pull only works if the requester can actually reach that
+            // worker under the current partition view. Skip cut-off
+            // holders and fall back to the next reachable one.
+            let mut skipped_unreachable = false;
+            for w in 0..n {
+                if !self.is_warm(w) {
+                    continue;
+                }
+                if self.pull_reachable(WorkerId::new(w as u64)) {
+                    if skipped_unreachable {
+                        self.report.unreachable_kv_fallbacks += 1;
+                    }
+                    return FaultedLocation::RemoteHit { from_replica: true };
+                }
+                skipped_unreachable = true;
+            }
+            if skipped_unreachable {
+                self.report.unreachable_kv_fallbacks += 1;
             }
             return FaultedLocation::Recompute;
         }
         let owner = (id % n as u64) as usize;
         if self.is_warm(owner) {
-            return if owner == 0 {
-                FaultedLocation::LocalHit
-            } else {
-                FaultedLocation::RemoteHit {
+            if owner == 0 {
+                return FaultedLocation::LocalHit;
+            }
+            if self.pull_reachable(WorkerId::new(owner as u64)) {
+                return FaultedLocation::RemoteHit {
                     from_replica: false,
-                }
-            };
+                };
+            }
+            // The owner is warm but cut off by a partition: same degraded
+            // path as a dead owner — an adopter may hold the entry, and
+            // recompute covers the rest.
+            self.report.unreachable_kv_fallbacks += 1;
         }
-        // Cold-shard miss: the owner is dead (or restarted and not yet
-        // re-warmed). A live worker may have adopted the entry; adopted
+        // Cold-shard miss: the owner is dead, not yet re-warmed, or
+        // unreachable. A live worker may have adopted the entry; adopted
         // entries start cold, so the first access recomputes and writes
-        // back, and later accesses hit the adopter.
+        // back, and later accesses hit the adopter. The write-back (and any
+        // later hit) also requires the adopter to be reachable.
         if let Some(d) = &self.degraded {
             if let DegradedLocation::Adopted(target) = d.locate(item) {
-                if self.warmed_adopted.contains(&id) {
-                    return if target.index() == 0 {
-                        FaultedLocation::LocalHit
-                    } else {
-                        FaultedLocation::RemoteHit {
-                            from_replica: false,
-                        }
-                    };
+                if self.pull_reachable(target) {
+                    if self.warmed_adopted.contains(&id) {
+                        return if target.index() == 0 {
+                            FaultedLocation::LocalHit
+                        } else {
+                            FaultedLocation::RemoteHit {
+                                from_replica: false,
+                            }
+                        };
+                    }
+                    self.warmed_adopted.insert(id);
+                } else {
+                    self.report.unreachable_kv_fallbacks += 1;
                 }
-                self.warmed_adopted.insert(id);
             }
         }
         FaultedLocation::Recompute
@@ -924,6 +960,127 @@ mod tests {
         // The hot cold-band item moved into the replicated area: remote
         // traffic cannot be higher than before the refresh.
         assert!(after.remote_bytes <= before.remote_bytes);
+    }
+
+    fn fault_state(n: usize) -> FaultState {
+        let schedule = bat_faults::FaultSchedule::new(n, vec![]).expect("empty schedule is valid");
+        FaultState {
+            first_crash_at: None,
+            cursor: FaultCursor::new(schedule),
+            view: ClusterView::new(n),
+            report: FaultReport::default(),
+            warm_incarnation: vec![0; n],
+            rewarm_ready_at: vec![f64::NEG_INFINITY; n],
+            rewarm_secs: 0.0,
+            per_worker_budget: Bytes::new(u64::MAX / 2),
+            degraded: None,
+            warmed_adopted: HashSet::new(),
+            buckets: BTreeMap::new(),
+            bucket_secs: FAULT_WINDOW_SECS,
+        }
+    }
+
+    fn cut(view: &mut ClusterView, a: u64, b: u64) {
+        view.apply(&bat_faults::FaultEvent {
+            at_secs: 0.0,
+            kind: bat_faults::FaultKind::CutLink {
+                a: WorkerId::new(a),
+                b: WorkerId::new(b),
+            },
+        });
+    }
+
+    #[test]
+    fn replicated_lookup_skips_unreachable_holders() {
+        use bat_placement::PlacementStrategy;
+        let plan = ItemPlacementPlan::new(PlacementStrategy::Hrcs, 1000, 4, 0.1, 1 << 20);
+        let mut fs = fault_state(4);
+        // Affinity worker 0 is alive but its cache is cold (e.g. pending
+        // re-warm), so the replicated hit must come from another holder.
+        fs.warm_incarnation[0] = u64::MAX;
+        cut(&mut fs.view, 0, 1);
+        cut(&mut fs.view, 0, 2);
+        let hot = ItemId::new(5);
+        assert!(plan.is_replicated(hot));
+        assert!(matches!(
+            fs.locate(&plan, hot),
+            FaultedLocation::RemoteHit { from_replica: true }
+        ));
+        assert_eq!(
+            fs.report.unreachable_kv_fallbacks, 1,
+            "workers 1 and 2 were warm but cut off; worker 3 served"
+        );
+        // Cutting the last link leaves no reachable holder: recompute.
+        cut(&mut fs.view, 0, 3);
+        assert!(matches!(fs.locate(&plan, hot), FaultedLocation::Recompute));
+        assert_eq!(fs.report.unreachable_kv_fallbacks, 2);
+    }
+
+    #[test]
+    fn sharded_lookup_respects_partition() {
+        use bat_placement::PlacementStrategy;
+        let plan = ItemPlacementPlan::new(PlacementStrategy::HashShard, 1000, 4, 0.0, 1 << 20);
+        let mut fs = fault_state(4);
+        let item = ItemId::new(9); // owner = 9 % 4 = 1
+        assert!(matches!(
+            fs.locate(&plan, item),
+            FaultedLocation::RemoteHit {
+                from_replica: false
+            }
+        ));
+        cut(&mut fs.view, 0, 1);
+        assert!(
+            matches!(fs.locate(&plan, item), FaultedLocation::Recompute),
+            "a warm owner behind a cut link must not serve a remote hit"
+        );
+        assert_eq!(fs.report.unreachable_kv_fallbacks, 1);
+    }
+
+    #[test]
+    fn adoption_waits_for_reachable_adopter() {
+        use bat_placement::PlacementStrategy;
+        let plan = ItemPlacementPlan::new(PlacementStrategy::HashShard, 1000, 4, 0.0, 1 << 20);
+        let mut fs = fault_state(4);
+        // Crash the owner of item 9 (worker 1) and re-plan around it.
+        fs.view.apply(&bat_faults::FaultEvent {
+            at_secs: 0.0,
+            kind: bat_faults::FaultKind::WorkerCrash(WorkerId::new(1)),
+        });
+        let alive = fs.view.alive_mask().to_vec();
+        fs.degraded = Some(DegradedPlacement::new(
+            &plan,
+            &alive,
+            Bytes::new(u64::MAX / 2),
+        ));
+        let item = ItemId::new(9);
+        let DegradedLocation::Adopted(target) = fs.degraded.as_ref().unwrap().locate(item) else {
+            panic!("dead owner's entry should be adopted");
+        };
+        assert_ne!(target.index(), 1, "dead worker cannot adopt");
+        if target.index() != 0 {
+            // While the adopter is cut off, every access recomputes and the
+            // write-back is withheld (it could not reach the adopter).
+            cut(&mut fs.view, 0, target.as_u64());
+            assert!(matches!(fs.locate(&plan, item), FaultedLocation::Recompute));
+            assert!(matches!(fs.locate(&plan, item), FaultedLocation::Recompute));
+            assert!(!fs.warmed_adopted.contains(&item.as_u64()));
+            assert_eq!(fs.report.unreachable_kv_fallbacks, 2);
+            // Heal the link: the first access warms the adopter, the next
+            // one hits it remotely.
+            fs.view.apply(&bat_faults::FaultEvent {
+                at_secs: 1.0,
+                kind: bat_faults::FaultKind::HealLink {
+                    a: WorkerId::new(0),
+                    b: target,
+                },
+            });
+        }
+        assert!(matches!(fs.locate(&plan, item), FaultedLocation::Recompute));
+        assert!(fs.warmed_adopted.contains(&item.as_u64()));
+        assert!(!matches!(
+            fs.locate(&plan, item),
+            FaultedLocation::Recompute | FaultedLocation::Uncached
+        ));
     }
 
     #[test]

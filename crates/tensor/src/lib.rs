@@ -24,12 +24,14 @@
 
 pub mod matrix;
 pub mod ops;
+pub mod packed;
 pub mod rope;
 
 pub use matrix::Matrix;
 pub use ops::{
     axpy, dot, dot_fast, fast_exp, fast_silu, fast_silu_in_place, fast_silu_mul_in_place,
-    fused_masked_softmax_av, fused_silu_av, rms_norm, silu, softmax_masked_in_place,
+    fused_masked_softmax_av, fused_silu_av, rms_norm, rms_norm_into, silu, softmax_masked_in_place,
     stable_softmax_fast_in_place, stable_softmax_in_place,
 };
+pub use packed::{ColBlock, SplitCols};
 pub use rope::RopeTable;

@@ -125,6 +125,17 @@ impl Matrix {
         &self.data
     }
 
+    /// Reshapes to `rows × cols` and zeroes every entry, keeping the
+    /// backing allocation when it is large enough. The workspace primitive:
+    /// a scratch matrix `reset` each layer/request stops allocating once it
+    /// has seen its steady-state shape.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self × rhs`.
     ///
     /// This is the workhorse kernel of the batched forward pass. It is an
@@ -143,15 +154,29 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-owned output matrix, which
+    /// is resized (capacity kept) and zeroed — the zero-allocation twin the
+    /// forward workspace reuses across layers and requests. Same kernel,
+    /// same fold order, bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} × {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let (n, k, m) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(n, m);
+        out.reset(n, m);
         if n == 0 || m == 0 || k == 0 {
-            return out;
+            return;
         }
         // Below this many multiply-adds the pool dispatch overhead exceeds
         // the kernel cost; run inline.
@@ -186,7 +211,6 @@ impl Matrix {
                 r += 1;
             }
         });
-        out
     }
 
     /// Matrix product `self × rhsᵀ` with `rhs` stored row-major (i.e. `rhs`
@@ -278,10 +302,22 @@ impl Matrix {
     ///
     /// Panics if `vec.len() != self.rows()`.
     pub fn vecmul(&self, vec: &[f32]) -> Vec<f32> {
-        assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
-        let mut out = vec![0.0f32; self.cols];
-        fold_rows_into(&mut out, vec, self);
+        let mut out = Vec::new();
+        self.vecmul_into(vec, &mut out);
         out
+    }
+
+    /// [`Matrix::vecmul`] writing into a caller-owned vector (cleared,
+    /// resized keeping capacity). Same kernel, bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.rows()`.
+    pub fn vecmul_into(&self, vec: &[f32], out: &mut Vec<f32>) {
+        assert_eq!(vec.len(), self.rows, "vecmul shape mismatch");
+        out.clear();
+        out.resize(self.cols, 0.0);
+        fold_rows_into(out, vec, self);
     }
 
     /// Sparse-aware `vec × self`: skips rows whose coefficient is exactly
@@ -624,13 +660,13 @@ fn rows_dot_acc_body(m: &Matrix, s: &[f32], out: &mut [f32]) {
 /// lanes map onto one AVX/NEON-pair vector register, and because each lane
 /// is its own addition chain the compiler can vectorize the loop without
 /// reassociating any sum.
-const LANES: usize = 8;
+pub(crate) const LANES: usize = 8;
 
 /// Fixed-order horizontal reduction of the lane accumulators plus the
 /// ascending scalar tail — a pure function of the length, so every dot
 /// kernel below is deterministic regardless of where it runs.
 #[inline]
-fn fold_lanes(acc: [f32; LANES], a_tail: &[f32], b_tail: &[f32]) -> f32 {
+pub(crate) fn fold_lanes(acc: [f32; LANES], a_tail: &[f32], b_tail: &[f32]) -> f32 {
     let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
     for (x, y) in a_tail.iter().zip(b_tail) {
         sum += x * y;

@@ -61,10 +61,26 @@ pub fn softmax_masked_in_place(logits: &mut [f32], allowed: &[bool]) {
 ///
 /// Panics if `x.len() != gain.len()`.
 pub fn rms_norm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    rms_norm_into(x, gain, eps, &mut out);
+    out
+}
+
+/// [`rms_norm`] writing into a caller-owned slice — the zero-allocation
+/// twin the forward workspace uses per row. Same arithmetic in the same
+/// order, so results are bit-identical.
+///
+/// # Panics
+///
+/// Panics if the three slices' lengths differ.
+pub fn rms_norm_into(x: &[f32], gain: &[f32], eps: f32, out: &mut [f32]) {
     assert_eq!(x.len(), gain.len(), "rms_norm arity mismatch");
+    assert_eq!(x.len(), out.len(), "rms_norm output arity mismatch");
     let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len().max(1) as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().zip(gain).map(|(v, g)| v * inv * g).collect()
+    for ((o, v), g) in out.iter_mut().zip(x).zip(gain) {
+        *o = v * inv * g;
+    }
 }
 
 /// SiLU (swish) activation `x · sigmoid(x)`, used in the SwiGLU FFN.

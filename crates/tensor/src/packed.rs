@@ -1,0 +1,733 @@
+//! Column-appendable transposed-packed storage and split-window kernels.
+//!
+//! [`ColBlock`] stores a `rows × len` block **plane-major**: plane `r` is a
+//! contiguous slice holding component `r` of every appended column. This is
+//! exactly the transposed (`d × g_len`) layout the attention kernels sweep,
+//! so a KV segment stored this way is packed *once* — when it is computed —
+//! and every later forward reads it zero-copy instead of re-gathering
+//! row-major entries per layer per request.
+//!
+//! [`SplitCols`] is a zero-copy view over an optional cached-prefix block
+//! followed by a suffix block, presenting them as one virtual
+//! concatenation. Its kernels ([`SplitCols::axpy_plane`],
+//! [`SplitCols::rows_dot_acc`]) reproduce the contiguous kernels'
+//! arithmetic **bit-for-bit**: `axpy` is element-wise, so splitting a sweep
+//! at the prefix/suffix boundary cannot change a bit, and the dot kernels
+//! replicate [`crate::matrix`]'s exact `LANES`-chunk grouping over the
+//! virtual concatenation — the one chunk that straddles the boundary is
+//! gathered into a stack temporary, every other chunk streams from whichever
+//! block owns it, and the scalar tail walks ascending virtual indices. A
+//! forward pass that attends through a view is therefore bit-identical to
+//! one that first copied both blocks into a single contiguous matrix.
+
+use crate::matrix::{fold_lanes, LANES};
+use crate::ops::axpy;
+
+/// A `rows × len` block stored plane-major with column-append support.
+///
+/// Plane `r` lives at `data[r * cap .. r * cap + len]`; `cap` is the column
+/// capacity, so appending a column is one strided scatter (one element per
+/// plane) and never moves existing data until the block grows (amortized
+/// doubling, like `Vec`).
+///
+/// ```
+/// use bat_tensor::ColBlock;
+///
+/// let mut b = ColBlock::new(2);
+/// b.push_col(&[1.0, 10.0]);
+/// b.push_col(&[2.0, 20.0]);
+/// assert_eq!(b.plane(0), &[1.0, 2.0]);
+/// assert_eq!(b.plane(1), &[10.0, 20.0]);
+/// ```
+pub struct ColBlock {
+    rows: usize,
+    len: usize,
+    cap: usize,
+    data: Vec<f32>,
+}
+
+impl ColBlock {
+    /// An empty block with `rows` planes.
+    pub fn new(rows: usize) -> Self {
+        ColBlock {
+            rows,
+            len: 0,
+            cap: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// An empty block with `rows` planes and room for `cap` columns.
+    pub fn with_capacity(rows: usize, cap: usize) -> Self {
+        ColBlock {
+            rows,
+            len: 0,
+            cap,
+            data: vec![0.0; rows * cap],
+        }
+    }
+
+    /// Number of planes (the packed dimension, e.g. `kv_dim`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns appended so far (e.g. tokens).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no column has been appended.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current column capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Bytes of backing storage currently resident (capacity, not logical
+    /// length) — what a cache pool must account for this block.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Plane `r`: component `r` of every appended column, contiguous.
+    #[inline]
+    pub fn plane(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "plane index out of range");
+        &self.data[r * self.cap..r * self.cap + self.len]
+    }
+
+    /// Mutable borrow of plane `r`.
+    #[inline]
+    pub fn plane_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "plane index out of range");
+        &mut self.data[r * self.cap..r * self.cap + self.len]
+    }
+
+    /// Grows the column capacity to at least `want`, repacking planes at
+    /// the new stride.
+    fn grow_to(&mut self, want: usize) {
+        if want <= self.cap {
+            return;
+        }
+        let new_cap = want.max(self.cap * 2).max(4);
+        let mut data = vec![0.0f32; self.rows * new_cap];
+        for r in 0..self.rows {
+            data[r * new_cap..r * new_cap + self.len].copy_from_slice(self.plane(r));
+        }
+        self.data = data;
+        self.cap = new_cap;
+    }
+
+    /// Ensures room for `additional` more columns without reallocating.
+    pub fn reserve_cols(&mut self, additional: usize) {
+        self.grow_to(self.len + additional);
+    }
+
+    /// Appends one column (one element per plane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len() != self.rows()`.
+    pub fn push_col(&mut self, col: &[f32]) {
+        assert_eq!(col.len(), self.rows, "push_col width mismatch");
+        if self.len == self.cap {
+            self.grow_to(self.len + 1);
+        }
+        for (r, &x) in col.iter().enumerate() {
+            self.data[r * self.cap + self.len] = x;
+        }
+        self.len += 1;
+    }
+
+    /// Overwrites column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()` or `col.len() != self.rows()`.
+    pub fn set_col(&mut self, j: usize, col: &[f32]) {
+        assert!(j < self.len, "set_col index out of range");
+        assert_eq!(col.len(), self.rows, "set_col width mismatch");
+        for (r, &x) in col.iter().enumerate() {
+            self.data[r * self.cap + j] = x;
+        }
+    }
+
+    /// Gathers column `j` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.len()` or `out.len() != self.rows()`.
+    pub fn col_into(&self, j: usize, out: &mut [f32]) {
+        assert!(j < self.len, "col index out of range");
+        assert_eq!(out.len(), self.rows, "col_into width mismatch");
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.data[r * self.cap + j];
+        }
+    }
+
+    /// Column `j` as a fresh vector (test/oracle convenience; hot paths
+    /// read planes).
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        let mut out = vec![0.0; self.rows];
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Appends every column of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane counts differ.
+    pub fn extend_from(&mut self, other: &ColBlock) {
+        assert_eq!(self.rows, other.rows, "extend_from plane-count mismatch");
+        self.grow_to(self.len + other.len);
+        for r in 0..self.rows {
+            let dst = r * self.cap + self.len;
+            self.data[dst..dst + other.len].copy_from_slice(other.plane(r));
+        }
+        self.len += other.len;
+    }
+
+    /// Drops all columns, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// Compacting clone: the copy's capacity equals its length, so cloning a
+/// block into a cache never carries over-allocated scratch headroom.
+impl Clone for ColBlock {
+    fn clone(&self) -> Self {
+        let mut data = vec![0.0f32; self.rows * self.len];
+        for r in 0..self.rows {
+            data[r * self.len..(r + 1) * self.len].copy_from_slice(self.plane(r));
+        }
+        ColBlock {
+            rows: self.rows,
+            len: self.len,
+            cap: self.len,
+            data,
+        }
+    }
+}
+
+/// Logical equality: shape and appended columns; capacity and any garbage
+/// beyond `len` are ignored.
+impl PartialEq for ColBlock {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.len == other.len
+            && (0..self.rows).all(|r| self.plane(r) == other.plane(r))
+    }
+}
+
+impl std::fmt::Debug for ColBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColBlock")
+            .field("rows", &self.rows)
+            .field("len", &self.len)
+            .field("cap", &self.cap)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Zero-copy view over `[prefix ++ suffix]` packed column blocks.
+///
+/// The cached prefix (if any) and the freshly-computed suffix stay in their
+/// own [`ColBlock`]s; the view's kernels read the virtual concatenation
+/// without ever materializing it. See the module docs for the bit-identity
+/// argument.
+#[derive(Clone, Copy)]
+pub struct SplitCols<'a> {
+    pre: Option<&'a ColBlock>,
+    suf: &'a ColBlock,
+}
+
+impl<'a> SplitCols<'a> {
+    /// Builds the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks' plane counts differ.
+    pub fn new(pre: Option<&'a ColBlock>, suf: &'a ColBlock) -> Self {
+        if let Some(p) = pre {
+            assert_eq!(p.rows(), suf.rows(), "SplitCols plane-count mismatch");
+        }
+        SplitCols { pre, suf }
+    }
+
+    /// Number of planes.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.suf.rows()
+    }
+
+    /// Columns contributed by the prefix block (the split point).
+    #[inline]
+    pub fn split(&self) -> usize {
+        self.pre.map_or(0, ColBlock::len)
+    }
+
+    /// Total virtual columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.split() + self.suf.len()
+    }
+
+    /// True when both blocks are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at plane `r`, virtual column `j`.
+    #[inline]
+    pub fn at(&self, r: usize, j: usize) -> f32 {
+        let p = self.split();
+        if j < p {
+            self.pre.unwrap().plane(r)[j]
+        } else {
+            self.suf.plane(r)[j - p]
+        }
+    }
+
+    /// `out[j] += coeff · plane(r)[j]` over the first `window` virtual
+    /// columns. `axpy` is element-wise, so running it per block is the
+    /// same arithmetic as one sweep over a contiguous copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window > self.len()` or `out.len() < window`.
+    #[inline]
+    pub fn axpy_plane(&self, r: usize, window: usize, coeff: f32, out: &mut [f32]) {
+        assert!(window <= self.len(), "axpy_plane window overrun");
+        let p = self.split().min(window);
+        if let Some(pre) = self.pre {
+            axpy(&mut out[..p], coeff, &pre.plane(r)[..p]);
+        }
+        axpy(&mut out[p..window], coeff, &self.suf.plane(r)[..window - p]);
+    }
+
+    /// Gathers `plane(r)` at the given virtual columns into `out`
+    /// (clearing it first). The sparse attention path gathers allowed
+    /// positions once per token and then sweeps contiguous buffers.
+    pub fn gather_plane(&self, r: usize, idx: &[usize], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(idx.len());
+        let p = self.split();
+        let pre = self.pre.map(|b| b.plane(r));
+        let suf = self.suf.plane(r);
+        for &j in idx {
+            out.push(if j < p { pre.unwrap()[j] } else { suf[j - p] });
+        }
+    }
+
+    /// Gathers `plane(r)` at the given virtual columns into an
+    /// exactly-sized slice — the in-place twin of
+    /// [`SplitCols::gather_plane`] for callers packing several planes into
+    /// one flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != idx.len()`.
+    pub fn gather_plane_into(&self, r: usize, idx: &[usize], out: &mut [f32]) {
+        assert_eq!(out.len(), idx.len(), "gather_plane_into length mismatch");
+        let p = self.split();
+        let pre = self.pre.map(|b| b.plane(r));
+        let suf = self.suf.plane(r);
+        for (o, &j) in out.iter_mut().zip(idx) {
+            *o = if j < p { pre.unwrap()[j] } else { suf[j - p] };
+        }
+    }
+
+    /// `out[c] += ⟨s, plane(row0 + c)⟩` over the first `s.len()` virtual
+    /// columns — the split twin of [`crate::Matrix::rows_dot_acc`], and
+    /// bit-identical to running it on a contiguous copy of the
+    /// concatenation: the chunk grouping, per-row lane accumulators,
+    /// fixed-tree fold, and ascending scalar tail are all reproduced over
+    /// virtual indices (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row0 + out.len() > self.rows()` or `s.len() > self.len()`.
+    pub fn rows_dot_acc(&self, row0: usize, s: &[f32], out: &mut [f32]) {
+        assert!(row0 + out.len() <= self.rows(), "rows_dot_acc row overrun");
+        assert!(s.len() <= self.len(), "rows_dot_acc column overrun");
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { split_rows_dot_acc_avx2(self.pre, self.suf, row0, s, out) };
+        }
+        split_rows_dot_acc_body(self.pre, self.suf, row0, s, out)
+    }
+}
+
+/// [`SplitCols::rows_dot_acc`]'s body compiled with AVX2 enabled (see
+/// `matrix::fold_rows_into_avx2` for why the body must be
+/// `#[inline(always)]`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn split_rows_dot_acc_avx2(
+    pre: Option<&ColBlock>,
+    suf: &ColBlock,
+    row0: usize,
+    s: &[f32],
+    out: &mut [f32],
+) {
+    split_rows_dot_acc_body(pre, suf, row0, s, out)
+}
+
+/// Splits the window `0..n` into the regions the chunked dot kernels walk:
+/// `full_pre` is the end of the LANES-chunks that lie entirely in the
+/// prefix; a boundary chunk follows iff the split point is not
+/// chunk-aligned inside the main region.
+#[inline(always)]
+fn chunk_regions(n: usize, p: usize) -> (usize, usize, bool) {
+    let main = n / LANES * LANES;
+    let full_pre = if p >= main { main } else { p / LANES * LANES };
+    let boundary = full_pre < main && p > full_pre;
+    (main, full_pre, boundary)
+}
+
+#[inline(always)]
+fn split_rows_dot_acc_body(
+    pre: Option<&ColBlock>,
+    suf: &ColBlock,
+    row0: usize,
+    s: &[f32],
+    out: &mut [f32],
+) {
+    let n = s.len();
+    let p = pre.map_or(0, ColBlock::len).min(n);
+    let (main, full_pre, boundary) = chunk_regions(n, p);
+    let empty: &[f32] = &[];
+    let pre_plane = |r: usize| pre.map_or(empty, |b| &b.plane(row0 + r)[..p]);
+    let mut c = 0;
+    // Four rows per pass sharing each `s` chunk load, exactly like
+    // `rows_dot_acc_body`; every row keeps its own lane accumulators so no
+    // sum is reassociated.
+    while c + 4 <= out.len() {
+        let (q0, q1, q2, q3) = (
+            pre_plane(c),
+            pre_plane(c + 1),
+            pre_plane(c + 2),
+            pre_plane(c + 3),
+        );
+        let (v0, v1, v2, v3) = (
+            &suf.plane(row0 + c)[..n - p],
+            &suf.plane(row0 + c + 1)[..n - p],
+            &suf.plane(row0 + c + 2)[..n - p],
+            &suf.plane(row0 + c + 3)[..n - p],
+        );
+        let mut a0 = [0.0f32; LANES];
+        let mut a1 = [0.0f32; LANES];
+        let mut a2 = [0.0f32; LANES];
+        let mut a3 = [0.0f32; LANES];
+        let mut i = 0;
+        while i < full_pre {
+            let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+            let p0: &[f32; LANES] = q0[i..i + LANES].try_into().unwrap();
+            let p1: &[f32; LANES] = q1[i..i + LANES].try_into().unwrap();
+            let p2: &[f32; LANES] = q2[i..i + LANES].try_into().unwrap();
+            let p3: &[f32; LANES] = q3[i..i + LANES].try_into().unwrap();
+            for l in 0..LANES {
+                a0[l] += ps[l] * p0[l];
+                a1[l] += ps[l] * p1[l];
+                a2[l] += ps[l] * p2[l];
+                a3[l] += ps[l] * p3[l];
+            }
+            i += LANES;
+        }
+        if boundary {
+            // The one chunk straddling the split: gather it so the lane
+            // grouping matches the contiguous kernel's.
+            let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+            let mut b0 = [0.0f32; LANES];
+            let mut b1 = [0.0f32; LANES];
+            let mut b2 = [0.0f32; LANES];
+            let mut b3 = [0.0f32; LANES];
+            for l in 0..LANES {
+                let j = i + l;
+                if j < p {
+                    b0[l] = q0[j];
+                    b1[l] = q1[j];
+                    b2[l] = q2[j];
+                    b3[l] = q3[j];
+                } else {
+                    b0[l] = v0[j - p];
+                    b1[l] = v1[j - p];
+                    b2[l] = v2[j - p];
+                    b3[l] = v3[j - p];
+                }
+            }
+            for l in 0..LANES {
+                a0[l] += ps[l] * b0[l];
+                a1[l] += ps[l] * b1[l];
+                a2[l] += ps[l] * b2[l];
+                a3[l] += ps[l] * b3[l];
+            }
+            i += LANES;
+        }
+        while i < main {
+            let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+            let p0: &[f32; LANES] = v0[i - p..i - p + LANES].try_into().unwrap();
+            let p1: &[f32; LANES] = v1[i - p..i - p + LANES].try_into().unwrap();
+            let p2: &[f32; LANES] = v2[i - p..i - p + LANES].try_into().unwrap();
+            let p3: &[f32; LANES] = v3[i - p..i - p + LANES].try_into().unwrap();
+            for l in 0..LANES {
+                a0[l] += ps[l] * p0[l];
+                a1[l] += ps[l] * p1[l];
+                a2[l] += ps[l] * p2[l];
+                a3[l] += ps[l] * p3[l];
+            }
+            i += LANES;
+        }
+        // Fixed-tree fold, then the ascending virtual-index scalar tail —
+        // the same association as `fold_lanes` over a contiguous row.
+        let mut s0 = fold_lanes(a0, &[], &[]);
+        let mut s1 = fold_lanes(a1, &[], &[]);
+        let mut s2 = fold_lanes(a2, &[], &[]);
+        let mut s3 = fold_lanes(a3, &[], &[]);
+        for j in main..n {
+            let sj = s[j];
+            if j < p {
+                s0 += sj * q0[j];
+                s1 += sj * q1[j];
+                s2 += sj * q2[j];
+                s3 += sj * q3[j];
+            } else {
+                s0 += sj * v0[j - p];
+                s1 += sj * v1[j - p];
+                s2 += sj * v2[j - p];
+                s3 += sj * v3[j - p];
+            }
+        }
+        out[c] += s0;
+        out[c + 1] += s1;
+        out[c + 2] += s2;
+        out[c + 3] += s3;
+        c += 4;
+    }
+    while c < out.len() {
+        out[c] += split_dot_body(s, pre_plane(c), &suf.plane(row0 + c)[..n - p]);
+        c += 1;
+    }
+}
+
+/// `⟨s, pre ++ suf⟩` with the exact chunk grouping of
+/// `matrix::dot_unrolled_body` over the virtual concatenation.
+#[inline(always)]
+fn split_dot_body(s: &[f32], pre: &[f32], suf: &[f32]) -> f32 {
+    let n = s.len();
+    let p = pre.len();
+    debug_assert_eq!(p + suf.len(), n, "split_dot length mismatch");
+    let (main, full_pre, boundary) = chunk_regions(n, p);
+    let mut acc = [0.0f32; LANES];
+    let mut i = 0;
+    while i < full_pre {
+        let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+        let pb: &[f32; LANES] = pre[i..i + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            acc[l] += ps[l] * pb[l];
+        }
+        i += LANES;
+    }
+    if boundary {
+        let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+        let mut pb = [0.0f32; LANES];
+        for (l, slot) in pb.iter_mut().enumerate() {
+            let j = i + l;
+            *slot = if j < p { pre[j] } else { suf[j - p] };
+        }
+        for l in 0..LANES {
+            acc[l] += ps[l] * pb[l];
+        }
+        i += LANES;
+    }
+    while i < main {
+        let ps: &[f32; LANES] = s[i..i + LANES].try_into().unwrap();
+        let pb: &[f32; LANES] = suf[i - p..i - p + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            acc[l] += ps[l] * pb[l];
+        }
+        i += LANES;
+    }
+    let mut sum = fold_lanes(acc, &[], &[]);
+    for j in main..n {
+        sum += s[j] * if j < p { pre[j] } else { suf[j - p] };
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+    fn random_block(rows: usize, cols: usize, rng: &mut SmallRng) -> ColBlock {
+        let mut b = ColBlock::new(rows);
+        for _ in 0..cols {
+            let col: Vec<f32> = (0..rows).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            b.push_col(&col);
+        }
+        b
+    }
+
+    /// Contiguous `rows × len` matrix with the same contents as the virtual
+    /// concatenation — the oracle the split kernels must match bitwise.
+    fn concat_matrix(pre: Option<&ColBlock>, suf: &ColBlock) -> Matrix {
+        let rows = suf.rows();
+        let n = pre.map_or(0, ColBlock::len) + suf.len();
+        let mut m = Matrix::zeros(rows, n);
+        let view = SplitCols::new(pre, suf);
+        for r in 0..rows {
+            for j in 0..n {
+                m.set(r, j, view.at(r, j));
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn push_grow_and_read_back() {
+        let mut b = ColBlock::new(3);
+        for j in 0..37 {
+            b.push_col(&[j as f32, -(j as f32), 0.5 * j as f32]);
+        }
+        assert_eq!(b.len(), 37);
+        assert_eq!(b.plane(1)[20], -20.0);
+        assert_eq!(b.col(36), vec![36.0, -36.0, 18.0]);
+        b.set_col(5, &[9.0, 9.0, 9.0]);
+        assert_eq!(b.col(5), vec![9.0; 3]);
+    }
+
+    #[test]
+    fn extend_matches_pushing() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = random_block(4, 11, &mut rng);
+        let b = random_block(4, 6, &mut rng);
+        let mut joined = a.clone();
+        joined.extend_from(&b);
+        assert_eq!(joined.len(), 17);
+        for j in 0..17 {
+            let want = if j < 11 { a.col(j) } else { b.col(j - 11) };
+            assert_eq!(joined.col(j), want);
+        }
+    }
+
+    #[test]
+    fn clone_compacts_and_equality_ignores_capacity() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut a = random_block(2, 5, &mut rng);
+        a.reserve_cols(100);
+        let c = a.clone();
+        assert_eq!(c.capacity(), 5);
+        assert_eq!(a, c);
+        assert!(a.resident_bytes() > c.resident_bytes());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut a = random_block(2, 20, &mut rng);
+        let cap = a.capacity();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), cap);
+    }
+
+    /// The split kernels must be bit-identical to the contiguous kernels
+    /// over a materialized concatenation, for every split point — including
+    /// chunk-aligned splits, splits inside the scalar tail, and windows
+    /// shorter than the prefix.
+    #[test]
+    fn split_kernels_bit_match_contiguous() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for &(rows, p_cols, s_cols) in &[
+            (8usize, 0usize, 5usize),
+            (8, 3, 1),
+            (8, 8, 8),
+            (8, 13, 29),
+            (16, 48, 200),
+            (6, 17, 7),
+            (4, 1, 40),
+        ] {
+            let pre = (p_cols > 0).then(|| random_block(rows, p_cols, &mut rng));
+            let suf = random_block(rows, s_cols, &mut rng);
+            let view = SplitCols::new(pre.as_ref(), &suf);
+            let flat = concat_matrix(pre.as_ref(), &suf);
+            let n = p_cols + s_cols;
+            for window in [1, p_cols.max(1), n.min(p_cols + 1), n] {
+                let s: Vec<f32> = (0..window).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                // rows_dot_acc twin.
+                let mut got = vec![0.1f32; rows];
+                let mut want = vec![0.1f32; rows];
+                view.rows_dot_acc(0, &s, &mut got);
+                flat.rows_dot_acc(&s, &mut want);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "rows_dot_acc split mismatch");
+                }
+                // axpy twin.
+                let mut got = vec![0.0f32; window];
+                let mut want = vec![0.0f32; window];
+                view.axpy_plane(rows - 1, window, 0.37, &mut got);
+                axpy(&mut want, 0.37, &flat.row(rows - 1)[..window]);
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "axpy split mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_dot_acc_respects_row_offset() {
+        let mut rng = SmallRng::seed_from_u64(43);
+        let pre = random_block(12, 10, &mut rng);
+        let suf = random_block(12, 9, &mut rng);
+        let view = SplitCols::new(Some(&pre), &suf);
+        let flat = concat_matrix(Some(&pre), &suf);
+        let s: Vec<f32> = (0..19).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut got = vec![0.0f32; 4];
+        view.rows_dot_acc(4, &s, &mut got);
+        for (c, g) in got.iter().enumerate() {
+            let want = crate::ops::dot_fast(&s, flat.row(4 + c));
+            assert_eq!(g.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn gather_plane_reads_virtual_indices() {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let pre = random_block(3, 6, &mut rng);
+        let suf = random_block(3, 4, &mut rng);
+        let view = SplitCols::new(Some(&pre), &suf);
+        let mut out = Vec::new();
+        view.gather_plane(2, &[0, 5, 6, 9], &mut out);
+        assert_eq!(
+            out,
+            vec![
+                pre.plane(2)[0],
+                pre.plane(2)[5],
+                suf.plane(2)[0],
+                suf.plane(2)[3]
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_col_rejects_wrong_width() {
+        let mut b = ColBlock::new(3);
+        b.push_col(&[1.0, 2.0]);
+    }
+}

@@ -100,8 +100,8 @@ fn naive_scheme_item_sharing_is_lossy() {
     for l in 0..model.config().layers {
         for t in 0..2 {
             diff = diff.max(max_diff(
-                full.suffix_kv.layers[l].key(offset + t),
-                solo.layers[l].key(t),
+                &full.suffix_kv.layers[l].key(offset + t),
+                &solo.layers[l].key(t),
             ));
         }
     }
@@ -116,8 +116,8 @@ fn naive_scheme_item_sharing_is_lossy() {
     for l in 0..model.config().layers {
         for t in 0..2 {
             diff = diff.max(max_diff(
-                full.suffix_kv.layers[l].key(offset + t),
-                solo.layers[l].key(t),
+                &full.suffix_kv.layers[l].key(offset + t),
+                &solo.layers[l].key(t),
             ));
         }
     }

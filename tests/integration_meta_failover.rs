@@ -127,7 +127,7 @@ fn sim_and_serve_agree_under_meta_failover() {
 }
 
 #[test]
-fn partitioned_leader_triggers_forced_election_and_serving_is_unchanged() {
+fn partitioned_leader_forces_election_and_data_plane_detours() {
     let ds = dataset();
     let t = trace(&ds, 4.0, 30.0, 11);
     let baseline = ServingEngine::new(config(&ds))
@@ -173,10 +173,22 @@ fn partitioned_leader_triggers_forced_election_and_serving_is_unchanged() {
         "the client must depose the unreachable leader"
     );
     assert!(faulted.faults.meta_final_epoch > 1, "deposing re-elects");
-    // Partitions hit the control plane only: serving is untouched.
-    assert_eq!(
-        without_fault_report(&faulted),
-        without_fault_report(&baseline)
+    // Unlike a replica crash, a fabric cut is *not* serving-invisible:
+    // while 0<->1 is down the data plane must also stop pulling warm KV
+    // from worker 1, detouring those lookups to recompute. Same requests,
+    // same total work — just fewer remote reuses while the link is cut.
+    assert!(
+        faulted.faults.unreachable_kv_fallbacks >= 1,
+        "data-plane lookups must detour around the cut link"
+    );
+    assert_eq!(faulted.total_tokens, baseline.total_tokens);
+    assert!(
+        faulted.reused_tokens <= baseline.reused_tokens,
+        "detoured lookups cannot reuse more than the unpartitioned run"
+    );
+    assert!(
+        faulted.remote_bytes <= baseline.remote_bytes,
+        "a cut link cannot increase cross-worker KV traffic"
     );
 }
 

@@ -1,0 +1,128 @@
+//! Equivalence suite for the cache-resident packed KV layout: the forward
+//! that splices a stored (transposed-packed) prefix zero-copy must be
+//! **bit-identical** to the pre-change data movement (repack-per-layer)
+//! and to itself at any thread count, and must match the seed's serial
+//! per-token reference at the oracle tolerance PR 2 established (the
+//! batched kernels reorder float accumulation, so the serial oracle is a
+//! tolerance contract, not a bitwise one) — over random prefix/suffix
+//! splits, both mask schemes, and both MHA- and GQA-shaped configurations.
+
+use bat::exec::set_threads;
+use bat::{GrModel, GrModelConfig, MaskScheme, PrefixKind, PromptLayout, Weights};
+use proptest::prelude::*;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+fn build_parts(
+    user_len: usize,
+    n_items: usize,
+    item_len: usize,
+) -> (Vec<u32>, Vec<Vec<u32>>, Vec<u32>) {
+    let user: Vec<u32> = (0..user_len as u32).map(|i| 30 + i).collect();
+    let items: Vec<Vec<u32>> = (0..n_items as u32)
+        .map(|i| {
+            (0..item_len as u32)
+                .map(|j| 2 + i * item_len as u32 + j)
+                .collect()
+        })
+        .collect();
+    (user, items, vec![0, 1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packed-prefix forward ≡ the pre-change repack forward bitwise, and
+    /// ≡ the serial reference oracle at tolerance, for a prefix split at an
+    /// arbitrary token boundary (not just block edges).
+    #[test]
+    fn packed_prefix_forward_matches_reference_and_repack(
+        user_len in 1usize..7,
+        n_items in 1usize..5,
+        item_len in 1usize..4,
+        seed in 0u64..u64::MAX,
+        naive in proptest::bool::ANY,
+        gqa_deep in proptest::bool::ANY,
+        user_first in proptest::bool::ANY,
+        split_frac in 0.0f64..1.0,
+    ) {
+        set_threads(1);
+        let scheme = if naive { MaskScheme::NaiveCausal } else { MaskScheme::Bipartite };
+        let cfg = if gqa_deep { GrModelConfig::small(64) } else { GrModelConfig::tiny(64) };
+        let model = GrModel::new(Weights::random(cfg, seed));
+        let (user, items, instr) = build_parts(user_len, n_items, item_len);
+        let kind = if user_first { PrefixKind::User } else { PrefixKind::Item };
+        let seq = PromptLayout::new(scheme).build(kind, &user, &items, &instr);
+        // Any split leaving at least one suffix token is fair game.
+        let cut = 1 + ((seq.len() - 2) as f64 * split_frac) as usize;
+        let (head, tail) = seq.split_at(cut);
+        let kv = model.compute_kv(&head);
+
+        let packed = model.forward(&tail, Some(&kv));
+
+        // Seed oracle: same contract (and tolerances) as the PR 2 oracle
+        // test, extended to arbitrary splits / schemes / head layouts.
+        let reference = model.forward_reference(&tail, Some(&kv));
+        prop_assert!(max_diff(&packed.logits, &reference.logits) < 1e-3);
+        prop_assert!(max_diff(packed.hidden_last(), reference.hidden_last()) < 1e-4);
+        prop_assert!(packed.suffix_kv.max_abs_diff(&reference.suffix_kv).unwrap() < 1e-5);
+
+        // Pre-change data movement: bitwise. The zero-copy splice must not
+        // perturb a single ULP relative to repacking every layer.
+        let repacked = model.forward_prefix_repack_baseline(&tail, Some(&kv));
+        prop_assert_eq!(bits(&packed.logits), bits(&repacked.logits));
+        prop_assert_eq!(
+            bits(packed.hidden_last()),
+            bits(repacked.hidden_last())
+        );
+        prop_assert_eq!(&packed.hidden_all, &repacked.hidden_all);
+        prop_assert_eq!(&packed.suffix_kv, &repacked.suffix_kv);
+    }
+}
+
+/// The packed-prefix forward is bit-identical across thread counts — the
+/// determinism contract extends to the zero-copy splicing path.
+#[test]
+fn packed_prefix_forward_deterministic_across_threads() {
+    let model = GrModel::new(Weights::random(GrModelConfig::small(96), 17));
+    let (user, items, instr) = build_parts(8, 6, 3);
+    for kind in [PrefixKind::User, PrefixKind::Item] {
+        let seq = PromptLayout::new(MaskScheme::Bipartite).build(kind, &user, &items, &instr);
+        let prefix_len = match kind {
+            PrefixKind::User => user.len(),
+            PrefixKind::Item => items.iter().map(Vec::len).sum(),
+        };
+        let (head, tail) = seq.split_at(prefix_len);
+
+        set_threads(1);
+        let kv = model.compute_kv(&head);
+        let serial = model.forward(&tail, Some(&kv));
+        for n in [2usize, 4, 8] {
+            set_threads(n);
+            let par = model.forward(&tail, Some(&model.compute_kv(&head)));
+            assert_eq!(
+                bits(&serial.logits),
+                bits(&par.logits),
+                "{kind} logits diverged at {n} threads"
+            );
+            assert_eq!(
+                &serial.hidden_all, &par.hidden_all,
+                "{kind} hidden states diverged at {n} threads"
+            );
+            assert_eq!(
+                &serial.suffix_kv, &par.suffix_kv,
+                "{kind} suffix KV diverged at {n} threads"
+            );
+        }
+        set_threads(1);
+    }
+}

@@ -91,8 +91,8 @@ proptest! {
                     &format!("{prefix_kind} full logits @ {n} threads"),
                 );
                 assert_bits_eq(
-                    &par_full.hidden_last,
-                    &serial_full.hidden_last,
+                    par_full.hidden_last(),
+                    serial_full.hidden_last(),
                     &format!("{prefix_kind} hidden @ {n} threads"),
                 );
                 let par_cached = model.forward(&tail, Some(&model.compute_kv(&head)));
