@@ -10,6 +10,8 @@
 //! batctl breakdown --dataset industry --duration 30 --rate 80
 //! batctl faults   --dataset games --duration 60 --rate 120 \
 //!                 [--crash 1 --at 20 --down 10 | --crashes 2 --seed 1]
+//! batctl overload --dataset books --duration 10 --rate 300 \
+//!                 [--burst 3 --deadline 1.0 --slow 150 --straggle 5]
 //! batctl meta     --dataset games --duration 30 --rate 60 \
 //!                 [--replicas 3 --at 10 --down 5]
 //! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json] [--check BENCH_KERNELS.json]
@@ -23,9 +25,10 @@
 
 use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
 use bat::{
-    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, FaultSchedule, ItemPlacementPlan,
-    ModelConfig, PlacementStrategy, PrefixKind, SemanticConfig, ServingEngine, SystemKind,
-    TraceGenerator, WorkerId, Workload, ZipfLaw,
+    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, FaultEvent, FaultKind, FaultSchedule,
+    ItemPlacementPlan, ModelConfig, OverloadConfig, PlacementStrategy, PrefixKind, Priority,
+    SemanticConfig, ServingEngine, SloBudget, SystemKind, TraceGenerator, WorkerId, Workload,
+    ZipfLaw,
 };
 use bat_bench::{f1, f3, print_table};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -384,6 +387,173 @@ fn cmd_faults(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_overload(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("books", String::as_str))?;
+    let segment = flag_f64(flags, "duration", 10.0)?;
+    let rate = flag_f64(flags, "rate", 300.0)?;
+    let burst = flag_f64(flags, "burst", 3.0)?;
+    let deadline = flag_f64(flags, "deadline", 1.0)?;
+    let slow = flag_f64(flags, "slow", 150.0)?;
+    let straggle = flag_f64(flags, "straggle", 5.0)?;
+    let seed = flag_f64(flags, "seed", 7.0)? as u64;
+    let nodes = flag_usize(flags, "nodes", 4)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+    if nodes < 2 {
+        return Err("overload needs at least 2 nodes (the slow link has two ends)".into());
+    }
+
+    // Steady / burst / recovery segments on one resumable timeline; the
+    // burst is best-effort (Priority::Low) so the brownout ladder has a
+    // class to shed first.
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), seed), seed ^ 0xbadc0ffe);
+    gen.set_slo(SloBudget::with_deadline(deadline).at_priority(Priority::Normal));
+    let mut trace = gen.generate(segment, rate);
+    gen.set_slo(SloBudget::with_deadline(deadline).at_priority(Priority::Low));
+    trace.extend(gen.generate(segment, burst * rate));
+    gen.set_slo(SloBudget::with_deadline(deadline).at_priority(Priority::Normal));
+    trace.extend(gen.generate(segment, rate));
+
+    // The compound fault: worker 1 straggles and sits behind a near-outage
+    // link for the burst plus half the recovery; worker 0 crashes early in
+    // recovery and rejoins cold, so hot replicated pulls must hedge.
+    let slow_link = |at_secs, factor| FaultEvent {
+        at_secs,
+        kind: FaultKind::SlowLink {
+            a: WorkerId::new(0),
+            b: WorkerId::new(1),
+            factor,
+        },
+    };
+    let schedule = FaultSchedule::new(
+        nodes,
+        vec![
+            slow_link(segment, slow),
+            FaultEvent {
+                at_secs: 2.05 * segment,
+                kind: FaultKind::WorkerCrash(WorkerId::new(0)),
+            },
+            FaultEvent {
+                at_secs: 2.1 * segment,
+                kind: FaultKind::WorkerRestart(WorkerId::new(0)),
+            },
+            slow_link(2.5 * segment, 1.0),
+        ],
+    )
+    .map_err(|e| e.to_string())?;
+
+    let base = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds)
+        .with_slo(Some(OverloadConfig::default()));
+    let faulted_cfg = base
+        .clone()
+        .with_straggler(Some((1, straggle)))
+        .with_faults(Some(schedule));
+    let healthy = ServingEngine::new(base)
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let faulted = ServingEngine::new(faulted_cfg)
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let s = &faulted.slo;
+    let h = &healthy.slo;
+    let r = &faulted.faults;
+
+    println!(
+        "{} on {nodes} nodes: {} requests over {:.0}s, {burst:.0}x burst in [{segment:.0}s, {:.0}s), deadline {deadline}s",
+        ds.name,
+        trace.len(),
+        3.0 * segment,
+        2.0 * segment,
+    );
+    println!(
+        "faults: worker 1 straggles {straggle}x, link 0\u{2013}1 at {slow}x through [{segment:.0}s, {:.0}s), worker 0 crash/rejoin at {:.0}s/{:.0}s",
+        2.5 * segment,
+        2.05 * segment,
+        2.1 * segment,
+    );
+    let count_rows: [(&str, u64, u64); 8] = [
+        ("submitted", s.submitted, h.submitted),
+        ("accepted", s.accepted, h.accepted),
+        (
+            "rejected: queue full",
+            s.rejected_queue_full,
+            h.rejected_queue_full,
+        ),
+        (
+            "rejected: deadline infeasible",
+            s.rejected_infeasible,
+            h.rejected_infeasible,
+        ),
+        (
+            "rejected: brownout shed",
+            s.rejected_brownout,
+            h.rejected_brownout,
+        ),
+        (
+            "shed after admission (expired)",
+            s.shed_expired,
+            h.shed_expired,
+        ),
+        ("completed", s.completed, h.completed),
+        ("deadline misses", s.deadline_misses, h.deadline_misses),
+    ];
+    let mut rows: Vec<Vec<String>> = count_rows
+        .iter()
+        .map(|(name, f, n)| vec![(*name).to_owned(), f.to_string(), n.to_string()])
+        .collect();
+    rows.push(vec![
+        "goodput ratio".to_owned(),
+        f3(s.goodput_ratio()),
+        f3(h.goodput_ratio()),
+    ]);
+    rows.push(vec![
+        "P90 latency (ms)".to_owned(),
+        f1(faulted.p90_latency_ms),
+        f1(healthy.p90_latency_ms),
+    ]);
+    print_table(&["Metric", "faulted", "no fault"], &rows);
+
+    let mech = vec![
+        vec![
+            "max brownout rung".to_owned(),
+            r.max_brownout_rung.to_string(),
+        ],
+        vec![
+            "rung transitions".to_owned(),
+            r.brownout_transitions.to_string(),
+        ],
+        vec![
+            "suspended refreshes (rung 1)".to_owned(),
+            r.suspended_refreshes.to_string(),
+        ],
+        vec![
+            "brownout recomputes (rung 2)".to_owned(),
+            r.brownout_recomputes.to_string(),
+        ],
+        vec!["hedged pulls".to_owned(), r.hedged_pulls.to_string()],
+        vec!["hedge wins".to_owned(), r.hedge_wins.to_string()],
+        vec!["backoff retries".to_owned(), r.backoff_retries.to_string()],
+    ];
+    println!("\nControl-plane mechanisms (faulted run):");
+    print_table(&["Mechanism", "count"], &mech);
+
+    let ratio = if h.goodput() == 0 {
+        1.0
+    } else {
+        s.goodput() as f64 / h.goodput() as f64
+    };
+    println!(
+        "\nconservation: faulted {} / no-fault {} | goodput vs no-fault: {}",
+        if s.conserved() { "yes" } else { "VIOLATED" },
+        if h.conserved() { "yes" } else { "VIOLATED" },
+        f3(ratio),
+    );
+    if !(s.conserved() && h.conserved()) {
+        return Err("conservation law violated".into());
+    }
+    Ok(())
+}
+
 fn cmd_meta(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
     let duration = flag_f64(flags, "duration", 30.0)?;
@@ -506,7 +676,7 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|meta|bench> [--flags]
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|bench> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details
 global: --threads N sizes the bat-exec worker pool";
 
@@ -534,6 +704,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&flags),
         "breakdown" => cmd_breakdown(&flags),
         "faults" => cmd_faults(&flags),
+        "overload" => cmd_overload(&flags),
         "meta" => cmd_meta(&flags),
         "bench" => cmd_bench(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),

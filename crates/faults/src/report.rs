@@ -66,6 +66,32 @@ pub struct FaultReport {
     /// another reachable holder when one existed, recomputed otherwise).
     #[serde(default)]
     pub unreachable_kv_fallbacks: u64,
+    /// Per-link slowdown windows injected (slow-link events with factor > 1).
+    #[serde(default)]
+    pub slow_links: u64,
+    /// Remote KV pulls the planner dual-issued because the primary path
+    /// crossed a slowed link.
+    #[serde(default)]
+    pub hedged_pulls: u64,
+    /// Hedged pulls where the secondary (hedge) copy won the race.
+    #[serde(default)]
+    pub hedge_wins: u64,
+    /// Remote pulls retried with seeded jittered backoff after the direct
+    /// path priced out against the request's deadline slack.
+    #[serde(default)]
+    pub backoff_retries: u64,
+    /// Brownout-ladder rung transitions (each escalation or relaxation).
+    #[serde(default)]
+    pub brownout_transitions: u64,
+    /// Deepest brownout rung reached (0 = never browned out, 3 = shedding).
+    #[serde(default)]
+    pub max_brownout_rung: u8,
+    /// Background re-warm/refresh passes suspended by brownout rung 1.
+    #[serde(default)]
+    pub suspended_refreshes: u64,
+    /// Cold remote pulls degraded to local recompute by brownout rung 2.
+    #[serde(default)]
+    pub brownout_recomputes: u64,
     /// Steady-state hit rate observed before the first crash.
     pub pre_fault_hit_rate: f64,
     /// Lowest windowed hit rate observed after the first crash.
@@ -88,6 +114,7 @@ impl FaultReport {
             && self.meta_stalls == 0
             && self.meta_crashes == 0
             && self.link_partitions == 0
+            && self.slow_links == 0
     }
 
     /// Fills the recovery metrics from a windowed hit-rate timeline

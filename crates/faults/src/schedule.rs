@@ -52,6 +52,18 @@ pub enum FaultKind {
         /// The other endpoint.
         b: WorkerId,
     },
+    /// The (symmetric) link between workers `a` and `b` slows: KV transfers
+    /// across it multiply by `factor` (> 1), but the pair stays reachable —
+    /// this is the straggler-link case that hedged pulls exist for. A
+    /// `factor` of exactly 1 restores the link to nominal speed.
+    SlowLink {
+        /// One endpoint of the slowed link.
+        a: WorkerId,
+        /// The other endpoint.
+        b: WorkerId,
+        /// Transfer-time multiplier (≥ 1; 1 restores nominal speed).
+        factor: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -149,6 +161,19 @@ impl FaultSchedule {
                     }
                     if a == b {
                         return invalid(format!("link fault endpoints must differ, got {a}<->{b}"));
+                    }
+                }
+                FaultKind::SlowLink { a, b, factor } => {
+                    if a.index() >= num_workers || b.index() >= num_workers {
+                        return invalid(format!(
+                            "slow link {a}<->{b} exceeds the {num_workers}-worker cluster"
+                        ));
+                    }
+                    if a == b {
+                        return invalid(format!("slow link endpoints must differ, got {a}<->{b}"));
+                    }
+                    if !factor.is_finite() || factor < 1.0 {
+                        return invalid(format!("slow link factor {factor} must be >= 1"));
                     }
                 }
                 FaultKind::LinkDegrade { factor } => {

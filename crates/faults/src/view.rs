@@ -24,6 +24,9 @@ pub enum AppliedFault {
     LinkCut(WorkerId, WorkerId),
     /// The link between these two workers just healed.
     LinkHealed(WorkerId, WorkerId),
+    /// Transfers between these two workers now multiply by the factor
+    /// (1.0 = restored to nominal). The pair stays reachable.
+    LinkSlowed(WorkerId, WorkerId, f64),
 }
 
 /// Live membership of the cache-worker cluster.
@@ -48,6 +51,10 @@ pub struct ClusterView {
     /// Symmetric worker-pair link cuts, row-major `a * n + b`.
     #[serde(default)]
     link_cut: Vec<bool>,
+    /// Symmetric per-link slowdown factors, row-major `a * n + b`; empty
+    /// (views from before slow links existed) reads as all-nominal.
+    #[serde(default)]
+    link_slow: Vec<f64>,
 }
 
 impl ClusterView {
@@ -69,6 +76,7 @@ impl ClusterView {
             meta_stall_until: f64::NEG_INFINITY,
             meta_alive: vec![true; meta_nodes],
             link_cut: vec![false; num_workers * num_workers],
+            link_slow: vec![1.0; num_workers * num_workers],
         }
     }
 
@@ -160,6 +168,25 @@ impl ClusterView {
         self.link_cut.iter().filter(|&&c| c).count() / 2
     }
 
+    /// Per-link slowdown multiplier for transfers between `a` and `b`
+    /// (1.0 = nominal). Composes with the global [`ClusterView::link_factor`];
+    /// self-transfers and unknown pairs are nominal.
+    pub fn link_slow_factor(&self, a: WorkerId, b: WorkerId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let n = self.alive.len();
+        self.link_slow
+            .get(a.index() * n + b.index())
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Number of currently slowed links (unordered pairs with factor > 1).
+    pub fn slow_links(&self) -> usize {
+        self.link_slow.iter().filter(|&&f| f > 1.0).count() / 2
+    }
+
     /// Applies one fault event, returning what changed. Events must come
     /// from a validated [`crate::FaultSchedule`]; applying a crash to a dead
     /// worker (or restart to a live one) panics, because it means the caller
@@ -238,6 +265,15 @@ impl ClusterView {
                 self.link_cut[a.index() * n + b.index()] = false;
                 self.link_cut[b.index() * n + a.index()] = false;
                 AppliedFault::LinkHealed(a, b)
+            }
+            FaultKind::SlowLink { a, b, factor } => {
+                let n = self.alive.len();
+                if self.link_slow.len() < n * n {
+                    self.link_slow.resize(n * n, 1.0);
+                }
+                self.link_slow[a.index() * n + b.index()] = factor;
+                self.link_slow[b.index() * n + a.index()] = factor;
+                AppliedFault::LinkSlowed(a, b, factor)
             }
         }
     }
@@ -356,6 +392,34 @@ mod tests {
         });
         assert!(v.reachable(a, b));
         assert_eq!(v.cut_links(), 0);
+    }
+
+    #[test]
+    fn slow_links_scale_without_cutting_reachability() {
+        let mut v = ClusterView::new(4);
+        let (a, b) = (WorkerId::new(0), WorkerId::new(3));
+        assert_eq!(v.link_slow_factor(a, b), 1.0);
+        assert_eq!(
+            v.apply(&FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::SlowLink { a, b, factor: 8.0 },
+            }),
+            AppliedFault::LinkSlowed(a, b, 8.0)
+        );
+        assert_eq!(v.epoch(), 0, "slow links are not membership changes");
+        assert_eq!(v.link_slow_factor(a, b), 8.0);
+        assert_eq!(v.link_slow_factor(b, a), 8.0, "slowdowns are symmetric");
+        assert_eq!(v.link_slow_factor(a, WorkerId::new(1)), 1.0);
+        assert_eq!(v.link_slow_factor(a, a), 1.0, "self-transfer is local");
+        assert!(v.reachable(a, b), "a slow link is still reachable");
+        assert_eq!(v.slow_links(), 1);
+
+        v.apply(&FaultEvent {
+            at_secs: 2.0,
+            kind: FaultKind::SlowLink { a, b, factor: 1.0 },
+        });
+        assert_eq!(v.link_slow_factor(a, b), 1.0);
+        assert_eq!(v.slow_links(), 0);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!   ground-truth item's rank, as used in Table 3 (§6.3).
 //! * **Serving statistics** ([`stats`]): percentile estimation (P99 latency,
 //!   Figure 9), empirical CDFs (Figure 2), and streaming mean/max summaries.
+//! * **SLO accounting** ([`slo`]): goodput/shed/deadline-miss counters with
+//!   the overload control plane's conservation law.
 //!
 //! # Example
 //!
@@ -19,7 +21,9 @@
 //! ```
 
 pub mod ranking;
+pub mod slo;
 pub mod stats;
 
 pub use ranking::RankingMetrics;
+pub use slo::SloStats;
 pub use stats::{Cdf, Percentiles, Summary};

@@ -1,0 +1,93 @@
+//! SLO accounting: goodput, sheds, rejections, deadline misses.
+//!
+//! [`SloStats`] is the overload control plane's ledger. Its conservation
+//! law — every submitted request is completed, shed, or rejected, exactly
+//! once — is what the serve-runtime proptest asserts across random fault
+//! schedules: accepted work can never silently vanish, even when workers
+//! crash mid-flight or deadlines expire in the queue.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the admission control plane did to a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloStats {
+    /// Requests offered by the trace.
+    pub submitted: u64,
+    /// Requests admitted past the controller.
+    pub accepted: u64,
+    /// Rejected on arrival: admission queue at its bound.
+    pub rejected_queue_full: u64,
+    /// Rejected on arrival: estimated wait + service blows the deadline.
+    pub rejected_infeasible: u64,
+    /// Rejected on arrival: brownout rung 3 shed a low-priority request.
+    pub rejected_brownout: u64,
+    /// Admitted, then swept from a queue after the deadline expired
+    /// (typed as `BatError::DeadlineExceeded` at the shed point).
+    pub shed_expired: u64,
+    /// Admitted and fully served (possibly late).
+    pub completed: u64,
+    /// Completed, but after the deadline.
+    pub deadline_misses: u64,
+}
+
+impl SloStats {
+    /// Total arrivals rejected at admission, all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_infeasible + self.rejected_brownout
+    }
+
+    /// Requests that completed within their deadline (best-effort requests
+    /// always count: no deadline, no miss).
+    pub fn goodput(&self) -> u64 {
+        self.completed - self.deadline_misses
+    }
+
+    /// Goodput as a fraction of submitted load; 1.0 for an empty run.
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.goodput() as f64 / self.submitted as f64
+        }
+    }
+
+    /// The conservation law: `submitted == completed + shed + rejected`
+    /// and `accepted == completed + shed`. Every request reaches exactly
+    /// one terminal outcome.
+    pub fn conserved(&self) -> bool {
+        self.submitted == self.completed + self.shed_expired + self.rejected()
+            && self.accepted == self.completed + self.shed_expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conserved_and_perfect() {
+        let s = SloStats::default();
+        assert!(s.conserved());
+        assert_eq!(s.goodput_ratio(), 1.0);
+    }
+
+    #[test]
+    fn conservation_law_detects_lost_requests() {
+        let mut s = SloStats {
+            submitted: 10,
+            accepted: 8,
+            rejected_queue_full: 1,
+            rejected_infeasible: 1,
+            shed_expired: 2,
+            completed: 6,
+            deadline_misses: 1,
+            ..SloStats::default()
+        };
+        assert!(s.conserved());
+        assert_eq!(s.rejected(), 2);
+        assert_eq!(s.goodput(), 5);
+        assert!((s.goodput_ratio() - 0.5).abs() < 1e-12);
+        s.completed -= 1; // one request vanished
+        assert!(!s.conserved());
+    }
+}

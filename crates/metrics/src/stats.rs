@@ -37,8 +37,15 @@ impl Percentiles {
         self.samples.is_empty()
     }
 
-    /// The `q`-quantile (`q ∈ [0, 1]`) by the nearest-rank method, or `None`
-    /// if no samples were recorded.
+    /// The `q`-quantile (`q ∈ [0, 1]`) with linear interpolation between
+    /// order statistics (Hyndman–Fan type 7, the R/NumPy default), or
+    /// `None` if no samples were recorded.
+    ///
+    /// Interpolation matters at the tail: with nearest-rank, one straggler
+    /// sample can swing the reported P99 by the whole straggler latency
+    /// the moment the sample count crosses a rank boundary, which made
+    /// small-sample tail assertions flaky. The interpolated estimate moves
+    /// continuously with the sample values.
     ///
     /// # Panics
     ///
@@ -53,13 +60,21 @@ impl Percentiles {
             self.sorted = true;
         }
         let n = self.samples.len();
-        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
-        Some(self.samples[idx])
+        let h = (n - 1) as f64 * q;
+        let lo = h.floor() as usize;
+        let hi = (lo + 1).min(n - 1);
+        let frac = h - lo as f64;
+        Some(self.samples[lo] + (self.samples[hi] - self.samples[lo]) * frac)
     }
 
     /// P99, the paper's SLO percentile.
     pub fn p99(&mut self) -> Option<f64> {
         self.quantile(0.99)
+    }
+
+    /// P90, the overload ablation's goodput percentile.
+    pub fn p90(&mut self) -> Option<f64> {
+        self.quantile(0.90)
     }
 
     /// P50 (median).
@@ -189,16 +204,36 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
-    fn percentiles_nearest_rank() {
+    fn percentiles_interpolate_between_order_statistics() {
         let mut p = Percentiles::new();
         for v in 1..=100 {
             p.record(v as f64);
         }
-        assert_eq!(p.p99(), Some(99.0));
-        assert_eq!(p.p50(), Some(50.0));
+        // Type-7: h = 99 * q, so P99 = 1 + 99*0.99 = 99.01, P50 = 50.5.
+        assert!((p.p99().unwrap() - 99.01).abs() < 1e-9);
+        assert!((p.p50().unwrap() - 50.5).abs() < 1e-9);
+        assert!((p.p90().unwrap() - 90.1).abs() < 1e-9);
         assert_eq!(p.quantile(1.0), Some(100.0));
         assert_eq!(p.quantile(0.0), Some(1.0));
         assert_eq!(p.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn interpolated_tail_moves_continuously() {
+        // Nine fast samples and one straggler: nearest-rank P90 snapped to
+        // the straggler outright; interpolation blends proportionally, so
+        // the estimate is a continuous function of the straggler latency.
+        let tail = |straggler: f64| {
+            let mut p = Percentiles::new();
+            for _ in 0..9 {
+                p.record(1.0);
+            }
+            p.record(straggler);
+            p.quantile(0.9).unwrap()
+        };
+        assert!((tail(5.0) - (1.0 + 4.0 * 0.1)).abs() < 1e-9);
+        assert!(tail(5.0) < tail(6.0));
+        assert!(tail(6.0) < 6.0);
     }
 
     #[test]

@@ -4,14 +4,17 @@
 //! *User-as-prefix* saves more tokens for long-profile users whose cache
 //! entry will be reused soon; *Item-as-prefix* reuses the shared item pool
 //! and is the safe default for cold or short-profile users. This crate
-//! implements the paper's decision policies ([`policy`]) and the
+//! implements the paper's decision policies ([`policy`]), the
 //! max-batched-tokens batch former used by the inference workers
-//! ([`batch`]).
+//! ([`batch`]), and the SLO-aware admission/brownout control plane
+//! ([`overload`]).
 
 pub mod batch;
+pub mod overload;
 pub mod policy;
 
 pub use batch::BatchFormer;
+pub use overload::{AdmitDecision, OverloadConfig, OverloadController};
 pub use policy::{
     CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, OraclePolicy, PromptPolicy,
     StaticPolicy,

@@ -339,6 +339,7 @@ mod tests {
             candidate_tokens: vec![item_tokens_each; n_items],
             instruction_tokens: 32,
             arrival: SimTime::ZERO,
+            slo: Default::default(),
         }
     }
 

@@ -1,8 +1,8 @@
 //! Threaded serving runtime implementation.
 
-use bat_metrics::Percentiles;
-use bat_sim::{EngineConfig, FaultKind, RequestPlanner, RunStats};
-use bat_types::{BatError, Bytes, RankRequest};
+use bat_metrics::{Percentiles, SloStats};
+use bat_sim::{EngineConfig, FaultKind, OverloadController, RequestPlanner, RunStats};
+use bat_types::{BatError, Bytes, RankRequest, RejectReason};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,7 +22,9 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Failure injection: slow worker `index` down by `factor` (a GPU
     /// throttling or a noisy neighbor). The least-loaded dispatcher must
-    /// route around it without dropping work.
+    /// route around it without dropping work. When `None`, the engine
+    /// config's [`EngineConfig::straggler`] applies instead, so one config
+    /// drives both execution paths.
     pub straggler: Option<(usize, f64)>,
 }
 
@@ -42,11 +44,36 @@ struct WorkItem {
     arrival_virtual: f64,
     suffix_tokens: u64,
     service_virtual: f64,
+    /// Completion deadline relative to arrival, virtual seconds. `None`
+    /// when the request is best-effort or the control plane is off.
+    deadline_rel: Option<f64>,
 }
 
+/// The terminal outcome of one submitted request. Exactly one of these is
+/// delivered per trace entry — `submitted == completed + shed + rejected`
+/// is the conservation law the proptest asserts.
 #[derive(Debug)]
-struct Completion {
-    latency_virtual: f64,
+enum Completion {
+    /// Served; `missed` when the deadline had already passed.
+    Completed { latency_virtual: f64, missed: bool },
+    /// Admitted, then swept from a worker queue after its deadline expired
+    /// ([`BatError::DeadlineExceeded`]).
+    Shed,
+    /// Refused at admission ([`BatError::Rejected`]).
+    Rejected(RejectReason),
+}
+
+/// Queue-side deadline check: the typed shed outcome for an expired entry.
+///
+/// # Errors
+///
+/// Returns [`BatError::DeadlineExceeded`] when the entry's deadline passed
+/// while it sat in the queue.
+fn deadline_check(item: &WorkItem, now_virtual: f64) -> Result<(), BatError> {
+    match item.deadline_rel {
+        Some(d) if now_virtual - item.arrival_virtual > d => Err(BatError::DeadlineExceeded),
+        _ => Ok(()),
+    }
 }
 
 /// Everything one worker-thread incarnation needs. Cloneable so the fault
@@ -101,19 +128,42 @@ fn run_worker(ctx: &WorkerCtx, p: WorkerParams) {
                 Err(_) => break,
             }
         }
+        // Deadline sweep: expired entries are shed before the batch pays
+        // for them — serving dead work would only delay live work.
+        let sweep_now = p.start.elapsed().as_secs_f64() / p.scale;
+        let mut served = Vec::with_capacity(batch.len());
+        for item in batch {
+            match deadline_check(&item, sweep_now) {
+                Err(BatError::DeadlineExceeded) => {
+                    ctx.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
+                    ctx.done_tx
+                        .send(Completion::Shed)
+                        .expect("collector outlives workers");
+                    ctx.outstanding.fetch_sub(1, Ordering::Release);
+                }
+                _ => served.push(item),
+            }
+        }
+        if served.is_empty() {
+            if !ctx.alive.load(Ordering::Acquire) {
+                break;
+            }
+            continue;
+        }
         let service: f64 = (p.batch_overhead
-            + batch.iter().map(|j| j.service_virtual).sum::<f64>())
+            + served.iter().map(|j| j.service_virtual).sum::<f64>())
             * ctx.slowdown;
         thread::sleep(Duration::from_secs_f64(service * p.scale));
         let now = p.start.elapsed().as_secs_f64() / p.scale;
-        for job in batch {
+        for job in served {
             ctx.queued.fetch_sub(job.suffix_tokens, Ordering::Relaxed);
             // A job can never complete before it arrived; clamp out
             // scheduler-thread jitter.
             let latency = (now - job.arrival_virtual).max(0.0);
             ctx.done_tx
-                .send(Completion {
+                .send(Completion::Completed {
                     latency_virtual: latency,
+                    missed: job.deadline_rel.is_some_and(|d| latency > d),
                 })
                 .expect("collector outlives workers");
             ctx.outstanding.fetch_sub(1, Ordering::Release);
@@ -247,7 +297,10 @@ impl ServeRuntime {
             worker_txs.push(tx);
             worker_rxs.push(rx);
         }
-        let (done_tx, done_rx) = bounded::<Completion>(self.opts.queue_depth * n_workers);
+        // Exactly one terminal event per submitted request, so the channel
+        // is sized from the submitted work itself — a depth derived from
+        // queue_depth * n_workers deadlocks the moment a burst outruns it.
+        let (done_tx, done_rx) = bounded::<Completion>(trace.len().max(1));
         let (orphan_tx, orphan_rx) = unbounded::<WorkItem>();
 
         let params = WorkerParams {
@@ -259,6 +312,13 @@ impl ServeRuntime {
         let start = params.start;
         let virtual_now = move || start.elapsed().as_secs_f64() / scale;
 
+        // One straggler knob for both execution paths: explicit runtime
+        // options win, otherwise the engine config's injection applies.
+        let straggler = self.opts.straggler.or(self.cfg.straggler);
+        let straggler_factor = move |w: usize| match straggler {
+            Some((idx, factor)) if idx == w => factor,
+            _ => 1.0,
+        };
         let worker_ctx: Vec<WorkerCtx> = (0..n_workers)
             .map(|w| WorkerCtx {
                 rx: worker_rxs[w].clone(),
@@ -267,12 +327,12 @@ impl ServeRuntime {
                 queued: Arc::clone(&queued_tokens[w]),
                 alive: Arc::clone(&alive[w]),
                 outstanding: Arc::clone(&outstanding),
-                slowdown: match self.opts.straggler {
-                    Some((idx, factor)) if idx == w => factor,
-                    _ => 1.0,
-                },
+                slowdown: straggler_factor(w),
             })
             .collect();
+        // The scheduler delivers the terminal event for rejected arrivals
+        // itself (they never reach a worker).
+        let sched_done_tx = done_tx.clone();
         drop(worker_rxs);
         drop(done_tx);
         drop(orphan_tx);
@@ -322,13 +382,16 @@ impl ServeRuntime {
                             // thread-level effect; the planner (which hosts
                             // the replicated meta group and the reachability
                             // matrix) prices/plans them on nominal time.
+                            // Slowed links included: hedged pulls and backoff
+                            // retries are planner decisions, not thread ones.
                             FaultKind::LinkDegrade { .. }
                             | FaultKind::LinkRestore
                             | FaultKind::MetaStall { .. }
                             | FaultKind::MetaCrash(_)
                             | FaultKind::MetaRestart(_)
                             | FaultKind::CutLink { .. }
-                            | FaultKind::HealLink { .. } => {}
+                            | FaultKind::HealLink { .. }
+                            | FaultKind::SlowLink { .. } => {}
                         }
                     }
                     done_flag.store(true, Ordering::Release);
@@ -344,6 +407,20 @@ impl ServeRuntime {
             let supervisor_done_ref = &supervisor_done;
             scope.spawn(move || {
                 let mut rotate = 0usize;
+                // The admission controller runs on *nominal* arrival times
+                // with planner cost estimates — identical inputs to the
+                // simulator's controller, so for the same trace + schedule
+                // the two paths reject the exact same requests.
+                let mut controller = self.cfg.slo.map(|c| {
+                    let cap = {
+                        let p = planner_ref.lock();
+                        (0..n_workers)
+                            .filter(|&i| p.is_worker_alive(i))
+                            .map(|i| 1.0 / straggler_factor(i))
+                            .sum()
+                    };
+                    OverloadController::new(c, cap)
+                });
                 // Least-loaded dispatch (§5.1 load balancing) over the
                 // currently-live workers. Ties rotate instead of always
                 // picking the lowest index, so an idle-but-slow worker does
@@ -399,14 +476,46 @@ impl ServeRuntime {
                     // virtual clock: the fault cursor then advances through
                     // the same states as the simulator's, which is what
                     // keeps the two paths' cache accounting identical.
-                    let (planned, price) = {
+                    let admitted = {
                         let mut p = planner_ref.lock();
+                        if let Some(ctl) = controller.as_mut() {
+                            // Admission sees the fault state planning would.
+                            p.advance_faults(arrival);
+                            ctl.set_capacity(
+                                (0..n_workers)
+                                    .filter(|&i| p.is_worker_alive(i))
+                                    .map(|i| 1.0 / straggler_factor(i))
+                                    .sum(),
+                            );
+                            let est = p.admission_estimate_secs(req);
+                            let decision = ctl.on_arrival(
+                                arrival,
+                                est,
+                                req.slo.deadline_secs,
+                                req.slo.priority,
+                            );
+                            match decision.into_result() {
+                                Ok(()) => {
+                                    p.set_brownout_rung(ctl.rung());
+                                }
+                                Err(BatError::Rejected { reason }) => {
+                                    drop(p);
+                                    sched_done_tx
+                                        .send(Completion::Rejected(reason))
+                                        .expect("collector outlives scheduler");
+                                    continue;
+                                }
+                                Err(_) => unreachable!("into_result only rejects"),
+                            }
+                        }
                         let planned = p.plan(req, arrival);
                         let price = p.price(&planned);
                         (planned, price)
                     };
+                    let (planned, price) = admitted;
                     {
                         let mut t = totals_ref.lock();
+                        t.accepted += 1;
                         t.total_tokens += req.total_tokens() as u64;
                         t.reused_tokens += planned.reused_tokens();
                         t.computed_tokens += planned.suffix_tokens;
@@ -427,6 +536,11 @@ impl ServeRuntime {
                             arrival_virtual: now,
                             suffix_tokens: planned.suffix_tokens,
                             service_virtual: price.0 + price.1 + price.2,
+                            deadline_rel: if controller.is_some() {
+                                req.slo.deadline_secs
+                            } else {
+                                None
+                            },
                         },
                         &mut rotate,
                     );
@@ -453,18 +567,36 @@ impl ServeRuntime {
                 drop(worker_txs); // closes queues → workers drain and exit
             });
 
-            // Collector: the scope's main flow. Exactly one completion per
-            // trace request arrives (faults re-route work; they never drop
-            // it), so count them out rather than waiting for channel
-            // disconnect — the fault supervisor keeps sender clones alive.
+            // Collector: the scope's main flow. Exactly one terminal event
+            // per trace request arrives — served, shed, or rejected; faults
+            // re-route work, they never drop it — so count them out rather
+            // than waiting for channel disconnect (the fault supervisor
+            // keeps sender clones alive).
             let mut latencies = Percentiles::new();
             let mut completed = 0usize;
+            let mut slo = SloStats {
+                submitted: trace.len() as u64,
+                ..SloStats::default()
+            };
             for _ in 0..trace.len() {
                 match done_rx.recv() {
-                    Ok(c) => {
-                        latencies.record(c.latency_virtual);
+                    Ok(Completion::Completed {
+                        latency_virtual,
+                        missed,
+                    }) => {
+                        latencies.record(latency_virtual);
                         completed += 1;
+                        slo.completed += 1;
+                        if missed {
+                            slo.deadline_misses += 1;
+                        }
                     }
+                    Ok(Completion::Shed) => slo.shed_expired += 1,
+                    Ok(Completion::Rejected(reason)) => match reason {
+                        RejectReason::QueueFull => slo.rejected_queue_full += 1,
+                        RejectReason::DeadlineInfeasible => slo.rejected_infeasible += 1,
+                        RejectReason::BrownoutShed => slo.rejected_brownout += 1,
+                    },
                     Err(_) => break,
                 }
             }
@@ -485,6 +617,10 @@ impl ServeRuntime {
                 t.ip_requests,
                 &mut latencies,
             );
+            if self.cfg.slo.is_some() {
+                slo.accepted = t.accepted;
+                stats.slo = slo;
+            }
             drop(t);
             if let Some(report) = planner.lock().finish_faults() {
                 stats.faults = report;
@@ -506,6 +642,11 @@ struct SchedTotals {
     load_secs: f64,
     up_requests: usize,
     ip_requests: usize,
+    /// Requests admitted past the overload controller (all of them when
+    /// the control plane is off). Counted at the admission point so the
+    /// conservation law `accepted == completed + shed` is a real check,
+    /// not an identity.
+    accepted: u64,
 }
 
 #[cfg(test)]
@@ -642,15 +783,19 @@ mod tests {
         .unwrap()
         .serve(&t);
         // No work is lost, and a 5x slowdown of one of two workers must not
-        // degrade latency by anything close to 5x (dispatch routes around
-        // it). Mean latency, not P99: with ~100 samples under real thread
-        // scheduling the P99 is a single worst-case wakeup and flakes when
-        // the test host is loaded.
+        // degrade tail latency by anything close to 5x (dispatch routes
+        // around it). Interpolated P90, not nearest-rank P99: the
+        // nearest-rank tail snapped to a single worst-case thread wakeup
+        // and flaked on loaded hosts, while the mean this test used to
+        // assert on hid genuine routing regressions. The interpolated
+        // estimate moves continuously with the sample values, so one
+        // jittery sample shifts it proportionally, not wholesale.
         assert_eq!(degraded.completed, t.len());
         assert!(
-            degraded.mean_latency_ms < healthy.mean_latency_ms * 4.0,
-            "straggler mean {} vs healthy {}",
-            degraded.mean_latency_ms,
+            degraded.p90_latency_ms < healthy.p90_latency_ms * 4.0 + 2.0 * healthy.mean_latency_ms,
+            "straggler p90 {} vs healthy p90 {} (mean {})",
+            degraded.p90_latency_ms,
+            healthy.p90_latency_ms,
             healthy.mean_latency_ms
         );
     }
@@ -674,6 +819,61 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn slo_control_plane_rejects_and_conserves_under_burst() {
+        use bat_sim::OverloadConfig;
+        use bat_types::{Priority, SloBudget};
+        let ds = DatasetConfig::games();
+        // A burst far beyond two workers' capacity, every request carrying
+        // a tight deadline: the controller must shed, and every submitted
+        // request must still reach exactly one terminal outcome.
+        let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+        g.set_slo(SloBudget::with_deadline(0.05).at_priority(Priority::Low));
+        let t = g.generate(1.0, 400.0);
+        let cfg = config(SystemKind::Bat, &ds).with_slo(Some(OverloadConfig::default()));
+        let stats = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(stats.slo.submitted, t.len() as u64);
+        assert!(
+            stats.slo.conserved(),
+            "conservation violated: {:?}",
+            stats.slo
+        );
+        assert!(
+            stats.slo.rejected() > 0,
+            "a 400 qps burst on 2 workers must trip admission control"
+        );
+        assert!(stats.completed < t.len(), "shedding must actually shed");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+        /// The conservation law across random fault schedules with the SLO
+        /// control plane on: `submitted == completed + shed + rejected` and
+        /// `accepted == completed + shed`, no matter which workers crash
+        /// when. Few cases — each spins up a real threaded runtime — but
+        /// each case covers a different crash/restart interleaving.
+        #[test]
+        fn conservation_holds_across_random_fault_schedules(seed in 0u64..1000) {
+            use bat_sim::OverloadConfig;
+            use bat_types::SloBudget;
+            let ds = DatasetConfig::games();
+            let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), seed.wrapping_add(7));
+            g.set_slo(SloBudget::with_deadline(0.2));
+            let t = g.generate(2.0, 60.0);
+            let schedule = bat_sim::FaultSchedule::random(seed, 2, 2.0, 1);
+            let cfg = config(SystemKind::Bat, &ds)
+                .with_faults(Some(schedule))
+                .with_slo(Some(OverloadConfig::default()));
+            let stats = ServeRuntime::new(cfg, ServeOptions::default())
+                .unwrap()
+                .serve(&t);
+            proptest::prop_assert_eq!(stats.slo.submitted, t.len() as u64);
+            proptest::prop_assert!(stats.slo.conserved(), "not conserved: {:?}", stats.slo);
+        }
     }
 
     #[test]

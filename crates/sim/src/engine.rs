@@ -20,9 +20,11 @@
 use crate::compute::ComputeModel;
 use crate::planner::RequestPlanner;
 use crate::stats::RunStats;
-use bat_metrics::Percentiles;
+use bat_metrics::{Percentiles, SloStats};
 use bat_placement::{compute_replication_ratio, HrcsParams, ItemPlacementPlan, PlacementStrategy};
 use bat_sched::BatchFormer;
+use bat_sched::OverloadController;
+use bat_types::RejectReason;
 use bat_types::{
     BatError, Bytes, ClusterConfig, DatasetConfig, ModelConfig, PrefixKind, RankRequest,
 };
@@ -120,6 +122,14 @@ pub struct EngineConfig {
     pub meta_replicas: usize,
     /// Seed of the meta group's randomized-by-seed election timeouts.
     pub meta_seed: u64,
+    /// SLO-aware overload control plane (admission, deadlines, brownout).
+    /// `None` disables it entirely: every request is admitted and served,
+    /// exactly as before the control plane existed.
+    pub slo: Option<bat_sched::OverloadConfig>,
+    /// Straggler injection: `(worker index, service-time multiplier)`. The
+    /// worker stays alive and correct, just slow — the overload case the
+    /// control plane's capacity weighting exists for.
+    pub straggler: Option<(usize, f64)>,
 }
 
 impl EngineConfig {
@@ -193,9 +203,25 @@ impl EngineConfig {
             faults: None,
             meta_replicas: bat_faults::DEFAULT_META_NODES,
             meta_seed: 0xB47_5EED,
+            slo: None,
+            straggler: None,
             model,
             cluster,
         }
+    }
+
+    /// Enables the SLO-aware overload control plane (or disables it with
+    /// `None`).
+    pub fn with_slo(mut self, slo: Option<bat_sched::OverloadConfig>) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Injects a straggler: worker `index` serves every batch `factor`
+    /// times slower (or clears it with `None`).
+    pub fn with_straggler(mut self, straggler: Option<(usize, f64)>) -> Self {
+        self.straggler = straggler;
+        self
     }
 
     /// Injects a fault schedule (or clears it with `None`). The schedule
@@ -271,6 +297,22 @@ impl EngineConfig {
                 )));
             }
         }
+        if let Some(slo) = &self.slo {
+            slo.validate()?;
+        }
+        if let Some((w, factor)) = self.straggler {
+            if w >= self.cluster.num_nodes {
+                return Err(BatError::InvalidConfig(format!(
+                    "straggler worker {w} out of range for {} nodes",
+                    self.cluster.num_nodes
+                )));
+            }
+            if !(factor.is_finite() && factor >= 1.0) {
+                return Err(BatError::InvalidConfig(
+                    "straggler factor must be finite and >= 1".to_owned(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -285,6 +327,12 @@ struct Job {
     local_load: Bytes,
     remote: Bytes,
     arrival_secs: f64,
+    /// Absolute completion deadline; `None` when the request is
+    /// best-effort or the control plane is off.
+    deadline: Option<f64>,
+    /// Slow-link network extras the planner charged (hedge residue and
+    /// backoff delays), seconds.
+    net_extra: f64,
 }
 
 #[derive(Debug, Default)]
@@ -410,6 +458,14 @@ impl ServingEngine {
         let mut first_arrival = f64::INFINITY;
         let mut last_completion = 0.0f64;
         let mut next_refresh = self.cfg.item_refresh_interval_secs.unwrap_or(0.0);
+        let mut slo = SloStats::default();
+        // The controller drains on nominal arrival times and plans with the
+        // planner's cost estimates, so the threaded runtime (which builds
+        // the identical controller) makes bit-identical admission decisions.
+        let mut controller = self
+            .cfg
+            .slo
+            .map(|c| OverloadController::new(c, self.live_capacity(n_workers)));
 
         while let Some(Reverse((tkey, _, ev))) = events.pop() {
             let now = tkey as f64 / 1e9;
@@ -427,7 +483,30 @@ impl ServingEngine {
                     // heap key: the threaded runtime plans on the same
                     // nominal instants, so fault cursors in both paths
                     // advance through identical states.
-                    let planned = self.planner.plan(req, req.arrival.as_secs());
+                    let nominal = req.arrival.as_secs();
+                    if let Some(ctl) = controller.as_mut() {
+                        // Admission sees the fault state planning would: a
+                        // rejected request must leave the planner exactly as
+                        // if it never arrived, minus the fault advance that
+                        // nominal time forces anyway.
+                        self.planner.advance_faults(nominal);
+                        ctl.set_capacity(self.live_capacity(n_workers));
+                        slo.submitted += 1;
+                        let est = self.planner.admission_estimate_secs(req);
+                        let decision =
+                            ctl.on_arrival(nominal, est, req.slo.deadline_secs, req.slo.priority);
+                        if let Err(BatError::Rejected { reason }) = decision.into_result() {
+                            match reason {
+                                RejectReason::QueueFull => slo.rejected_queue_full += 1,
+                                RejectReason::DeadlineInfeasible => slo.rejected_infeasible += 1,
+                                RejectReason::BrownoutShed => slo.rejected_brownout += 1,
+                            }
+                            continue;
+                        }
+                        slo.accepted += 1;
+                        self.planner.set_brownout_rung(ctl.rung());
+                    }
+                    let planned = self.planner.plan(req, nominal);
                     let job = Job {
                         idx,
                         prefix: planned.prefix,
@@ -436,6 +515,11 @@ impl ServingEngine {
                         local_load: planned.local_load,
                         remote: planned.remote_bytes,
                         arrival_secs: now,
+                        deadline: controller
+                            .is_some()
+                            .then(|| req.slo.absolute_deadline(nominal))
+                            .flatten(),
+                        net_extra: planned.net_extra_secs,
                     };
                     total_tokens += req.total_tokens() as u64;
                     reused_tokens += planned.reused_tokens();
@@ -457,19 +541,23 @@ impl ServingEngine {
                     workers[w].queued_tokens += job.suffix_tokens;
                     workers[w].queue.push_back(job);
                     if !workers[w].busy {
-                        let service = self.start_batch(
+                        if let Some(service) = self.start_batch(
                             &mut workers[w],
+                            w,
+                            now,
+                            &mut slo,
                             &mut compute_secs,
                             &mut net_secs,
                             &mut load_secs,
-                        );
-                        let gen = workers[w].gen;
-                        events.push(Reverse((
-                            to_key(now + service),
-                            seq,
-                            EventKind::Done { worker: w, gen },
-                        )));
-                        seq += 1;
+                        ) {
+                            let gen = workers[w].gen;
+                            events.push(Reverse((
+                                to_key(now + service),
+                                seq,
+                                EventKind::Done { worker: w, gen },
+                            )));
+                            seq += 1;
+                        }
                     }
                 }
                 EventKind::Done { worker, gen } => {
@@ -482,6 +570,12 @@ impl ServingEngine {
                     for job in w.inflight.drain(..) {
                         latencies.record(now - job.arrival_secs);
                         completed += 1;
+                        if controller.is_some() {
+                            slo.completed += 1;
+                            if job.deadline.is_some_and(|d| now > d) {
+                                slo.deadline_misses += 1;
+                            }
+                        }
                         last_completion = last_completion.max(now);
                         if self.cfg.record_requests {
                             self.records.push(crate::stats::RequestRecord {
@@ -498,18 +592,22 @@ impl ServingEngine {
                     w.inflight_tokens = 0;
                     w.busy = false;
                     if !w.queue.is_empty() {
-                        let service = self.start_batch(
+                        if let Some(service) = self.start_batch(
                             &mut workers[worker],
+                            worker,
+                            now,
+                            &mut slo,
                             &mut compute_secs,
                             &mut net_secs,
                             &mut load_secs,
-                        );
-                        events.push(Reverse((
-                            to_key(now + service),
-                            seq,
-                            EventKind::Done { worker, gen },
-                        )));
-                        seq += 1;
+                        ) {
+                            events.push(Reverse((
+                                to_key(now + service),
+                                seq,
+                                EventKind::Done { worker, gen },
+                            )));
+                            seq += 1;
+                        }
                     }
                 }
                 EventKind::Fault { idx } => {
@@ -548,22 +646,26 @@ impl ServingEngine {
                             workers[target].queued_tokens += job.suffix_tokens;
                             workers[target].queue.push_back(job);
                             if !workers[target].busy {
-                                let service = self.start_batch(
+                                if let Some(service) = self.start_batch(
                                     &mut workers[target],
+                                    target,
+                                    now,
+                                    &mut slo,
                                     &mut compute_secs,
                                     &mut net_secs,
                                     &mut load_secs,
-                                );
-                                let gen = workers[target].gen;
-                                events.push(Reverse((
-                                    to_key(now + service),
-                                    seq,
-                                    EventKind::Done {
-                                        worker: target,
-                                        gen,
-                                    },
-                                )));
-                                seq += 1;
+                                ) {
+                                    let gen = workers[target].gen;
+                                    events.push(Reverse((
+                                        to_key(now + service),
+                                        seq,
+                                        EventKind::Done {
+                                            worker: target,
+                                            gen,
+                                        },
+                                    )));
+                                    seq += 1;
+                                }
                             }
                         }
                     }
@@ -591,20 +693,57 @@ impl ServingEngine {
             ip_requests,
             &mut latencies,
         );
+        stats.slo = slo;
         if let Some(report) = self.planner.finish_faults() {
             stats.faults = report;
         }
         stats
     }
 
-    /// Dequeues one batch on `w` and returns its service time.
+    /// Live drain capacity in worker-equivalents: each live worker
+    /// contributes `1 / slowdown`, so a 5x straggler counts as 0.2 workers.
+    fn live_capacity(&self, n_workers: usize) -> f64 {
+        (0..n_workers)
+            .filter(|&i| self.planner.is_worker_alive(i))
+            .map(|i| 1.0 / self.straggler_factor(i))
+            .sum()
+    }
+
+    /// The service-time multiplier of worker `i` (1.0 unless it is the
+    /// configured straggler).
+    fn straggler_factor(&self, i: usize) -> f64 {
+        match self.cfg.straggler {
+            Some((w, f)) if w == i => f,
+            _ => 1.0,
+        }
+    }
+
+    /// Dequeues one batch on `w` (index `widx`) at time `now` and returns
+    /// its service time, or `None` when the deadline sweep emptied the
+    /// queue and no batch was started.
+    #[allow(clippy::too_many_arguments)]
     fn start_batch(
         &mut self,
         w: &mut WorkerState,
+        widx: usize,
+        now: f64,
+        slo: &mut SloStats,
         compute_secs: &mut f64,
         net_secs: &mut f64,
         load_secs: &mut f64,
-    ) -> f64 {
+    ) -> Option<f64> {
+        // Deadline sweep before forming the batch: an expired entry is shed
+        // (`BatError::DeadlineExceeded` is its terminal outcome in the
+        // threaded runtime) — serving dead work would only delay live work.
+        let before = w.queue.len();
+        w.queue.retain(|job| !job.deadline.is_some_and(|d| now > d));
+        if w.queue.len() != before {
+            slo.shed_expired += (before - w.queue.len()) as u64;
+            w.queued_tokens = w.queue.iter().map(|j| j.suffix_tokens).sum();
+        }
+        if w.queue.is_empty() {
+            return None;
+        }
         let tokens: Vec<u32> = w
             .queue
             .iter()
@@ -617,13 +756,15 @@ impl ServingEngine {
             w.queued_tokens -= job.suffix_tokens;
             w.inflight_tokens += job.suffix_tokens;
             // Priced through the planner so a degraded link (fault
-            // schedule) inflates the network component.
+            // schedule) inflates the network component; the job's own
+            // slow-link extras (hedge residue, backoff) ride on top.
             let (c, l, t) = self.planner.price_components(
                 job.suffix_tokens,
                 job.context_tokens,
                 job.local_load,
                 job.remote,
             );
+            let t = t + job.net_extra;
             *compute_secs += c;
             *load_secs += l;
             *net_secs += t;
@@ -631,7 +772,7 @@ impl ServingEngine {
             w.inflight.push(job);
         }
         w.busy = true;
-        service
+        Some(service * self.straggler_factor(widx))
     }
 }
 
@@ -896,5 +1037,100 @@ mod tests {
         );
         cfg.caching = false;
         assert!(matches!(cfg.validate(), Err(BatError::InvalidConfig(_))));
+    }
+
+    fn slo_trace(ds: &DatasetConfig, secs: f64, rate: f64, deadline: f64) -> Vec<RankRequest> {
+        let mut g =
+            bat_workload::TraceGenerator::new(bat_workload::Workload::new(ds.clone(), 11), 12);
+        g.set_slo(
+            bat_types::SloBudget::with_deadline(deadline).at_priority(bat_types::Priority::Low),
+        );
+        g.generate(secs, rate)
+    }
+
+    #[test]
+    fn overload_control_rejects_and_conserves_under_burst() {
+        let ds = DatasetConfig::games();
+        // A burst far past the 2-node cluster's capacity with tight
+        // deadlines: the admission controller must turn work away.
+        let trace = slo_trace(&ds, 1.0, 600.0, 0.08);
+        let cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        )
+        .with_slo(Some(bat_sched::OverloadConfig::default()));
+        let stats = ServingEngine::new(cfg.clone()).unwrap().run(&trace);
+        assert_eq!(stats.slo.submitted, trace.len() as u64);
+        assert!(
+            stats.slo.conserved(),
+            "conservation violated: {:?}",
+            stats.slo
+        );
+        assert!(
+            stats.slo.rejected() > 0,
+            "a 600 qps burst on 2 nodes must shed load: {:?}",
+            stats.slo
+        );
+        assert!(stats.completed < trace.len());
+        assert_eq!(stats.completed as u64, stats.slo.completed);
+        // The run is deterministic: same seed, same schedule, same stats —
+        // bitwise, floats included.
+        let again = ServingEngine::new(cfg).unwrap().run(&trace);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn overload_control_is_quiet_at_low_load() {
+        let ds = DatasetConfig::games();
+        // Deadlines generous enough that the pessimistic admission estimate
+        // never declares a request infeasible at this load.
+        let trace = slo_trace(&ds, 4.0, 5.0, 2.0);
+        let cfg = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        )
+        .with_slo(Some(bat_sched::OverloadConfig::default()));
+        let stats = ServingEngine::new(cfg).unwrap().run(&trace);
+        assert_eq!(stats.slo.accepted, trace.len() as u64, "{:?}", stats.slo);
+        assert_eq!(stats.completed, trace.len());
+        assert!(stats.slo.conserved());
+        assert_eq!(stats.faults.max_brownout_rung, 0);
+        assert!((stats.slo.goodput_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slo_disabled_runs_leave_stats_quiet() {
+        let ds = DatasetConfig::games();
+        let stats = run_system(SystemKind::Bat, &ds, 2.0, 10.0);
+        assert_eq!(stats.slo, SloStats::default());
+    }
+
+    #[test]
+    fn straggler_slows_service_without_breaking_determinism() {
+        let ds = DatasetConfig::games();
+        let trace = slo_trace(&ds, 2.0, 30.0, 2.0);
+        let base = EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        )
+        .with_slo(Some(bat_sched::OverloadConfig::default()));
+        let healthy = ServingEngine::new(base.clone()).unwrap().run(&trace);
+        let slowed_cfg = base.with_straggler(Some((1, 5.0)));
+        let slowed = ServingEngine::new(slowed_cfg.clone()).unwrap().run(&trace);
+        assert!(
+            slowed.mean_latency_ms > healthy.mean_latency_ms,
+            "a 5x straggler must slow half the fleet's service: {} vs {}",
+            slowed.mean_latency_ms,
+            healthy.mean_latency_ms
+        );
+        assert!(slowed.slo.conserved(), "{:?}", slowed.slo);
+        let again = ServingEngine::new(slowed_cfg).unwrap().run(&trace);
+        assert_eq!(slowed, again);
     }
 }

@@ -33,6 +33,8 @@ pub mod planner;
 pub mod stats;
 
 pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
+pub use bat_metrics::SloStats;
+pub use bat_sched::{OverloadConfig, OverloadController};
 pub use compute::ComputeModel;
 pub use engine::{AdmissionKind, EngineConfig, PolicyKind, ServingEngine, SystemKind};
 pub use planner::{MetaBackend, PlannedJob, RequestPlanner};

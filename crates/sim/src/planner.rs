@@ -18,6 +18,7 @@ use bat_sched::{
     CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy,
 };
 use bat_types::{Bytes, ItemId, PrefixKind, RankRequest, WorkerId};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
 
 /// Width of the windowed hit-rate buckets behind the availability curve.
@@ -39,6 +40,11 @@ pub struct PlannedJob {
     pub local_load: Bytes,
     /// KV bytes pulled from remote cache workers.
     pub remote_bytes: Bytes,
+    /// Extra network-path seconds beyond the nominal transfer time:
+    /// slowed-link inflation after hedging picked the fastest holder, plus
+    /// any seeded-jittered backoff delays spent on retried pulls. Zero on
+    /// every run without `SlowLink` faults.
+    pub net_extra_secs: f64,
 }
 
 impl PlannedJob {
@@ -57,6 +63,12 @@ enum FaultedLocation {
         /// True when a surviving HRCS replica covered for the dead or cold
         /// affinity worker.
         from_replica: bool,
+        /// The worker the pull is issued to.
+        holder: WorkerId,
+        /// A second reachable warm holder (replicated items only) the
+        /// planner can hedge the pull against when the primary's link is
+        /// slow.
+        alt: Option<WorkerId>,
     },
     /// Entry unreachable under the current membership: recompute.
     Recompute,
@@ -92,6 +104,12 @@ struct FaultState {
     /// Windowed (reused, total) token counts keyed by time bucket.
     buckets: BTreeMap<u64, (u64, u64)>,
     bucket_secs: f64,
+    /// Jitter source for backoff-retried pulls. Drawn only when a pull
+    /// actually crosses a slowed link, in arrival order, so runs without
+    /// `SlowLink` events never touch it and stay bit-identical to before.
+    retry_rng: SmallRng,
+    /// Base backoff delay for retried pulls, seconds.
+    retry_backoff_secs: f64,
 }
 
 impl FaultState {
@@ -128,24 +146,38 @@ impl FaultState {
             // surviving warm worker can serve the hot item — but a remote
             // pull only works if the requester can actually reach that
             // worker under the current partition view. Skip cut-off
-            // holders and fall back to the next reachable one.
+            // holders and fall back to the next reachable one; remember a
+            // second reachable holder as the hedge target.
             let mut skipped_unreachable = false;
+            let mut holder: Option<WorkerId> = None;
+            let mut alt: Option<WorkerId> = None;
             for w in 0..n {
                 if !self.is_warm(w) {
                     continue;
                 }
-                if self.pull_reachable(WorkerId::new(w as u64)) {
-                    if skipped_unreachable {
-                        self.report.unreachable_kv_fallbacks += 1;
+                let id = WorkerId::new(w as u64);
+                if self.pull_reachable(id) {
+                    if holder.is_none() {
+                        holder = Some(id);
+                    } else {
+                        alt = Some(id);
+                        break;
                     }
-                    return FaultedLocation::RemoteHit { from_replica: true };
+                } else if holder.is_none() {
+                    skipped_unreachable = true;
                 }
-                skipped_unreachable = true;
             }
             if skipped_unreachable {
                 self.report.unreachable_kv_fallbacks += 1;
             }
-            return FaultedLocation::Recompute;
+            return match holder {
+                Some(h) => FaultedLocation::RemoteHit {
+                    from_replica: true,
+                    holder: h,
+                    alt,
+                },
+                None => FaultedLocation::Recompute,
+            };
         }
         let owner = (id % n as u64) as usize;
         if self.is_warm(owner) {
@@ -155,6 +187,8 @@ impl FaultState {
             if self.pull_reachable(WorkerId::new(owner as u64)) {
                 return FaultedLocation::RemoteHit {
                     from_replica: false,
+                    holder: WorkerId::new(owner as u64),
+                    alt: None,
                 };
             }
             // The owner is warm but cut off by a partition: same degraded
@@ -176,6 +210,8 @@ impl FaultState {
                         } else {
                             FaultedLocation::RemoteHit {
                                 from_replica: false,
+                                holder: target,
+                                alt: None,
                             }
                         };
                     }
@@ -235,6 +271,10 @@ pub struct RequestPlanner {
     item_freq: Option<bat_kvcache::FreqEstimator<bat_types::ItemId>>,
     /// Fault-schedule machinery; `None` for fault-free runs.
     faults: Option<FaultState>,
+    /// Current brownout ladder rung (0 = healthy). Set by the engine's
+    /// overload controller before each plan; rung 1 suspends background
+    /// replication refresh, rung 2 degrades cold remote pulls to recompute.
+    brownout_rung: u8,
 }
 
 impl RequestPlanner {
@@ -282,6 +322,8 @@ impl RequestPlanner {
                 warmed_adopted: HashSet::new(),
                 buckets: BTreeMap::new(),
                 bucket_secs: FAULT_WINDOW_SECS,
+                retry_rng: SmallRng::seed_from_u64(cfg.slo.unwrap_or_default().retry_seed),
+                retry_backoff_secs: cfg.slo.unwrap_or_default().retry_backoff_secs,
             }
         });
         let meta = cfg.caching.then(|| {
@@ -307,7 +349,31 @@ impl RequestPlanner {
                 .track_item_hotness
                 .then(|| bat_kvcache::FreqEstimator::new(cfg.freq_window_secs)),
             faults,
+            brownout_rung: 0,
         }
+    }
+
+    /// Moves the planner onto a brownout ladder rung. Rung transitions are
+    /// recorded in the fault report so ablation runs can show when the
+    /// ladder engaged and how high it climbed.
+    pub fn set_brownout_rung(&mut self, rung: u8) {
+        if rung == self.brownout_rung {
+            return;
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.report.brownout_transitions += 1;
+            fs.report.max_brownout_rung = fs.report.max_brownout_rung.max(rung);
+        }
+        self.brownout_rung = rung;
+    }
+
+    /// The admission controller's cost estimate for a request: the no-cache
+    /// prefill time for its full prompt. Deliberately pessimistic (cache
+    /// hits make the real job cheaper), so admission errs toward capacity
+    /// headroom rather than accepted work it cannot finish.
+    pub fn admission_estimate_secs(&self, req: &RankRequest) -> f64 {
+        let total = u64::from(req.total_tokens());
+        self.compute.prefill_secs(total, total)
     }
 
     /// Re-replicates the hottest observed items into the placement plan's
@@ -319,6 +385,15 @@ impl RequestPlanner {
     /// becomes warm once the transfer completes ([`Self::settle_rewarms`]).
     pub fn refresh_item_replication(&mut self, now: f64) {
         self.settle_rewarms(now);
+        if self.brownout_rung >= 1 {
+            // Brownout rung 1: background replication churn is the first
+            // thing to go under pressure — re-warms still settle (they free
+            // capacity), but the hotness-driven refresh is deferred.
+            if let Some(fs) = self.faults.as_mut() {
+                fs.report.suspended_refreshes += 1;
+            }
+            return;
+        }
         let (Some(freq), Some(plan)) = (&self.item_freq, &mut self.placement) else {
             return;
         };
@@ -460,6 +535,17 @@ impl RequestPlanner {
                 }
                 AppliedFault::LinkHealed(..) => {
                     reach_changed = true;
+                }
+                AppliedFault::LinkSlowed(_, _, factor) => {
+                    // The pair stays reachable; only the pull latency model
+                    // changes, so no membership or reach rebuild is needed.
+                    if factor > 1.0 {
+                        self.faults
+                            .as_mut()
+                            .expect("checked above")
+                            .report
+                            .slow_links += 1;
+                    }
                 }
             }
         }
@@ -679,6 +765,7 @@ impl RequestPlanner {
             context_tokens: total,
             local_load: Bytes::ZERO,
             remote_bytes: Bytes::ZERO,
+            net_extra_secs: 0.0,
         };
         if !self.caching {
             return job;
@@ -757,11 +844,58 @@ impl RequestPlanner {
                                     reused += tokens;
                                     job.local_load += bytes;
                                 }
-                                FaultedLocation::RemoteHit { from_replica } => {
+                                FaultedLocation::RemoteHit {
+                                    from_replica,
+                                    holder,
+                                    alt,
+                                } => {
+                                    if !from_replica && self.brownout_rung >= 2 {
+                                        // Brownout rung 2: a cold sharded
+                                        // pull is cheaper to recompute than
+                                        // to fetch while the fabric is the
+                                        // bottleneck.
+                                        fs.report.brownout_recomputes += 1;
+                                        continue;
+                                    }
                                     reused += tokens;
                                     job.remote_bytes += bytes;
                                     if from_replica {
                                         fs.report.replica_hits_during_outage += 1;
+                                    }
+                                    let local = WorkerId::new(0);
+                                    let f1 = fs.view.link_slow_factor(local, holder);
+                                    if f1 > 1.0 {
+                                        let transfer = self.compute.net_transfer_secs(bytes);
+                                        if let Some(alt_w) = alt {
+                                            // Hedge: dual-issue against the
+                                            // alternate replica holder; the
+                                            // first response wins, so the
+                                            // effective slowdown is the min
+                                            // of the two link factors.
+                                            fs.report.hedged_pulls += 1;
+                                            let f2 = fs.view.link_slow_factor(local, alt_w);
+                                            if f2 < f1 {
+                                                fs.report.hedge_wins += 1;
+                                            }
+                                            job.net_extra_secs += transfer * (f1.min(f2) - 1.0);
+                                        } else {
+                                            // Single-holder pull: retry with
+                                            // seeded jittered backoff when
+                                            // waiting out a transient beats
+                                            // enduring the slow link, bounded
+                                            // by the deadline slack.
+                                            let jitter = fs.retry_rng.gen::<f64>();
+                                            let backoff = fs.retry_backoff_secs * (1.0 + jitter);
+                                            let slow_extra = transfer * (f1 - 1.0);
+                                            let slack =
+                                                req.slo.deadline_secs.unwrap_or(f64::INFINITY);
+                                            if backoff < slow_extra && backoff + transfer <= slack {
+                                                fs.report.backoff_retries += 1;
+                                                job.net_extra_secs += backoff;
+                                            } else {
+                                                job.net_extra_secs += slow_extra;
+                                            }
+                                        }
                                     }
                                 }
                                 FaultedLocation::Recompute => {
@@ -800,14 +934,17 @@ impl RequestPlanner {
     }
 
     /// Prices a planned job: `(compute_secs, pcie_load_secs, net_secs)`.
-    /// Network time reflects the fault view's current link factor.
+    /// Network time reflects the fault view's current link factor, plus the
+    /// job's per-pull slow-link extras (post-hedge inflation and backoff
+    /// delays).
     pub fn price(&self, job: &PlannedJob) -> (f64, f64, f64) {
-        self.price_components(
+        let (c, l, n) = self.price_components(
             job.suffix_tokens,
             job.context_tokens,
             job.local_load,
             job.remote_bytes,
-        )
+        );
+        (c, l, n + job.net_extra_secs)
     }
 
     /// [`Self::price`] from raw components (the simulator prices batches
@@ -845,6 +982,7 @@ mod tests {
             candidate_tokens: vec![10; 100],
             instruction_tokens: 32,
             arrival: SimTime::ZERO,
+            slo: Default::default(),
         }
     }
 
@@ -977,6 +1115,8 @@ mod tests {
             warmed_adopted: HashSet::new(),
             buckets: BTreeMap::new(),
             bucket_secs: FAULT_WINDOW_SECS,
+            retry_rng: SmallRng::seed_from_u64(0x510_B0FF),
+            retry_backoff_secs: 0.002,
         }
     }
 
@@ -1004,7 +1144,10 @@ mod tests {
         assert!(plan.is_replicated(hot));
         assert!(matches!(
             fs.locate(&plan, hot),
-            FaultedLocation::RemoteHit { from_replica: true }
+            FaultedLocation::RemoteHit {
+                from_replica: true,
+                ..
+            }
         ));
         assert_eq!(
             fs.report.unreachable_kv_fallbacks, 1,
@@ -1025,7 +1168,8 @@ mod tests {
         assert!(matches!(
             fs.locate(&plan, item),
             FaultedLocation::RemoteHit {
-                from_replica: false
+                from_replica: false,
+                ..
             }
         ));
         cut(&mut fs.view, 0, 1);
@@ -1096,5 +1240,140 @@ mod tests {
             .compute()
             .prefill_secs(job.suffix_tokens, job.context_tokens);
         assert_eq!(c, direct);
+    }
+
+    fn faulted_planner(kind: SystemKind, events: Vec<bat_faults::FaultEvent>) -> RequestPlanner {
+        let ds = DatasetConfig::industry();
+        let cfg = EngineConfig::for_system(
+            kind,
+            ModelConfig::qwen2_1_5b(),
+            ClusterConfig::a100_4node(),
+            &ds,
+        )
+        .with_faults(Some(
+            bat_faults::FaultSchedule::new(4, events).expect("valid schedule"),
+        ));
+        RequestPlanner::from_config(&cfg)
+    }
+
+    fn slow(a: u64, b: u64, factor: f64) -> bat_faults::FaultEvent {
+        bat_faults::FaultEvent {
+            at_secs: 0.0,
+            kind: bat_faults::FaultKind::SlowLink {
+                a: WorkerId::new(a),
+                b: WorkerId::new(b),
+                factor,
+            },
+        }
+    }
+
+    /// Request whose candidates are all cold-band sharded items owned by
+    /// worker 1 (`id % 4 == 1`): single-holder remote pulls, no hedge target.
+    fn sharded_req() -> RankRequest {
+        let mut r = req(1, 1500);
+        for (i, c) in r.candidates.iter_mut().enumerate() {
+            *c = ItemId::new(900_001 + 4 * i as u64);
+        }
+        r
+    }
+
+    #[test]
+    fn slow_link_hedges_replicated_pulls() {
+        let mut p = faulted_planner(SystemKind::ItemPrefix, vec![slow(0, 1, 4.0)]);
+        p.advance_faults(0.0);
+        // Cold affinity worker (re-warm pending indefinitely): the replicated
+        // hits must be served remotely, and holder order makes worker 1 (slow
+        // link) primary, worker 2 the hedge target.
+        {
+            let fs = p.faults.as_mut().unwrap();
+            fs.warm_incarnation[0] = u64::MAX;
+            fs.rewarm_ready_at[0] = f64::INFINITY;
+        }
+        let r = req(1, 1500);
+        let job = p.plan(&r, 0.0);
+        let report = &p.faults.as_ref().unwrap().report;
+        assert_eq!(report.hedged_pulls, 100, "every replicated pull hedged");
+        assert_eq!(
+            report.hedge_wins, 100,
+            "the alternate holder rides an unaffected link and always wins"
+        );
+        assert_eq!(report.backoff_retries, 0);
+        assert_eq!(
+            job.net_extra_secs, 0.0,
+            "a winning hedge pays no slow-link surcharge"
+        );
+    }
+
+    #[test]
+    fn slow_link_single_holder_retries_with_seeded_backoff() {
+        // Factor large enough that waiting out the transient always beats
+        // enduring the slow transfer.
+        let mut p = faulted_planner(SystemKind::ItemPrefix, vec![slow(0, 1, 1e6)]);
+        p.advance_faults(0.0);
+        let r = sharded_req();
+        let job = p.plan(&r, 0.0);
+        {
+            let report = &p.faults.as_ref().unwrap().report;
+            assert_eq!(report.backoff_retries, 100);
+            assert_eq!(report.hedged_pulls, 0, "single holder has no hedge target");
+        }
+        assert!(job.net_extra_secs > 0.0);
+        let (_, _, n) = p.price(&job);
+        assert!(
+            n >= job.net_extra_secs,
+            "the network price must carry the backoff surcharge"
+        );
+        // The jitter stream is seeded: an identical planner reproduces the
+        // exact surcharge bit for bit.
+        let mut q = faulted_planner(SystemKind::ItemPrefix, vec![slow(0, 1, 1e6)]);
+        q.advance_faults(0.0);
+        assert_eq!(q.plan(&r, 0.0).net_extra_secs, job.net_extra_secs);
+    }
+
+    #[test]
+    fn backoff_respects_deadline_slack() {
+        let mut p = faulted_planner(SystemKind::ItemPrefix, vec![slow(0, 1, 1e6)]);
+        p.advance_faults(0.0);
+        let mut r = sharded_req();
+        // Slack tighter than the minimum backoff: the planner must endure
+        // the slow link rather than burn the budget waiting to retry.
+        r.slo = bat_types::SloBudget::with_deadline(1e-3);
+        let job = p.plan(&r, 0.0);
+        let report = &p.faults.as_ref().unwrap().report;
+        assert_eq!(report.backoff_retries, 0);
+        assert!(
+            job.net_extra_secs > 1.0,
+            "enduring a 1e6x slowdown is expensive: {}",
+            job.net_extra_secs
+        );
+    }
+
+    #[test]
+    fn brownout_rung_two_degrades_cold_pulls_to_recompute() {
+        let mut p = faulted_planner(SystemKind::ItemPrefix, vec![]);
+        p.set_brownout_rung(2);
+        let r = sharded_req();
+        let job = p.plan(&r, 0.0);
+        let report = &p.faults.as_ref().unwrap().report;
+        assert_eq!(report.brownout_recomputes, 100);
+        assert_eq!(report.brownout_transitions, 1);
+        assert_eq!(report.max_brownout_rung, 2);
+        assert_eq!(job.remote_bytes, Bytes::ZERO);
+        assert_eq!(job.reused_tokens(), 0, "cold pulls degraded to recompute");
+    }
+
+    #[test]
+    fn brownout_rung_one_suspends_replication_refresh() {
+        let mut p = faulted_planner(SystemKind::ItemPrefix, vec![]);
+        p.set_brownout_rung(1);
+        p.refresh_item_replication(1.0);
+        assert_eq!(p.faults.as_ref().unwrap().report.suspended_refreshes, 1);
+        // Stepping back down resumes the background refresh.
+        p.set_brownout_rung(0);
+        p.refresh_item_replication(2.0);
+        let report = &p.faults.as_ref().unwrap().report;
+        assert_eq!(report.suspended_refreshes, 1);
+        assert_eq!(report.max_brownout_rung, 1);
+        assert_eq!(report.brownout_transitions, 2);
     }
 }

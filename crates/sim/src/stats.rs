@@ -92,11 +92,18 @@ pub struct RunStats {
     pub mean_latency_ms: f64,
     /// Median end-to-end latency, ms.
     pub p50_latency_ms: f64,
+    /// P90 end-to-end latency, ms (the overload ablation's percentile).
+    #[serde(default)]
+    pub p90_latency_ms: f64,
     /// P99 end-to-end latency, ms (the paper's SLO percentile, Figure 9).
     pub p99_latency_ms: f64,
     /// Fault/recovery accounting; all-zero ("quiet") for fault-free runs.
     #[serde(default)]
     pub faults: bat_faults::FaultReport,
+    /// SLO/admission accounting; all-zero when the overload control plane
+    /// is disabled.
+    #[serde(default)]
+    pub slo: bat_metrics::SloStats,
 }
 
 impl RunStats {
@@ -132,8 +139,10 @@ impl RunStats {
             ip_requests,
             mean_latency_ms: latencies.mean().unwrap_or(0.0) * 1e3,
             p50_latency_ms: latencies.p50().unwrap_or(0.0) * 1e3,
+            p90_latency_ms: latencies.p90().unwrap_or(0.0) * 1e3,
             p99_latency_ms: latencies.p99().unwrap_or(0.0) * 1e3,
             faults: bat_faults::FaultReport::default(),
+            slo: bat_metrics::SloStats::default(),
         }
     }
 
@@ -222,7 +231,9 @@ mod tests {
         assert!((s.computation_savings() - 0.4).abs() < 1e-12);
         assert!((s.net_over_compute() - 0.125).abs() < 1e-12);
         assert!((s.up_share() - 0.3).abs() < 1e-12);
-        assert_eq!(s.p99_latency_ms, 99.0);
+        // Interpolated (type-7) percentiles over 1..=100 ms samples.
+        assert!((s.p99_latency_ms - 99.01).abs() < 1e-9);
+        assert!((s.p90_latency_ms - 90.1).abs() < 1e-9);
     }
 
     #[test]
@@ -272,7 +283,8 @@ mod tests {
         let (kind, n, reuse, p99) = rows[0];
         assert_eq!((kind, n), (PrefixKind::User, 2));
         assert!((reuse - 0.5).abs() < 1e-9);
-        assert!((p99 - 30.0).abs() < 1e-9);
+        // Interpolated (type-7) P99 over the two User samples {10, 30}.
+        assert!((p99 - 29.8).abs() < 1e-9);
         // A prefix kind with no requests is omitted.
         let only_item = breakdown_by_prefix(&records[2..]);
         assert_eq!(only_item.len(), 1);

@@ -1,5 +1,6 @@
 //! The workspace-wide error type.
 
+use crate::slo::RejectReason;
 use std::error::Error;
 use std::fmt;
 
@@ -20,6 +21,15 @@ pub enum BatError {
     /// A cache worker referenced by the operation is not in the live
     /// membership (crashed, or draining after a fault).
     WorkerUnavailable(String),
+    /// The admission controller refused the request on arrival. Typed (not
+    /// stringly) so shed points can be counted and asserted on.
+    Rejected {
+        /// Why admission refused the request.
+        reason: RejectReason,
+    },
+    /// The request was admitted but its deadline expired before service
+    /// completed (swept from the queue, or finished too late to count).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for BatError {
@@ -31,6 +41,8 @@ impl fmt::Display for BatError {
             BatError::CapacityExceeded(msg) => write!(f, "capacity exceeded: {msg}"),
             BatError::Shutdown(msg) => write!(f, "runtime shut down: {msg}"),
             BatError::WorkerUnavailable(msg) => write!(f, "worker unavailable: {msg}"),
+            BatError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            BatError::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -45,6 +57,15 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let e = BatError::InvalidRequest("no candidates".into());
         assert_eq!(e.to_string(), "invalid request: no candidates");
+    }
+
+    #[test]
+    fn typed_shed_variants_display() {
+        let e = BatError::Rejected {
+            reason: RejectReason::QueueFull,
+        };
+        assert_eq!(e.to_string(), "rejected: queue full");
+        assert_eq!(BatError::DeadlineExceeded.to_string(), "deadline exceeded");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod error;
 pub mod id;
 pub mod model;
 pub mod request;
+pub mod slo;
 pub mod units;
 
 pub use cluster::{ClusterConfig, NodeConfig};
@@ -33,4 +34,5 @@ pub use error::BatError;
 pub use id::{ItemId, NodeId, RequestId, UserId, WorkerId};
 pub use model::ModelConfig;
 pub use request::{PrefixKind, RankRequest};
+pub use slo::{Priority, RejectReason, SloBudget};
 pub use units::{Bytes, SimTime, TokenCount};

@@ -7,6 +7,7 @@
 //! cacheable prompt prefix.
 
 use crate::id::{ItemId, RequestId, UserId};
+use crate::slo::SloBudget;
 use crate::units::{SimTime, TokenCount};
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +63,11 @@ pub struct RankRequest {
     pub instruction_tokens: TokenCount,
     /// Arrival time of the request at the scheduler.
     pub arrival: SimTime,
+    /// Latency contract (deadline + shedding priority). Defaults to
+    /// best-effort so traces recorded before the overload control plane
+    /// deserialize unchanged.
+    #[serde(default)]
+    pub slo: SloBudget,
 }
 
 impl RankRequest {
@@ -114,6 +120,7 @@ mod tests {
             candidate_tokens: vec![10, 12],
             instruction_tokens: 32,
             arrival: SimTime::ZERO,
+            slo: SloBudget::default(),
         }
     }
 

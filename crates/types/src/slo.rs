@@ -1,0 +1,142 @@
+//! Service-level objectives carried on every request.
+//!
+//! A [`SloBudget`] stamps a ranking request with the latency contract the
+//! caller expects: an optional completion deadline (relative to arrival) and
+//! a [`Priority`] used by the brownout ladder when the cluster must shed
+//! load. Requests default to best-effort ([`SloBudget::default`]): no
+//! deadline, [`Priority::Normal`] — which keeps every pre-existing trace
+//! byte-identical in behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// Shedding priority of a request. Under brownout rung 3 the control plane
+/// sheds [`Priority::Low`] traffic first; [`Priority::High`] requests are
+/// only rejected when the queue itself is full.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Speculative / prefetch traffic — first to be shed.
+    Low,
+    /// Interactive foreground traffic (the default).
+    #[default]
+    Normal,
+    /// Contractual traffic — shed only on hard queue overflow.
+    High,
+}
+
+impl Priority {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+}
+
+/// The latency contract stamped on a request by the retrieval stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SloBudget {
+    /// Completion deadline in seconds *relative to arrival*. `None` means
+    /// best-effort: the request is never rejected for infeasibility and
+    /// never counted as a deadline miss.
+    pub deadline_secs: Option<f64>,
+    /// Shedding priority under brownout.
+    pub priority: Priority,
+}
+
+impl SloBudget {
+    /// Best-effort budget: no deadline, normal priority.
+    pub const BEST_EFFORT: SloBudget = SloBudget {
+        deadline_secs: None,
+        priority: Priority::Normal,
+    };
+
+    /// A budget with a deadline `deadline_secs` after arrival.
+    pub fn with_deadline(deadline_secs: f64) -> Self {
+        SloBudget {
+            deadline_secs: Some(deadline_secs),
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Same budget at a different priority.
+    pub fn at_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Absolute deadline for a request that arrived at `arrival_secs`, if a
+    /// deadline was set.
+    #[inline]
+    pub fn absolute_deadline(&self, arrival_secs: f64) -> Option<f64> {
+        self.deadline_secs.map(|d| arrival_secs + d)
+    }
+}
+
+/// Why the control plane refused a request at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The admission queue hit its bounded depth.
+    QueueFull,
+    /// The estimated queueing + service time already exceeds the deadline,
+    /// so doing the work would only waste capacity.
+    DeadlineInfeasible,
+    /// Brownout rung 3: the request's priority is below the shed floor.
+    BrownoutShed,
+}
+
+impl RejectReason {
+    /// Short label used in reports and error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue full",
+            RejectReason::DeadlineInfeasible => "deadline infeasible",
+            RejectReason::BrownoutShed => "brownout shed",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_best_effort() {
+        let b = SloBudget::default();
+        assert_eq!(b, SloBudget::BEST_EFFORT);
+        assert_eq!(b.deadline_secs, None);
+        assert_eq!(b.priority, Priority::Normal);
+        assert_eq!(b.absolute_deadline(5.0), None);
+    }
+
+    #[test]
+    fn absolute_deadline_offsets_from_arrival() {
+        let b = SloBudget::with_deadline(0.25).at_priority(Priority::High);
+        assert_eq!(b.absolute_deadline(1.0), Some(1.25));
+        assert_eq!(b.priority, Priority::High);
+    }
+
+    #[test]
+    fn priority_order_matches_shed_order() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+    }
+
+    #[test]
+    fn serde_default_slo_roundtrip() {
+        // Old traces without an `slo` field must deserialize.
+        let json = r#"{"deadline_secs":0.5,"priority":"Low"}"#;
+        let b: SloBudget = serde_json::from_str(json).unwrap();
+        assert_eq!(b.deadline_secs, Some(0.5));
+        assert_eq!(b.priority, Priority::Low);
+    }
+}

@@ -10,7 +10,7 @@
 //! the window-frequency self-similarity of Figure 4.
 
 use crate::workload::Workload;
-use bat_types::{RankRequest, RequestId, SimTime, UserId};
+use bat_types::{RankRequest, RequestId, SimTime, SloBudget, UserId};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::collections::HashMap;
 
@@ -31,6 +31,7 @@ pub struct TraceGenerator {
     rng: SmallRng,
     next_id: u64,
     now: f64,
+    slo: SloBudget,
 }
 
 impl TraceGenerator {
@@ -42,7 +43,15 @@ impl TraceGenerator {
             workload,
             next_id: 0,
             now: 0.0,
+            slo: SloBudget::default(),
         }
+    }
+
+    /// Sets the [`SloBudget`] stamped on every subsequently generated
+    /// request (default: best-effort). Stamping happens at generation time,
+    /// so a burst segment can carry a different budget than the warm-up.
+    pub fn set_slo(&mut self, slo: SloBudget) {
+        self.slo = slo;
     }
 
     /// The bound workload.
@@ -93,6 +102,7 @@ impl TraceGenerator {
             candidate_tokens,
             instruction_tokens: Workload::INSTRUCTION_TOKENS,
             arrival: SimTime::from_secs(at),
+            slo: self.slo,
         };
         self.next_id += 1;
         req
