@@ -1,0 +1,280 @@
+//! Transport ablation: what does moving frames through real sockets cost,
+//! and does it change anything it must not?
+//!
+//! Three sections:
+//!
+//! 1. **Determinism gate** — the same seeded trace served over every
+//!    backend (in-process channels, UDS threads, TCP threads, and UDS
+//!    child *processes* on unix). Every planner-side digest must equal the
+//!    channel oracle's; the harness exits nonzero on any mismatch, so CI
+//!    can run this as a gate.
+//! 2. **Packed-KV segment throughput** — plane-major [`KvSegmentMsg`]
+//!    frames pumped through a UDS socket pair and through the channel
+//!    backend, versus pure encode/decode. Separates codec cost from
+//!    kernel-crossing cost.
+//! 3. **Meta echo** — [`MetaCmdMsg`]/[`MetaRespMsg`] round trips against a
+//!    real replicated [`MetaGroup`] behind a socket: every committed
+//!    receipt must come back `(epoch, index)`-identical to what a local
+//!    in-process `submit` would have returned.
+
+use bat::meta::{MetaCommand, MetaGroup};
+use bat::{
+    Bytes, ClusterConfig, DatasetConfig, EngineConfig, ItemId, ModelConfig, RunStats, ServeOptions,
+    ServeRuntime, SystemKind, TransportKind,
+};
+use bat_bench::{f1, print_table, HarnessArgs};
+use bat_net::{
+    recv_msg, send_msg, ChannelConn, Conn, KvSegmentMsg, MetaCmdMsg, MetaRespMsg, Transport,
+    WireCodec,
+};
+use bat_tensor::ColBlock;
+use bat_workload::{TraceGenerator, Workload};
+use std::sync::Arc;
+use std::time::Instant;
+
+const NODES: usize = 2;
+
+fn engine_config(ds: &DatasetConfig) -> EngineConfig {
+    let mut cluster = ClusterConfig::a100_4node().with_nodes(NODES);
+    cluster.node.kv_cache_capacity = Bytes::from_gb(20);
+    EngineConfig::for_system(
+        SystemKind::UserPrefix,
+        ModelConfig::qwen2_1_5b(),
+        cluster,
+        ds,
+    )
+}
+
+fn serve(
+    cfg: EngineConfig,
+    trace: &[bat::RankRequest],
+    kind: TransportKind,
+    processes: bool,
+) -> RunStats {
+    let opts = ServeOptions {
+        transport: kind,
+        processes,
+        // A child re-executes this binary; maybe_child_worker() diverts it
+        // before argument parsing, so no child arguments are needed.
+        child_args: Vec::new(),
+        ..ServeOptions::default()
+    };
+    ServeRuntime::new(cfg, opts)
+        .expect("preset options validate")
+        .serve(trace)
+}
+
+fn determinism_gate(args: &HarnessArgs) -> bool {
+    let ds = DatasetConfig {
+        num_users: 300,
+        ..DatasetConfig::games()
+    };
+    let duration = args.scale(20.0, 4.0);
+    let rate = args.scale(60.0, 40.0);
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 41), 42);
+    let trace = gen.generate(duration, rate);
+    println!(
+        "determinism gate: {} requests over {duration:.0}s on {NODES} workers",
+        trace.len()
+    );
+
+    let oracle = serve(engine_config(&ds), &trace, TransportKind::Channel, false);
+    let mut rows = Vec::new();
+    let mut ok = true;
+    let mut row = |label: &str, stats: &RunStats| {
+        let matches = stats.digest() == oracle.digest();
+        ok &= matches;
+        rows.push(vec![
+            label.to_owned(),
+            stats.completed.to_string(),
+            format!("{:.3}", stats.hit_rate()),
+            format!("{:016x}", stats.digest()),
+            if matches { "yes" } else { "NO" }.to_owned(),
+        ]);
+    };
+    row("channel threads (oracle)", &oracle);
+    row(
+        "uds threads",
+        &serve(engine_config(&ds), &trace, TransportKind::Uds, false),
+    );
+    row(
+        "tcp threads",
+        &serve(engine_config(&ds), &trace, TransportKind::Tcp, false),
+    );
+    #[cfg(unix)]
+    row(
+        "uds child processes",
+        &serve(engine_config(&ds), &trace, TransportKind::Uds, true),
+    );
+    print_table(
+        &["transport", "completed", "hit rate", "digest", "=oracle"],
+        &rows,
+    );
+    ok
+}
+
+/// Pumps `n` KV segments through `tx`/`rx` on two threads and returns the
+/// payload rate in MiB/s (decode included: the receiver rebuilds the
+/// `ColBlock` from every frame).
+fn pump_segments(tx: Arc<dyn Conn>, rx: Arc<dyn Conn>, template: &KvSegmentMsg, n: usize) -> f64 {
+    let payload_bytes = (template.planes.len() * 4) as f64;
+    let start = Instant::now();
+    let sender = {
+        let msg = template.clone();
+        std::thread::spawn(move || {
+            for _ in 0..n {
+                send_msg(tx.as_ref(), &msg).expect("segment sends");
+            }
+        })
+    };
+    let mut rows = 0u64;
+    for _ in 0..n {
+        let msg: KvSegmentMsg = recv_msg(rx.as_ref()).expect("segment arrives");
+        rows += msg.to_block().rows() as u64;
+    }
+    sender.join().expect("sender thread");
+    assert_eq!(rows, n as u64 * u64::from(template.rows));
+    payload_bytes * n as f64 / start.elapsed().as_secs_f64() / (1024.0 * 1024.0)
+}
+
+fn kv_throughput(args: &HarnessArgs) {
+    // One head's packed plane for a 64-token segment at head_dim 256.
+    let mut block = ColBlock::new(64);
+    for c in 0..256 {
+        let col: Vec<f32> = (0..64).map(|r| (r * 256 + c) as f32 * 1e-3).collect();
+        block.push_col(&col);
+    }
+    let msg = KvSegmentMsg::from_block(bat_kvcache::CacheKey::Item(ItemId::new(7)), 0, &block);
+    let n = args.scale(20_000, 2_000);
+
+    // Pure codec: encode + decode round trip, no transport.
+    let start = Instant::now();
+    for _ in 0..n {
+        let frame = msg.to_frame();
+        let bytes = bat_net::encode_frame(&frame);
+        let (decoded, _) = bat_net::decode_frame(&bytes).expect("decodes");
+        std::hint::black_box(KvSegmentMsg::from_frame(&decoded).expect("typed"));
+    }
+    let codec_mibs = (msg.planes.len() * 4) as f64 * n as f64
+        / start.elapsed().as_secs_f64()
+        / (1024.0 * 1024.0);
+
+    let (a, b) = ChannelConn::pair();
+    let channel_mibs = pump_segments(a, b, &msg, n);
+
+    #[cfg(unix)]
+    let uds_mibs = {
+        let t = bat_net::UdsTransport::new();
+        let path = std::env::temp_dir()
+            .join(format!("bat-ablation-kv-{}.sock", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let listener = t.listen(&path).expect("uds binds");
+        let client = t.connect(&listener.local_addr()).expect("uds dials");
+        let server = listener
+            .accept_timeout(std::time::Duration::from_secs(5))
+            .expect("uds accepts");
+        pump_segments(client, server, &msg, n)
+    };
+    #[cfg(not(unix))]
+    let uds_mibs = f64::NAN;
+
+    println!(
+        "\nkv segment throughput ({} x {} f32 planes, {} segments):",
+        msg.rows, msg.cols, n
+    );
+    print_table(
+        &["path", "MiB/s"],
+        &[
+            vec!["encode+decode only".into(), f1(codec_mibs)],
+            vec!["channel conn (no bytes)".into(), f1(channel_mibs)],
+            vec!["uds socket".into(), f1(uds_mibs)],
+        ],
+    );
+}
+
+fn meta_echo(args: &HarnessArgs) {
+    let n = args.scale(5_000, 500);
+    let replicas = 3;
+    // The wire client and the local oracle drive two identical groups;
+    // every receipt that crosses the socket must match the local one.
+    let mut local = MetaGroup::new(replicas, 11);
+    let mut remote = MetaGroup::new(replicas, 11);
+    local.ensure_leader().expect("fresh group elects");
+    remote.ensure_leader().expect("fresh group elects");
+
+    let t = bat_net::TcpTransport::new();
+    let listener = t.listen("127.0.0.1:0").expect("tcp binds");
+    let client = t.connect(&listener.local_addr()).expect("tcp dials");
+    let server = listener
+        .accept_timeout(std::time::Duration::from_secs(5))
+        .expect("tcp accepts");
+
+    let server_thread = std::thread::spawn(move || {
+        let mut committed = 0u64;
+        while let Ok(cmd) = recv_msg::<MetaCmdMsg>(server.as_ref()) {
+            let result = remote.try_append_via(cmd.via as usize, &cmd.cmd);
+            if result.is_ok() {
+                committed += 1;
+            }
+            send_msg(
+                server.as_ref(),
+                &MetaRespMsg {
+                    seq: cmd.seq,
+                    result: result.into(),
+                },
+            )
+            .expect("response sends");
+        }
+        (remote, committed)
+    });
+
+    let start = Instant::now();
+    let mut mismatches = 0usize;
+    for seq in 0..n as u64 {
+        let cmd = MetaCommand::RegisterEntry {
+            key: bat_kvcache::CacheKey::Item(ItemId::new(seq)),
+            bytes: 4096 + seq,
+        };
+        let via = (seq % replicas as u64) as u32;
+        send_msg(client.as_ref(), &MetaCmdMsg { seq, via, cmd }).expect("command sends");
+        let resp: MetaRespMsg = recv_msg(client.as_ref()).expect("response arrives");
+        assert_eq!(resp.seq, seq, "responses must come back in order");
+        let wire: Result<_, _> = resp.result.into();
+        let oracle = local.try_append_via(via as usize, &cmd);
+        if wire != oracle {
+            mismatches += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    client.close();
+    let (remote, committed) = server_thread.join().expect("server thread");
+
+    println!("\nmeta echo over tcp: {n} commands, {replicas}-replica group");
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["round trips/s".into(), f1(n as f64 / elapsed)],
+            vec!["committed".into(), committed.to_string()],
+            vec!["receipt mismatches vs local".into(), mismatches.to_string()],
+            vec!["final epoch".into(), remote.epoch().to_string()],
+            vec!["replicas agree".into(), remote.replicas_agree().to_string()],
+        ],
+    );
+    assert_eq!(mismatches, 0, "wire receipts must match local receipts");
+    assert!(remote.replicas_agree());
+}
+
+fn main() {
+    // A `--processes` determinism-gate child re-enters this binary.
+    bat::maybe_child_worker();
+    let args = HarnessArgs::parse();
+    let ok = determinism_gate(&args);
+    kv_throughput(&args);
+    meta_echo(&args);
+    assert!(
+        ok,
+        "transport determinism gate failed: socket backend diverged from the channel oracle"
+    );
+    println!("\ntransport determinism gate: PASS");
+}

@@ -14,6 +14,8 @@
 //!                 [--burst 3 --deadline 1.0 --slow 150 --straggle 5]
 //! batctl meta     --dataset games --duration 30 --rate 60 \
 //!                 [--replicas 3 --at 10 --down 5]
+//! batctl net      --dataset games --duration 10 --rate 60 \
+//!                 [--transport channel|uds|tcp] [--processes] [--scale 1e-3]
 //! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json] [--check BENCH_KERNELS.json]
 //! ```
 //!
@@ -27,8 +29,8 @@ use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
 use bat::{
     ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, FaultEvent, FaultKind, FaultSchedule,
     ItemPlacementPlan, ModelConfig, OverloadConfig, PlacementStrategy, PrefixKind, Priority,
-    SemanticConfig, ServingEngine, SloBudget, SystemKind, TraceGenerator, WorkerId, Workload,
-    ZipfLaw,
+    SemanticConfig, ServeOptions, ServeRuntime, ServingEngine, SloBudget, SystemKind,
+    TraceGenerator, TransportKind, WorkerId, Workload, ZipfLaw,
 };
 use bat_bench::{f1, f3, print_table};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -675,12 +677,102 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn transport_kind(name: &str) -> Result<TransportKind, String> {
+    match name.to_lowercase().as_str() {
+        "channel" => Ok(TransportKind::Channel),
+        "uds" => Ok(TransportKind::Uds),
+        "tcp" => Ok(TransportKind::Tcp),
+        other => Err(format!("unknown transport '{other}' (channel|uds|tcp)")),
+    }
+}
+
+fn cmd_net(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 10.0)?;
+    let rate = flag_f64(flags, "rate", 60.0)?;
+    let seed = flag_f64(flags, "seed", 7.0)? as u64;
+    let nodes = flag_usize(flags, "nodes", 2)?;
+    let scale = flag_f64(flags, "scale", 1e-3)?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let kind = transport_kind(flags.get("transport").map_or("uds", String::as_str))?;
+    let processes = flags.get("processes").is_some();
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), seed), seed ^ 0x5eed);
+    let trace = gen.generate(duration, rate);
+    let cfg = || EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds);
+    let serve = |kind: TransportKind, processes: bool| -> Result<bat::RunStats, String> {
+        let opts = ServeOptions {
+            time_scale: scale,
+            transport: kind,
+            processes,
+            // The child re-executes batctl; maybe_child_worker() diverts
+            // it into the worker loop before argument parsing runs, so no
+            // arguments are needed.
+            child_args: Vec::new(),
+            ..ServeOptions::default()
+        };
+        Ok(ServeRuntime::new(cfg(), opts)
+            .map_err(|e| e.to_string())?
+            .serve(&trace))
+    };
+
+    // The channel oracle first, then the requested backend: same trace,
+    // same planner, so the digests must match bit for bit.
+    let oracle = serve(TransportKind::Channel, false)?;
+    let mode = match (kind, processes) {
+        (TransportKind::Channel, _) => "channel threads".to_owned(),
+        (k, false) => format!("{k:?} threads").to_lowercase(),
+        (k, true) => format!("{k:?} child processes").to_lowercase(),
+    };
+    let stats = if kind == TransportKind::Channel {
+        oracle.clone()
+    } else {
+        serve(kind, processes)?
+    };
+
+    println!(
+        "{} on {nodes} nodes over {mode}: {} requests in {duration:.0}s at {rate:.0} qps",
+        ds.name,
+        trace.len(),
+    );
+    println!(
+        "  completed {}  hit-rate {:.3}  p99 {:.1} ms  digest {:016x}",
+        stats.completed,
+        stats.hit_rate(),
+        stats.p99_latency_ms,
+        stats.digest(),
+    );
+    if kind == TransportKind::Channel {
+        return Ok(());
+    }
+    println!(
+        "  channel oracle digest {:016x}: {}",
+        oracle.digest(),
+        if oracle.digest() == stats.digest() {
+            "MATCH (transport is invisible to planner-side stats)"
+        } else {
+            "MISMATCH"
+        },
+    );
+    if oracle.digest() != stats.digest() {
+        return Err(format!(
+            "digest mismatch between channel oracle and {mode}: a codec, framing, \
+             ordering, or re-dispatch bug is changing planner-visible counts"
+        ));
+    }
+    Ok(())
+}
+
 const USAGE: &str =
-    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|bench> [--flags]
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|net|bench> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details
 global: --threads N sizes the bat-exec worker pool";
 
 fn main() -> ExitCode {
+    // `batctl net --processes` re-executes this binary as a socket worker;
+    // the env-var check must run before anything else touches the process.
+    bat::maybe_child_worker();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
@@ -706,6 +798,7 @@ fn main() -> ExitCode {
         "faults" => cmd_faults(&flags),
         "overload" => cmd_overload(&flags),
         "meta" => cmd_meta(&flags),
+        "net" => cmd_net(&flags),
         "bench" => cmd_bench(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };

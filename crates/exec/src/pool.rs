@@ -36,7 +36,22 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Locks a pool mutex, recovering from poisoning.
+///
+/// A panicking parallel block is caught in [`run_task`] and never holds a
+/// pool lock, but a panic at exactly the wrong instant elsewhere (an
+/// allocation failure inside `push_back`, a panicking test thread killed
+/// mid-call) would poison the mutex it held — and with plain `unwrap()`
+/// every worker touching that deque afterwards would panic too, cascading
+/// one failure into a dead global pool for the rest of the process. The
+/// pool's queue state is a plain `VecDeque` with no invariant that a
+/// panic can tear mid-update, so the recovery is sound: take the guard
+/// and keep going.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Hard cap on pool width; `BAT_THREADS` and [`set_threads`] clamp to it.
 pub const MAX_THREADS: usize = 64;
@@ -146,7 +161,7 @@ pub fn set_threads(n: usize) {
 /// daemon threads; they park when there is no work.
 fn ensure_workers(target: usize) {
     let pool = shared();
-    let mut spawned = pool.spawned.lock().unwrap();
+    let mut spawned = relock(&pool.spawned);
     while *spawned < target.min(MAX_THREADS) {
         let id = *spawned;
         *spawned += 1;
@@ -160,14 +175,14 @@ fn ensure_workers(target: usize) {
 /// Pops a task: own deque from the back, then steal sweep (front of every
 /// other deque in fixed rotation).
 fn pop_any(pool: &Shared, slot: usize) -> Option<Task> {
-    if let Some(t) = pool.deques[slot].lock().unwrap().pop_back() {
+    if let Some(t) = relock(&pool.deques[slot]).pop_back() {
         pool.queued.fetch_sub(1, Ordering::AcqRel);
         return Some(t);
     }
     let n = pool.live_slots.load(Ordering::Acquire).max(slot + 1);
     for off in 1..n {
         let victim = (slot + off) % n;
-        if let Some(t) = pool.deques[victim].lock().unwrap().pop_front() {
+        if let Some(t) = relock(&pool.deques[victim]).pop_front() {
             pool.queued.fetch_sub(1, Ordering::AcqRel);
             return Some(t);
         }
@@ -194,11 +209,14 @@ fn worker_loop(pool: &'static Shared, slot: usize) {
             run_task(task);
             continue;
         }
-        let guard = pool.sleep.lock().unwrap();
+        let guard = relock(&pool.sleep);
         if pool.queued.load(Ordering::Acquire) == 0 {
             // Parking is cheap and wakeups are broadcast; spurious wakes
             // just re-run the steal sweep.
-            let _unused = pool.wake.wait(guard).unwrap();
+            let _unused = pool
+                .wake
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -238,14 +256,14 @@ pub fn run_blocks(n_blocks: usize, f: &(dyn Fn(usize) + Sync)) {
         .fetch_max(active.max(my_slot + 1), Ordering::AcqRel);
     for b in 0..n_blocks {
         let slot = (my_slot + b) % active;
-        pool.deques[slot].lock().unwrap().push_back(Task {
+        relock(&pool.deques[slot]).push_back(Task {
             ctx: &ctx as *const _,
             block: b,
         });
         pool.queued.fetch_add(1, Ordering::AcqRel);
     }
     {
-        let _g = pool.sleep.lock().unwrap();
+        let _g = relock(&pool.sleep);
         pool.wake.notify_all();
     }
 
@@ -299,6 +317,40 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 64);
+        set_threads(1);
+    }
+
+    #[test]
+    fn poisoned_pool_locks_recover() {
+        // Poison the injector deque and the sleep mutex the hard way: a
+        // thread panicking while holding the guard. The pool must shrug —
+        // a poisoned lock on plain queue state is recoverable, and one
+        // stray panic must not cascade into a dead global pool.
+        for poison in [0usize, 1] {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = if poison == 0 {
+                    Some(shared().deques[0].lock().unwrap())
+                } else {
+                    None
+                };
+                let _sleep = if poison == 1 {
+                    Some(shared().sleep.lock().unwrap())
+                } else {
+                    None
+                };
+                panic!("poison it");
+            }));
+        }
+        assert!(shared().deques[0].lock().is_err(), "deque must be poisoned");
+        assert!(shared().sleep.lock().is_err(), "sleep must be poisoned");
+        set_threads(4);
+        let hits: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        run_blocks(hits.len(), &|b| {
+            hits[b].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "block {i}");
+        }
         set_threads(1);
     }
 

@@ -1,0 +1,91 @@
+//! JSON roundtrip property for [`FaultReport`].
+//!
+//! Experiment artifacts persist fault reports as JSON and the determinism
+//! digest hashes the report's rendering, so serialization must be a exact
+//! bijection on the values runs actually produce: every counter and every
+//! finite float must survive `to_string` → `from_str` unchanged.
+
+use bat_faults::FaultReport;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// A finite f64 derived from random bits (JSON has no NaN/inf encoding;
+/// runs only ever report finite rates and durations).
+fn finite_f64(rng: &mut TestRng) -> f64 {
+    let v = f64::from_bits(rng.next_u64());
+    if v.is_finite() {
+        v
+    } else {
+        // Map the mantissa into a plain fraction instead.
+        (rng.next_u64() % 1_000_000) as f64 / 997.0
+    }
+}
+
+fn any_report(rng: &mut TestRng) -> FaultReport {
+    let mut r = FaultReport {
+        crashes: rng.next_u64(),
+        restarts: rng.next_u64(),
+        link_degrades: rng.next_u64(),
+        meta_stalls: rng.next_u64(),
+        invalidated_entries: rng.next_u64(),
+        invalidated_bytes: rng.next_u64(),
+        replica_hits_during_outage: rng.next_u64(),
+        recompute_fallbacks: rng.next_u64(),
+        stall_forced_recomputes: rng.next_u64(),
+        rewarmed_items: rng.next_u64(),
+        meta_crashes: rng.next_u64(),
+        meta_restarts: rng.next_u64(),
+        meta_elections: rng.next_u64(),
+        meta_final_epoch: rng.next_u64(),
+        meta_fenced_appends: rng.next_u64(),
+        meta_snapshot_installs: rng.next_u64(),
+        link_partitions: rng.next_u64(),
+        meta_unreachable_leader_elections: rng.next_u64(),
+        unreachable_kv_fallbacks: rng.next_u64(),
+        slow_links: rng.next_u64(),
+        hedged_pulls: rng.next_u64(),
+        hedge_wins: rng.next_u64(),
+        backoff_retries: rng.next_u64(),
+        brownout_transitions: rng.next_u64(),
+        max_brownout_rung: (rng.next_u64() % 4) as u8,
+        suspended_refreshes: rng.next_u64(),
+        brownout_recomputes: rng.next_u64(),
+        ..FaultReport::default()
+    };
+    r.pre_fault_hit_rate = finite_f64(rng);
+    r.min_hit_rate_after_fault = finite_f64(rng);
+    r.hit_rate_dip = finite_f64(rng);
+    r.time_to_recover_secs = finite_f64(rng);
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fault_report_json_roundtrips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let report = any_report(&mut rng);
+        let json = serde_json::to_string(&report).expect("report serializes");
+        let back: FaultReport = serde_json::from_str(&json).expect("report deserializes");
+        prop_assert_eq!(&back, &report);
+        // Second hop is byte-stable, so artifacts can be re-serialized.
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn quiet_report_omitted_fields_default(seed in 0u64..u64::MAX) {
+        // Old artifacts written before the newer counters existed decode
+        // with those counters zeroed (the `#[serde(default)]` contract).
+        let mut rng = TestRng::from_seed(seed);
+        let report = any_report(&mut rng);
+        let json = serde_json::to_string(&report).unwrap();
+        // Strip one defaulted field from the serialized object entirely.
+        let needle = format!("\"hedged_pulls\":{},", report.hedged_pulls);
+        prop_assume!(json.contains(&needle));
+        let stripped = json.replace(&needle, "");
+        let back: FaultReport = serde_json::from_str(&stripped).expect("defaulted field decodes");
+        prop_assert_eq!(back.hedged_pulls, 0);
+        prop_assert_eq!(back.crashes, report.crashes);
+    }
+}

@@ -1,0 +1,59 @@
+//! JSON roundtrip property for [`SloStats`], plus the invariants the
+//! runtime's conservation assertions lean on after a decode.
+
+use bat_metrics::SloStats;
+use proptest::prelude::*;
+use proptest::TestRng;
+
+fn any_stats(rng: &mut TestRng) -> SloStats {
+    SloStats {
+        submitted: rng.next_u64(),
+        accepted: rng.next_u64(),
+        rejected_queue_full: rng.next_u64(),
+        rejected_infeasible: rng.next_u64(),
+        rejected_brownout: rng.next_u64(),
+        shed_expired: rng.next_u64(),
+        completed: rng.next_u64(),
+        deadline_misses: rng.next_u64(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slo_stats_json_roundtrips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let stats = any_stats(&mut rng);
+        let json = serde_json::to_string(&stats).expect("stats serialize");
+        let back: SloStats = serde_json::from_str(&json).expect("stats deserialize");
+        prop_assert_eq!(&back, &stats);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn derived_metrics_survive_the_roundtrip(seed in 0u64..u64::MAX) {
+        // `rejected()` and friends are derived, not serialized: a decoded
+        // struct must agree with its source on every derived quantity.
+        let mut rng = TestRng::from_seed(seed);
+        // Bound the counters so the sums cannot overflow u64.
+        let mut stats = any_stats(&mut rng);
+        for f in [
+            &mut stats.submitted,
+            &mut stats.accepted,
+            &mut stats.rejected_queue_full,
+            &mut stats.rejected_infeasible,
+            &mut stats.rejected_brownout,
+            &mut stats.shed_expired,
+            &mut stats.deadline_misses,
+        ] {
+            *f %= 1 << 40;
+        }
+        stats.completed = stats.deadline_misses + rng.next_u64() % (1 << 40);
+        let back: SloStats =
+            serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+        prop_assert_eq!(back.rejected(), stats.rejected());
+        prop_assert_eq!(back.goodput(), stats.goodput());
+        prop_assert_eq!(back.conserved(), stats.conserved());
+    }
+}

@@ -1,0 +1,450 @@
+//! The pluggable [`Transport`] abstraction and its deterministic oracle,
+//! [`ChannelTransport`].
+//!
+//! A transport gives the runtime three things: `listen` (bind a named
+//! endpoint), `accept` (wait for a peer), and `connect` (dial one). Both
+//! sides then hold a [`Conn`] — a bidirectional, frame-oriented pipe with
+//! blocking, non-blocking, and bounded-wait receives. The serving runtime
+//! is written against these traits only; whether frames cross a crossbeam
+//! channel, a Unix socket, or a TCP loopback is a construction-time choice.
+//!
+//! `ChannelTransport` is the reference backend: frames move through
+//! in-process crossbeam channels with no byte serialization, so it is
+//! immune to socket-layer bugs by construction. The socket backends must
+//! reproduce its observable behavior bit for bit — that contract is pinned
+//! by the `integration_transport` determinism test.
+
+use crate::error::NetError;
+use crate::frame::Frame;
+use crate::wire::WireCodec;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long `recv_timeout` sleeps between polls. The compat crossbeam
+/// channel has no native timed receive, so bounded waits poll; 50µs keeps
+/// worst-case added latency far below the runtime's virtual-time quanta.
+const POLL_INTERVAL: Duration = Duration::from_micros(50);
+
+/// One bidirectional frame pipe between two peers.
+///
+/// All methods take `&self`: connections are shared across threads (a
+/// dispatcher sending while a reader blocks in `recv`), so implementations
+/// synchronize internally.
+pub trait Conn: Send + Sync {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the peer is gone; socket backends
+    /// may surface other typed I/O failures.
+    fn send(&self, frame: Frame) -> Result<(), NetError>;
+
+    /// Blocks until a frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the peer closed cleanly, or the
+    /// typed decode/I/O error that killed the stream.
+    fn recv(&self) -> Result<Frame, NetError>;
+
+    /// Returns a frame if one is already buffered, `Ok(None)` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] (or the stream's fatal error) once the
+    /// buffer is drained and the peer is gone.
+    fn try_recv(&self) -> Result<Option<Frame>, NetError>;
+
+    /// Waits up to `timeout` for a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline passes, otherwise as
+    /// [`Conn::recv`].
+    fn recv_timeout(&self, timeout: Duration) -> Result<Frame, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(frame) = self.try_recv()? {
+                return Ok(frame);
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout);
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Tears the connection down; pending and future operations on either
+    /// side fail with [`NetError::Disconnected`]. Idempotent.
+    fn close(&self);
+}
+
+/// Encodes and sends a typed message over any connection.
+///
+/// # Errors
+///
+/// As [`Conn::send`].
+pub fn send_msg<M: WireCodec>(conn: &dyn Conn, msg: &M) -> Result<(), NetError> {
+    conn.send(msg.to_frame())
+}
+
+/// Receives and decodes a typed message, rejecting other frame types.
+///
+/// # Errors
+///
+/// As [`Conn::recv`], plus [`NetError::UnknownMsgType`] when the next
+/// frame is not an `M`.
+pub fn recv_msg<M: WireCodec>(conn: &dyn Conn) -> Result<M, NetError> {
+    M::from_frame(&conn.recv()?)
+}
+
+/// A bound endpoint waiting for peers.
+pub trait Listener: Send + Sync {
+    /// Blocks until a peer connects.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Disconnected`] when the listener is closed, or a typed
+    /// I/O failure.
+    fn accept(&self) -> Result<Arc<dyn Conn>, NetError>;
+
+    /// Waits up to `timeout` for a peer.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline passes, otherwise as
+    /// [`Listener::accept`].
+    fn accept_timeout(&self, timeout: Duration) -> Result<Arc<dyn Conn>, NetError>;
+
+    /// The address peers should dial — for socket listeners bound to an
+    /// ephemeral port this differs from the requested address.
+    fn local_addr(&self) -> String;
+}
+
+/// A way of producing connections: the runtime's seam between "what is
+/// sent" and "how it travels".
+pub trait Transport: Send + Sync {
+    /// Binds a named endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidAddress`] on a malformed or already-bound
+    /// address, or a typed I/O failure.
+    fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, NetError>;
+
+    /// Dials a bound endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidAddress`] when nothing is bound there, or a
+    /// typed I/O failure.
+    fn connect(&self, addr: &str) -> Result<Arc<dyn Conn>, NetError>;
+}
+
+// ---------------------------------------------------------------------------
+// Channel backend: the deterministic in-process oracle.
+// ---------------------------------------------------------------------------
+
+/// One direction of the duplex: the receiver side's frame queue plus the
+/// open/closed state of both endpoints, under one lock so a blocked `recv`
+/// can wait on the condvar and be woken by a send *or* either side's close.
+struct Pipe {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+}
+
+struct PipeState {
+    queue: VecDeque<Frame>,
+    /// False once the sending side closed (or dropped): the receiver
+    /// drains buffered frames, then observes the disconnect.
+    sender_open: bool,
+    /// False once the receiving side closed locally: its own blocked
+    /// `recv` wakes immediately, and peer sends start failing.
+    receiver_open: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Pipe> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                sender_open: true,
+                receiver_open: true,
+            }),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// In-process [`Conn`]: two condvar-backed frame queues. `recv` blocks
+/// natively (no polling), which keeps the channel oracle's delivery
+/// latency at thread-wakeup cost — the bar the socket backends are
+/// measured against.
+pub struct ChannelConn {
+    /// The pipe this side receives from.
+    rx: Arc<Pipe>,
+    /// The peer's receive pipe — this side's send target.
+    tx: Arc<Pipe>,
+}
+
+impl ChannelConn {
+    /// Builds both ends of a duplex in-process connection.
+    pub fn pair() -> (Arc<ChannelConn>, Arc<ChannelConn>) {
+        let (ab, ba) = (Pipe::new(), Pipe::new());
+        let a = Arc::new(ChannelConn {
+            rx: Arc::clone(&ba),
+            tx: Arc::clone(&ab),
+        });
+        let b = Arc::new(ChannelConn { rx: ab, tx: ba });
+        (a, b)
+    }
+}
+
+impl Conn for ChannelConn {
+    fn send(&self, frame: Frame) -> Result<(), NetError> {
+        let mut tx = self.tx.lock();
+        if !tx.sender_open || !tx.receiver_open {
+            return Err(NetError::Disconnected);
+        }
+        tx.queue.push_back(frame);
+        drop(tx);
+        self.tx.cond.notify_all();
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Frame, NetError> {
+        let mut rx = self.rx.lock();
+        loop {
+            if let Some(frame) = rx.queue.pop_front() {
+                return Ok(frame);
+            }
+            if !rx.receiver_open || !rx.sender_open {
+                return Err(NetError::Disconnected);
+            }
+            rx = self
+                .rx
+                .cond
+                .wait(rx)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Frame>, NetError> {
+        let mut rx = self.rx.lock();
+        if let Some(frame) = rx.queue.pop_front() {
+            return Ok(Some(frame));
+        }
+        if !rx.receiver_open || !rx.sender_open {
+            return Err(NetError::Disconnected);
+        }
+        Ok(None)
+    }
+
+    fn close(&self) {
+        // Two independent locks, never held together: no ordering hazard.
+        self.rx.lock().receiver_open = false;
+        self.rx.cond.notify_all(); // wake our own blocked recv
+        self.tx.lock().sender_open = false;
+        self.tx.cond.notify_all(); // peer drains, then disconnects
+    }
+}
+
+impl Drop for ChannelConn {
+    /// Dropping an end behaves like closing it, so a peer blocked in
+    /// `recv` never hangs on a connection nobody holds anymore.
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Listener side of a channel endpoint: a queue of freshly paired conns.
+struct ChannelListener {
+    addr: String,
+    incoming: Receiver<Arc<ChannelConn>>,
+}
+
+impl Listener for ChannelListener {
+    fn accept(&self) -> Result<Arc<dyn Conn>, NetError> {
+        self.incoming
+            .recv()
+            .map(|c| c as Arc<dyn Conn>)
+            .map_err(|_| NetError::Disconnected)
+    }
+
+    fn accept_timeout(&self, timeout: Duration) -> Result<Arc<dyn Conn>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.incoming.try_recv() {
+                Ok(c) => return Ok(c as Arc<dyn Conn>),
+                Err(TryRecvError::Disconnected) => return Err(NetError::Disconnected),
+                Err(TryRecvError::Empty) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+/// The in-process channel backend. Each instance owns a private address
+/// namespace — two `ChannelTransport`s cannot see each other's listeners,
+/// which keeps tests hermetic.
+#[derive(Default)]
+pub struct ChannelTransport {
+    registry: Mutex<HashMap<String, Sender<Arc<ChannelConn>>>>,
+}
+
+impl ChannelTransport {
+    /// Creates an empty transport (no bound endpoints).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn listen(&self, addr: &str) -> Result<Box<dyn Listener>, NetError> {
+        if addr.is_empty() {
+            return Err(NetError::InvalidAddress("empty address".into()));
+        }
+        let mut reg = self
+            .registry
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if reg.contains_key(addr) {
+            return Err(NetError::InvalidAddress(format!(
+                "address already bound: {addr}"
+            )));
+        }
+        let (tx, rx) = bounded(64);
+        reg.insert(addr.to_string(), tx);
+        Ok(Box::new(ChannelListener {
+            addr: addr.to_string(),
+            incoming: rx,
+        }))
+    }
+
+    fn connect(&self, addr: &str) -> Result<Arc<dyn Conn>, NetError> {
+        let accept_tx = {
+            let reg = self
+                .registry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            reg.get(addr)
+                .cloned()
+                .ok_or_else(|| NetError::InvalidAddress(format!("nothing bound at {addr}")))?
+        };
+        let (client, server) = ChannelConn::pair();
+        accept_tx.send(server).map_err(|_| NetError::Disconnected)?;
+        Ok(client as Arc<dyn Conn>)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{DispatchMsg, ShutdownMsg};
+
+    #[test]
+    fn pair_carries_frames_both_ways() {
+        let (a, b) = ChannelConn::pair();
+        a.send(Frame::new(1, vec![1])).unwrap();
+        b.send(Frame::new(2, vec![2])).unwrap();
+        assert_eq!(b.recv().unwrap().payload, vec![1]);
+        assert_eq!(a.recv().unwrap().payload, vec![2]);
+        assert_eq!(a.try_recv().unwrap(), None);
+    }
+
+    #[test]
+    fn listen_connect_accept_roundtrip() {
+        let t = ChannelTransport::new();
+        let listener = t.listen("worker-0").unwrap();
+        let client = t.connect("worker-0").unwrap();
+        let server = listener.accept_timeout(Duration::from_secs(1)).unwrap();
+        send_msg(
+            client.as_ref(),
+            &DispatchMsg {
+                seq: 1,
+                arrival_virtual: 0.5,
+                suffix_tokens: 10,
+                service_virtual: 0.01,
+                deadline_rel: None,
+            },
+        )
+        .unwrap();
+        let msg: DispatchMsg = recv_msg(server.as_ref()).unwrap();
+        assert_eq!(msg.seq, 1);
+    }
+
+    #[test]
+    fn double_bind_and_unknown_addr_are_invalid_address() {
+        let t = ChannelTransport::new();
+        let _l = t.listen("x").unwrap();
+        assert!(matches!(t.listen("x"), Err(NetError::InvalidAddress(_))));
+        assert!(matches!(t.connect("y"), Err(NetError::InvalidAddress(_))));
+        assert!(matches!(t.listen(""), Err(NetError::InvalidAddress(_))));
+    }
+
+    #[test]
+    fn transports_are_hermetic_namespaces() {
+        let t1 = ChannelTransport::new();
+        let t2 = ChannelTransport::new();
+        let _l = t1.listen("shared").unwrap();
+        assert!(t2.connect("shared").is_err());
+        let _l2 = t2.listen("shared").unwrap();
+    }
+
+    #[test]
+    fn close_disconnects_both_sides() {
+        let (a, b) = ChannelConn::pair();
+        a.send(Frame::new(1, vec![7])).unwrap();
+        a.close();
+        // Frames sent before the close still drain on the peer, then the
+        // peer — even one blocked in `recv` — observes the disconnect.
+        assert_eq!(b.recv().unwrap().payload, vec![7]);
+        assert_eq!(b.recv().unwrap_err(), NetError::Disconnected);
+        assert_eq!(a.send(Frame::new(1, vec![])), Err(NetError::Disconnected));
+        assert_eq!(a.recv().unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn dropped_peer_surfaces_disconnect() {
+        let (a, b) = ChannelConn::pair();
+        drop(b);
+        assert_eq!(a.recv().unwrap_err(), NetError::Disconnected);
+        assert_eq!(a.send(Frame::new(1, vec![])), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (a, b) = ChannelConn::pair();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            NetError::Timeout
+        );
+        send_msg(b.as_ref(), &ShutdownMsg).unwrap();
+        let frame = a.recv_timeout(Duration::from_millis(200)).unwrap();
+        ShutdownMsg::from_frame(&frame).unwrap();
+    }
+
+    #[test]
+    fn listener_accept_timeout_expires() {
+        let t = ChannelTransport::new();
+        let l = t.listen("quiet").unwrap();
+        assert!(matches!(
+            l.accept_timeout(Duration::from_millis(5)),
+            Err(NetError::Timeout)
+        ));
+    }
+}

@@ -1,24 +1,31 @@
 //! The multi-threaded serving runtime.
 //!
 //! `bat-sim` proves the design in virtual time; this crate runs the same
-//! components on real OS threads, mirroring Figure 3's deployment:
+//! components on real OS threads — and, in `--processes` mode, real OS
+//! processes — mirroring Figure 3's deployment:
 //!
 //! * a **scheduler thread** replays the trace open-loop, drives the shared
 //!   [`bat_sim::RequestPlanner`] (policy decision + cache transactions) and
-//!   dispatches jobs to the least-loaded worker;
-//! * one **inference-worker thread per node** consumes its queue over a
-//!   crossbeam channel, batches opportunistically under the
-//!   max-batched-tokens limit, and "executes" each batch by sleeping the
+//!   dispatches jobs to the least-loaded worker as [`bat_net`] frames over
+//!   a pluggable [`bat_net::Transport`] (in-process channels, Unix domain
+//!   sockets, or TCP — see [`TransportKind`]);
+//! * one **inference worker per node** — a thread or a child process —
+//!   runs [`run_net_worker`]: it batches opportunistically under the
+//!   max-batched-tokens limit and "executes" each batch by sleeping the
 //!   cost model's duration (scaled by [`ServeOptions::time_scale`] so tests
 //!   run in milliseconds);
 //! * the **collector** aggregates completions into the same [`bat_sim::RunStats`]
 //!   the simulator emits.
 //!
 //! Because both stacks share the planner, their cache behavior (hit rates,
-//! prefix decisions, computed tokens) is identical by construction; the
-//! runtime additionally validates the concurrency architecture — channel
-//! backpressure, shared meta-service locking, shutdown.
+//! prefix decisions, computed tokens) is identical by construction — and
+//! identical across transports, which the integration suite pins with
+//! [`bat_sim::RunStats::digest`]. The runtime additionally validates the
+//! concurrency architecture: credit backpressure, exactly-once re-dispatch
+//! across worker kills, shared meta-service locking, orderly shutdown.
 
+pub mod net_worker;
 pub mod runtime;
 
-pub use runtime::{ServeOptions, ServeRuntime};
+pub use net_worker::{maybe_child_worker, run_net_worker, CHILD_INDEX_ENV, CHILD_SOCKET_ENV};
+pub use runtime::{ServeOptions, ServeRuntime, TransportKind};

@@ -1,0 +1,325 @@
+//! The transport-facing inference worker loop.
+//!
+//! One function, [`run_net_worker`], serves a worker's whole life over any
+//! [`Conn`] — in-process channel, in-process socket, or a socket from a
+//! child OS process. The loop speaks the bat-net vocabulary:
+//!
+//! 1. First frame in is a [`HelloMsg`]: worker index, the scheduler's
+//!    virtual clock at send time (the worker's clock base), and the
+//!    batching/cost parameters.
+//! 2. [`DispatchMsg`] frames are batched opportunistically under the
+//!    max-batched-tokens limit, swept for expired deadlines (expired
+//!    entries complete as `Shed` without being paid for), "executed" by
+//!    sleeping the priced duration, and answered with [`CompletionMsg`]s.
+//! 3. A worker whose `alive` flag is lowered (in-process fault injection)
+//!    bounces every dispatch back as an [`OrphanMsg`] instead of serving
+//!    it — the scheduler re-dispatches; work is never dropped. Child
+//!    processes don't need the flag: their crash *is* the process kill,
+//!    and the parent re-issues whatever they never acknowledged.
+//! 4. A [`ShutdownMsg`] — or the peer disconnecting — ends the loop.
+//!
+//! [`maybe_child_worker`] is the child-process entry point: binaries (and
+//! the integration test) call it first thing in `main`; when the
+//! `BAT_NET_WORKER_SOCKET` environment variable is set the process
+//! connects back to the parent, serves until shutdown, and exits without
+//! ever returning to the caller.
+
+use bat_net::{
+    CompletionMsg, Conn, DispatchMsg, HelloMsg, NetError, OrphanMsg, WireCodec, WireOutcome,
+    MSG_DISPATCH, MSG_HELLO, MSG_SHUTDOWN,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Environment variable carrying the parent's Unix-socket path; its
+/// presence turns the process into a worker (see [`maybe_child_worker`]).
+pub const CHILD_SOCKET_ENV: &str = "BAT_NET_WORKER_SOCKET";
+
+/// Environment variable carrying the worker index, for diagnostics.
+pub const CHILD_INDEX_ENV: &str = "BAT_NET_WORKER_INDEX";
+
+/// Serves one worker's lifetime over `conn`.
+///
+/// `alive` is the in-process fault-injection flag: while it reads `false`
+/// the worker bounces dispatches back as orphans instead of serving them.
+/// Child processes pass `None` — their failure mode is the real one.
+///
+/// Returns `Ok(())` on orderly shutdown *or* peer disconnect (at the end
+/// of a run the scheduler may simply drop its end).
+///
+/// # Errors
+///
+/// Propagates protocol violations — a non-hello first frame, undecodable
+/// payloads, unexpected frame types — as typed [`NetError`]s.
+pub fn run_net_worker(conn: &dyn Conn, alive: Option<&AtomicBool>) -> Result<(), NetError> {
+    let first = match conn.recv() {
+        Ok(frame) => frame,
+        Err(NetError::Disconnected) => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    if first.msg_type != MSG_HELLO {
+        return Err(NetError::UnknownMsgType(first.msg_type));
+    }
+    let hello = HelloMsg::from_frame(&first)?;
+    let base = Instant::now();
+    // The worker's virtual clock: the scheduler's clock at hello time plus
+    // locally elapsed scaled time. Skew is one frame's delivery latency.
+    let vnow = move || hello.virtual_now + base.elapsed().as_secs_f64() / hello.scale;
+    let is_killed = || alive.is_some_and(|a| !a.load(Ordering::Acquire));
+
+    loop {
+        let frame = match conn.recv() {
+            Ok(frame) => frame,
+            Err(NetError::Disconnected) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let first = match frame.msg_type {
+            MSG_SHUTDOWN => return Ok(()),
+            MSG_DISPATCH => DispatchMsg::from_frame(&frame)?,
+            other => return Err(NetError::UnknownMsgType(other)),
+        };
+        if is_killed() {
+            // Crashed (in-process injection): hand the job straight back.
+            conn.send(
+                OrphanMsg {
+                    worker: hello.worker,
+                    item: first,
+                }
+                .to_frame(),
+            )?;
+            continue;
+        }
+        // Opportunistic batching under max-batched-tokens.
+        let mut batch = vec![first];
+        let mut tokens = batch[0].suffix_tokens;
+        let mut shutdown_after_batch = false;
+        while tokens < hello.max_batch_tokens {
+            match conn.try_recv()? {
+                Some(f) if f.msg_type == MSG_DISPATCH => {
+                    let item = DispatchMsg::from_frame(&f)?;
+                    tokens += item.suffix_tokens;
+                    batch.push(item);
+                }
+                Some(f) if f.msg_type == MSG_SHUTDOWN => {
+                    shutdown_after_batch = true;
+                    break;
+                }
+                Some(f) => return Err(NetError::UnknownMsgType(f.msg_type)),
+                None => break,
+            }
+        }
+        // Deadline sweep: expired entries are shed before the batch pays
+        // for them — serving dead work would only delay live work.
+        let sweep_now = vnow();
+        let mut served = Vec::with_capacity(batch.len());
+        for item in batch {
+            let expired = item
+                .deadline_rel
+                .is_some_and(|d| sweep_now - item.arrival_virtual > d);
+            if expired {
+                conn.send(
+                    CompletionMsg {
+                        worker: hello.worker,
+                        seq: item.seq,
+                        suffix_tokens: item.suffix_tokens,
+                        outcome: WireOutcome::Shed,
+                    }
+                    .to_frame(),
+                )?;
+            } else {
+                served.push(item);
+            }
+        }
+        if !served.is_empty() {
+            let service: f64 = (hello.batch_overhead
+                + served.iter().map(|j| j.service_virtual).sum::<f64>())
+                * hello.slowdown;
+            thread::sleep(Duration::from_secs_f64(service * hello.scale));
+            let now = vnow();
+            for job in served {
+                // A job can never complete before it arrived; clamp out
+                // cross-thread clock jitter.
+                let latency = (now - job.arrival_virtual).max(0.0);
+                conn.send(
+                    CompletionMsg {
+                        worker: hello.worker,
+                        seq: job.seq,
+                        suffix_tokens: job.suffix_tokens,
+                        outcome: WireOutcome::Completed {
+                            latency_virtual: latency,
+                            missed: job.deadline_rel.is_some_and(|d| latency > d),
+                        },
+                    }
+                    .to_frame(),
+                )?;
+            }
+        }
+        if shutdown_after_batch {
+            return Ok(());
+        }
+    }
+}
+
+/// Child-process entry point. Call this first thing in `main` (and in the
+/// integration test function re-entered by a spawned test binary): when
+/// [`CHILD_SOCKET_ENV`] is set, the process connects back to the parent
+/// over that Unix socket, serves as a worker, and **exits** — it never
+/// returns to the caller. When the variable is absent this is a no-op.
+pub fn maybe_child_worker() {
+    let Ok(path) = std::env::var(CHILD_SOCKET_ENV) else {
+        return;
+    };
+    #[cfg(unix)]
+    {
+        use bat_net::{Transport, UdsTransport};
+        let code = match UdsTransport::new().connect(&path) {
+            Ok(conn) => match run_net_worker(conn.as_ref(), None) {
+                Ok(()) => 0,
+                Err(e) => {
+                    eprintln!("bat-net child worker: {e}");
+                    1
+                }
+            },
+            Err(e) => {
+                eprintln!("bat-net child worker: connect {path}: {e}");
+                1
+            }
+        };
+        std::process::exit(code);
+    }
+    #[cfg(not(unix))]
+    {
+        eprintln!("bat-net child worker requested on a non-unix platform ({path})");
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bat_net::{ChannelConn, ShutdownMsg};
+
+    fn hello(scale: f64, max_batch_tokens: u64) -> HelloMsg {
+        HelloMsg {
+            worker: 0,
+            scale,
+            virtual_now: 0.0,
+            max_batch_tokens,
+            batch_overhead: 0.0,
+            slowdown: 1.0,
+        }
+    }
+
+    #[test]
+    fn serves_dispatches_until_shutdown() {
+        let (parent, worker) = ChannelConn::pair();
+        let handle = thread::spawn(move || run_net_worker(worker.as_ref(), None));
+        parent.send(hello(1e-4, 1000).to_frame()).unwrap();
+        for seq in 0..3u64 {
+            parent
+                .send(
+                    DispatchMsg {
+                        seq,
+                        arrival_virtual: 0.0,
+                        suffix_tokens: 10,
+                        service_virtual: 0.001,
+                        deadline_rel: None,
+                    }
+                    .to_frame(),
+                )
+                .unwrap();
+        }
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let c = CompletionMsg::from_frame(&parent.recv().unwrap()).unwrap();
+            assert!(matches!(c.outcome, WireOutcome::Completed { .. }));
+            seen.push(c.seq);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        parent.send(ShutdownMsg.to_frame()).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn killed_worker_bounces_orphans() {
+        let (parent, worker) = ChannelConn::pair();
+        let alive = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&alive);
+        let handle = thread::spawn(move || run_net_worker(worker.as_ref(), Some(&flag)));
+        parent.send(hello(1e-4, 1000).to_frame()).unwrap();
+        let d = DispatchMsg {
+            seq: 9,
+            arrival_virtual: 0.5,
+            suffix_tokens: 64,
+            service_virtual: 0.001,
+            deadline_rel: None,
+        };
+        parent.send(d.to_frame()).unwrap();
+        let o = OrphanMsg::from_frame(&parent.recv().unwrap()).unwrap();
+        assert_eq!(o.item, d);
+        // Restart: the same worker loop serves again.
+        alive.store(true, Ordering::Release);
+        parent.send(d.to_frame()).unwrap();
+        let c = CompletionMsg::from_frame(&parent.recv().unwrap()).unwrap();
+        assert_eq!(c.seq, 9);
+        parent.send(ShutdownMsg.to_frame()).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed() {
+        let (parent, worker) = ChannelConn::pair();
+        let handle = thread::spawn(move || run_net_worker(worker.as_ref(), None));
+        // Clock base 10.0: a job that arrived at 0.0 with a 1-second
+        // deadline is already expired on receipt.
+        parent
+            .send(
+                HelloMsg {
+                    virtual_now: 10.0,
+                    ..hello(1e-4, 1000)
+                }
+                .to_frame(),
+            )
+            .unwrap();
+        parent
+            .send(
+                DispatchMsg {
+                    seq: 1,
+                    arrival_virtual: 0.0,
+                    suffix_tokens: 10,
+                    service_virtual: 0.001,
+                    deadline_rel: Some(1.0),
+                }
+                .to_frame(),
+            )
+            .unwrap();
+        let c = CompletionMsg::from_frame(&parent.recv().unwrap()).unwrap();
+        assert_eq!(c.outcome, WireOutcome::Shed);
+        parent.close();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn non_hello_first_frame_is_a_typed_error() {
+        let (parent, worker) = ChannelConn::pair();
+        let handle = thread::spawn(move || run_net_worker(worker.as_ref(), None));
+        parent
+            .send(
+                DispatchMsg {
+                    seq: 0,
+                    arrival_virtual: 0.0,
+                    suffix_tokens: 1,
+                    service_virtual: 0.0,
+                    deadline_rel: None,
+                }
+                .to_frame(),
+            )
+            .unwrap();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(NetError::UnknownMsgType(bat_net::MSG_DISPATCH))
+        ));
+    }
+}

@@ -1,24 +1,69 @@
-//! Threaded serving runtime implementation.
+//! Threaded serving runtime over the pluggable transport layer.
+//!
+//! The scheduler, workers, and collector are wired through [`bat_net`]'s
+//! [`Transport`] trait: every dispatch, completion, orphan bounce, and
+//! shutdown crosses a [`Conn`] as an encoded frame. The backend is a
+//! construction-time choice ([`TransportKind`]):
+//!
+//! * **Channel** — in-process crossbeam channels, the deterministic
+//!   oracle. No byte serialization, no sockets; immune to transport bugs
+//!   by construction.
+//! * **Uds / Tcp** — the same frames over real OS sockets. With
+//!   [`ServeOptions::processes`], workers run as **child OS processes**
+//!   connected over Unix domain sockets: a worker crash is a process
+//!   kill, and a rejoin is a fresh process accepted on the same listener.
+//!
+//! The scheduler plans on *nominal* arrival times with the shared
+//! [`bat_sim::RequestPlanner`], so every planner-side statistic —
+//! token accounting, admission decisions, the fault report — is identical
+//! across backends for the same seeded trace; the integration suite pins
+//! [`RunStats::digest`] equality between the channel oracle and each
+//! socket path, including under worker-kill fault schedules.
+//!
+//! Exactly-once delivery across crashes: the parent records every
+//! dispatched frame in a per-link un-acknowledged map tagged with the
+//! link's connection incarnation. A completion or orphan bounce retires
+//! the entry; a link going down requeues every entry of that incarnation
+//! for re-dispatch. Work is never dropped and never double-served.
 
+use crate::net_worker::{run_net_worker, CHILD_INDEX_ENV, CHILD_SOCKET_ENV};
 use bat_metrics::{Percentiles, SloStats};
+use bat_net::{
+    ChannelTransport, CompletionMsg, Conn, DispatchMsg, HelloMsg, Listener, OrphanMsg, ShutdownMsg,
+    TcpTransport, Transport, WireCodec, WireOutcome, MSG_COMPLETION, MSG_ORPHAN,
+};
 use bat_sim::{EngineConfig, FaultKind, OverloadController, RequestPlanner, RunStats};
 use bat_types::{BatError, Bytes, RankRequest, RejectReason};
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// Which transport backend carries frames between scheduler and workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels — the deterministic oracle.
+    #[default]
+    Channel,
+    /// Unix domain sockets (unix only). Required for
+    /// [`ServeOptions::processes`].
+    Uds,
+    /// Loopback TCP sockets.
+    Tcp,
+}
+
 /// Options of the threaded runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Wall-clock seconds per simulated second. `1e-3` compresses a
     /// 60-second trace into 60 ms of real sleeping (plus scheduling
     /// overhead); `1.0` runs in real time.
     pub time_scale: f64,
-    /// Per-worker channel depth; the scheduler blocks when a worker's
-    /// queue is full (backpressure).
+    /// Per-worker dispatch credit: the scheduler stops sending to a worker
+    /// holding this many unfinished jobs (backpressure).
     pub queue_depth: usize,
     /// Failure injection: slow worker `index` down by `factor` (a GPU
     /// throttling or a noisy neighbor). The least-loaded dispatcher must
@@ -26,6 +71,18 @@ pub struct ServeOptions {
     /// config's [`EngineConfig::straggler`] applies instead, so one config
     /// drives both execution paths.
     pub straggler: Option<(usize, f64)>,
+    /// Which backend carries the frames.
+    pub transport: TransportKind,
+    /// Run each worker as a child OS process connected over a Unix domain
+    /// socket (requires [`TransportKind::Uds`]). The child re-executes the
+    /// current binary with [`ServeOptions::child_args`]; the entry path
+    /// must call [`crate::maybe_child_worker`] before doing anything else.
+    pub processes: bool,
+    /// Arguments passed to the re-executed binary in `processes` mode.
+    /// For a `cargo test` binary this is
+    /// `[test_fn_name, "--exact", "--test-threads=1", "--quiet"]`, which
+    /// re-enters the very test function that spawned the child.
+    pub child_args: Vec<String>,
 }
 
 impl Default for ServeOptions {
@@ -34,164 +91,127 @@ impl Default for ServeOptions {
             time_scale: 1e-3,
             queue_depth: 1024,
             straggler: None,
+            transport: TransportKind::Channel,
+            processes: false,
+            child_args: Vec::new(),
         }
     }
 }
 
-/// A dispatched job: priced durations plus accounting, in virtual seconds.
-#[derive(Debug, Clone)]
-struct WorkItem {
-    arrival_virtual: f64,
-    suffix_tokens: u64,
-    service_virtual: f64,
-    /// Completion deadline relative to arrival, virtual seconds. `None`
-    /// when the request is best-effort or the control plane is off.
-    deadline_rel: Option<f64>,
+/// How long setup waits for a spawned worker (thread or process) to
+/// connect back, and a restarted child to rejoin.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Everything the parent tracks about one worker link.
+struct Link {
+    /// Connection incarnation + current conn, swapped together under one
+    /// lock so an un-acknowledged entry is always tagged with the
+    /// incarnation of the conn its frame was actually sent on.
+    conn: Mutex<(u64, Option<Arc<dyn Conn>>)>,
+    /// Suffix tokens dispatched but not yet finished — the least-loaded
+    /// dispatch weight.
+    queued: AtomicU64,
+    /// Jobs dispatched but not yet finished on this link (backpressure
+    /// credit).
+    inflight: AtomicU64,
+    /// Liveness, flipped by the fault supervisor (in-process: shared with
+    /// the worker thread, which bounces work while false) and by the
+    /// collector when a link drops unexpectedly.
+    alive: Arc<AtomicBool>,
+    /// Dispatched-but-unfinished frames, `seq → (incarnation, msg)`;
+    /// requeued when incarnation `≤` a dead conn's.
+    unacked: Mutex<HashMap<u64, (u64, DispatchMsg)>>,
+    /// The worker's OS process, in `processes` mode.
+    child: Mutex<Option<std::process::Child>>,
 }
 
-/// The terminal outcome of one submitted request. Exactly one of these is
-/// delivered per trace entry — `submitted == completed + shed + rejected`
-/// is the conservation law the proptest asserts.
-#[derive(Debug)]
-enum Completion {
-    /// Served; `missed` when the deadline had already passed.
-    Completed { latency_virtual: f64, missed: bool },
-    /// Admitted, then swept from a worker queue after its deadline expired
-    /// ([`BatError::DeadlineExceeded`]).
-    Shed,
-    /// Refused at admission ([`BatError::Rejected`]).
+impl Link {
+    fn new() -> Self {
+        Link {
+            conn: Mutex::new((0, None)),
+            queued: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            alive: Arc::new(AtomicBool::new(true)),
+            unacked: Mutex::new(HashMap::new()),
+            child: Mutex::new(None),
+        }
+    }
+
+    /// Snapshot of `(incarnation, conn)` for a send.
+    fn current(&self) -> (u64, Option<Arc<dyn Conn>>) {
+        let g = self.conn.lock();
+        (g.0, g.1.clone())
+    }
+}
+
+/// What the collector consumes: everything that changes per-link
+/// accounting funnels through this one channel, so the collector is the
+/// single writer for retirement bookkeeping.
+enum Event {
+    /// A worker finished (served or shed) a job.
+    Done(CompletionMsg),
+    /// A crashed in-process worker bounced a job back unserved.
+    Orphan(OrphanMsg),
+    /// A link's connection died; requeue that incarnation's unacked work.
+    Down { worker: usize, incarnation: u64 },
+    /// The scheduler refused a request at admission.
     Rejected(RejectReason),
 }
 
-/// Queue-side deadline check: the typed shed outcome for an expired entry.
-///
-/// # Errors
-///
-/// Returns [`BatError::DeadlineExceeded`] when the entry's deadline passed
-/// while it sat in the queue.
-fn deadline_check(item: &WorkItem, now_virtual: f64) -> Result<(), BatError> {
-    match item.deadline_rel {
-        Some(d) if now_virtual - item.arrival_virtual > d => Err(BatError::DeadlineExceeded),
-        _ => Ok(()),
-    }
-}
-
-/// Everything one worker-thread incarnation needs. Cloneable so the fault
-/// supervisor can respawn a worker (fresh thread, same queue) after a
-/// scheduled restart.
-#[derive(Clone)]
-struct WorkerCtx {
-    rx: Receiver<WorkItem>,
-    done_tx: Sender<Completion>,
-    /// Dead-letter queue: work found in a killed worker's channel is
-    /// forwarded here and redispatched by the scheduler — requests are
-    /// never dropped.
-    orphan_tx: Sender<WorkItem>,
-    queued: Arc<AtomicU64>,
-    /// Liveness flag flipped by the fault supervisor. The thread exits
-    /// when it observes `false`.
-    alive: Arc<AtomicBool>,
-    /// Jobs dispatched but not yet completed, across all workers.
-    outstanding: Arc<AtomicU64>,
-    slowdown: f64,
-}
-
-/// Timing parameters shared by every worker incarnation.
-#[derive(Clone, Copy)]
-struct WorkerParams {
-    scale: f64,
-    max_batch_tokens: u64,
-    batch_overhead: f64,
-    start: Instant,
-}
-
-/// One worker-thread incarnation: drain the queue, batching
-/// opportunistically, until the channel closes or the supervisor kills it.
-fn run_worker(ctx: &WorkerCtx, p: WorkerParams) {
-    while let Ok(first) = ctx.rx.recv() {
-        if !ctx.alive.load(Ordering::Acquire) {
-            // Killed while blocked on the queue: hand the item back to the
-            // scheduler and exit.
-            ctx.queued.fetch_sub(first.suffix_tokens, Ordering::Relaxed);
-            let _ = ctx.orphan_tx.send(first);
-            break;
-        }
-        // Opportunistic batching under max-batched-tokens.
-        let mut batch = vec![first];
-        let mut tokens = batch[0].suffix_tokens;
-        while tokens < p.max_batch_tokens {
-            match ctx.rx.try_recv() {
-                Ok(item) => {
-                    tokens += item.suffix_tokens;
-                    batch.push(item);
-                }
-                Err(_) => break,
-            }
-        }
-        // Deadline sweep: expired entries are shed before the batch pays
-        // for them — serving dead work would only delay live work.
-        let sweep_now = p.start.elapsed().as_secs_f64() / p.scale;
-        let mut served = Vec::with_capacity(batch.len());
-        for item in batch {
-            match deadline_check(&item, sweep_now) {
-                Err(BatError::DeadlineExceeded) => {
-                    ctx.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
-                    ctx.done_tx
-                        .send(Completion::Shed)
-                        .expect("collector outlives workers");
-                    ctx.outstanding.fetch_sub(1, Ordering::Release);
-                }
-                _ => served.push(item),
-            }
-        }
-        if served.is_empty() {
-            if !ctx.alive.load(Ordering::Acquire) {
-                break;
-            }
-            continue;
-        }
-        let service: f64 = (p.batch_overhead
-            + served.iter().map(|j| j.service_virtual).sum::<f64>())
-            * ctx.slowdown;
-        thread::sleep(Duration::from_secs_f64(service * p.scale));
-        let now = p.start.elapsed().as_secs_f64() / p.scale;
-        for job in served {
-            ctx.queued.fetch_sub(job.suffix_tokens, Ordering::Relaxed);
-            // A job can never complete before it arrived; clamp out
-            // scheduler-thread jitter.
-            let latency = (now - job.arrival_virtual).max(0.0);
-            ctx.done_tx
-                .send(Completion::Completed {
-                    latency_virtual: latency,
-                    missed: job.deadline_rel.is_some_and(|d| latency > d),
-                })
-                .expect("collector outlives workers");
-            ctx.outstanding.fetch_sub(1, Ordering::Release);
-        }
-        if !ctx.alive.load(Ordering::Acquire) {
-            // Killed mid-batch: the in-flight responses were already
-            // computed and delivered; exit now.
-            break;
-        }
-    }
-}
-
-/// Tombstone drainer for a killed worker: forwards anything still in (or
-/// later sent to) its queue to the dead-letter channel, until the worker is
-/// restarted or the run ends.
-fn drain_dead_worker(ctx: &WorkerCtx) {
-    while !ctx.alive.load(Ordering::Acquire) {
-        match ctx.rx.try_recv() {
-            Ok(item) => {
-                ctx.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
-                if ctx.orphan_tx.send(item).is_err() {
+/// Reads one connection until it dies, forwarding worker frames to the
+/// collector. Stream order guarantees completions sent before a crash are
+/// processed before the crash's `Down`.
+fn run_reader(conn: Arc<dyn Conn>, worker: usize, incarnation: u64, events: Sender<Event>) {
+    loop {
+        let event = match conn.recv() {
+            Ok(frame) => match frame.msg_type {
+                MSG_COMPLETION => CompletionMsg::from_frame(&frame).map(Event::Done),
+                MSG_ORPHAN => OrphanMsg::from_frame(&frame).map(Event::Orphan),
+                other => Err(bat_net::NetError::UnknownMsgType(other)),
+            },
+            Err(e) => Err(e),
+        };
+        match event {
+            Ok(event) => {
+                if events.send(event).is_err() {
                     return;
                 }
             }
-            Err(TryRecvError::Empty) => thread::sleep(Duration::from_micros(200)),
-            Err(TryRecvError::Disconnected) => return,
+            Err(_) => {
+                // Disconnect or protocol violation: either way this conn
+                // is done; the collector requeues its unfinished work.
+                let _ = events.send(Event::Down {
+                    worker,
+                    incarnation,
+                });
+                return;
+            }
         }
     }
+}
+
+/// Spawns one child worker process re-executing the current binary.
+fn spawn_child(
+    child_args: &[String],
+    socket: &str,
+    index: usize,
+) -> std::io::Result<std::process::Child> {
+    let exe = std::env::current_exe()?;
+    std::process::Command::new(exe)
+        .args(child_args)
+        .env(CHILD_SOCKET_ENV, socket)
+        .env(CHILD_INDEX_ENV, index.to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+}
+
+/// Monotonic tag making concurrent runs' socket paths unique within one
+/// parent process.
+fn next_run_tag() -> u64 {
+    static TAG: AtomicU64 = AtomicU64::new(0);
+    TAG.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The threaded serving runtime.
@@ -227,7 +247,10 @@ impl ServeRuntime {
     /// # Errors
     ///
     /// Propagates [`EngineConfig::validate`] failures, and rejects
-    /// non-positive time scales.
+    /// non-positive time scales, zero queue depths, out-of-range straggler
+    /// options, and transport combinations this platform cannot run
+    /// (`processes` without [`TransportKind::Uds`]; any socket backend
+    /// requirement the OS lacks).
     pub fn new(cfg: EngineConfig, opts: ServeOptions) -> Result<Self, BatError> {
         cfg.validate()?;
         if opts.time_scale <= 0.0 || !opts.time_scale.is_finite() {
@@ -252,6 +275,16 @@ impl ServeRuntime {
                 ));
             }
         }
+        if opts.processes && opts.transport != TransportKind::Uds {
+            return Err(BatError::InvalidConfig(
+                "worker processes require the Uds transport".to_owned(),
+            ));
+        }
+        if cfg!(not(unix)) && opts.transport == TransportKind::Uds {
+            return Err(BatError::InvalidConfig(
+                "Uds transport requires a unix platform".to_owned(),
+            ));
+        }
         Ok(ServeRuntime { cfg, opts })
     }
 
@@ -260,11 +293,40 @@ impl ServeRuntime {
         &self.cfg
     }
 
+    /// Builds the configured transport backend.
+    fn transport(&self) -> Arc<dyn Transport> {
+        match self.opts.transport {
+            TransportKind::Channel => Arc::new(ChannelTransport::new()),
+            TransportKind::Tcp => Arc::new(TcpTransport::new()),
+            #[cfg(unix)]
+            TransportKind::Uds => Arc::new(bat_net::UdsTransport::new()),
+            #[cfg(not(unix))]
+            TransportKind::Uds => unreachable!("rejected by ServeRuntime::new"),
+        }
+    }
+
+    /// The listen address for worker `w` on the configured backend.
+    fn listen_addr(&self, run_tag: u64, w: usize) -> String {
+        match self.opts.transport {
+            TransportKind::Channel => format!("worker-{w}"),
+            TransportKind::Tcp => "127.0.0.1:0".to_owned(),
+            TransportKind::Uds => std::env::temp_dir()
+                .join(format!(
+                    "bat-serve-{}-{run_tag}-{w}.sock",
+                    std::process::id()
+                ))
+                .to_string_lossy()
+                .into_owned(),
+        }
+    }
+
     /// Serves a trace to completion and returns aggregate statistics.
     ///
     /// # Panics
     ///
-    /// Panics if the trace is not sorted by arrival time.
+    /// Panics if the trace is not sorted by arrival time, or if a worker
+    /// fails to connect during setup.
+    #[allow(clippy::too_many_lines)]
     pub fn serve(&self, trace: &[RankRequest]) -> RunStats {
         for w in trace.windows(2) {
             assert!(
@@ -277,12 +339,6 @@ impl ServeRuntime {
         let schedule = self.cfg.faults.clone();
 
         let planner = Mutex::new(RequestPlanner::from_config(&self.cfg));
-        let queued_tokens: Vec<Arc<AtomicU64>> = (0..n_workers)
-            .map(|_| Arc::new(AtomicU64::new(0)))
-            .collect();
-        let alive: Vec<Arc<AtomicBool>> = (0..n_workers)
-            .map(|_| Arc::new(AtomicBool::new(true)))
-            .collect();
         let outstanding = Arc::new(AtomicU64::new(0));
         // True once every scheduled fault has been delivered (immediately,
         // when there is no schedule).
@@ -290,26 +346,25 @@ impl ServeRuntime {
             schedule.as_ref().is_none_or(|s| s.is_empty()),
         ));
 
-        let mut worker_txs: Vec<Sender<WorkItem>> = Vec::with_capacity(n_workers);
-        let mut worker_rxs: Vec<Receiver<WorkItem>> = Vec::with_capacity(n_workers);
-        for _ in 0..n_workers {
-            let (tx, rx) = bounded::<WorkItem>(self.opts.queue_depth);
-            worker_txs.push(tx);
-            worker_rxs.push(rx);
+        // Bind every worker's endpoint up front; listeners stay alive for
+        // the whole run so restarted child processes can rejoin.
+        let transport = self.transport();
+        let run_tag = next_run_tag();
+        let mut listeners: Vec<Box<dyn Listener>> = Vec::with_capacity(n_workers);
+        let mut dial_addrs: Vec<String> = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let listener = transport
+                .listen(&self.listen_addr(run_tag, w))
+                .expect("transport endpoint binds");
+            dial_addrs.push(listener.local_addr());
+            listeners.push(listener);
         }
-        // Exactly one terminal event per submitted request, so the channel
-        // is sized from the submitted work itself — a depth derived from
-        // queue_depth * n_workers deadlocks the moment a burst outruns it.
-        let (done_tx, done_rx) = bounded::<Completion>(trace.len().max(1));
-        let (orphan_tx, orphan_rx) = unbounded::<WorkItem>();
 
-        let params = WorkerParams {
-            scale,
-            max_batch_tokens: self.cfg.cluster.max_batched_tokens as u64,
-            batch_overhead: self.cfg.batch_overhead_secs,
-            start: Instant::now(),
-        };
-        let start = params.start;
+        let links: Vec<Link> = (0..n_workers).map(|_| Link::new()).collect();
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let (orphan_tx, orphan_rx) = unbounded::<DispatchMsg>();
+
+        let start = Instant::now();
         let virtual_now = move || start.elapsed().as_secs_f64() / scale;
 
         // One straggler knob for both execution paths: explicit runtime
@@ -319,42 +374,69 @@ impl ServeRuntime {
             Some((idx, factor)) if idx == w => factor,
             _ => 1.0,
         };
-        let worker_ctx: Vec<WorkerCtx> = (0..n_workers)
-            .map(|w| WorkerCtx {
-                rx: worker_rxs[w].clone(),
-                done_tx: done_tx.clone(),
-                orphan_tx: orphan_tx.clone(),
-                queued: Arc::clone(&queued_tokens[w]),
-                alive: Arc::clone(&alive[w]),
-                outstanding: Arc::clone(&outstanding),
-                slowdown: straggler_factor(w),
-            })
-            .collect();
-        // The scheduler delivers the terminal event for rejected arrivals
-        // itself (they never reach a worker).
-        let sched_done_tx = done_tx.clone();
-        drop(worker_rxs);
-        drop(done_tx);
-        drop(orphan_tx);
+        let max_batch_tokens = self.cfg.cluster.max_batched_tokens as u64;
+        let batch_overhead = self.cfg.batch_overhead_secs;
+        let hello = move |w: usize, vnow: f64| HelloMsg {
+            worker: w as u32,
+            scale,
+            virtual_now: vnow,
+            max_batch_tokens,
+            batch_overhead,
+            slowdown: straggler_factor(w),
+        };
 
         // Shared accounting filled by the scheduler thread.
         let totals = Mutex::new(SchedTotals::default());
 
         let stats = thread::scope(|scope| {
-            // Inference workers: drain their queue, batching opportunistically.
-            for ctx in &worker_ctx {
-                let ctx = ctx.clone();
-                scope.spawn(move || run_worker(&ctx, params));
+            // Start every worker: a child process dialing back over UDS,
+            // or an in-process thread running the identical loop over the
+            // configured transport.
+            for (w, link) in links.iter().enumerate() {
+                if self.opts.processes {
+                    let child = spawn_child(&self.opts.child_args, &dial_addrs[w], w)
+                        .expect("child worker spawns");
+                    *link.child.lock() = Some(child);
+                } else {
+                    let addr = dial_addrs[w].clone();
+                    let alive = Arc::clone(&link.alive);
+                    let transport = Arc::clone(&transport);
+                    scope.spawn(move || match transport.connect(&addr) {
+                        Ok(conn) => {
+                            if let Err(e) = run_net_worker(conn.as_ref(), Some(&alive)) {
+                                eprintln!("worker {w}: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("worker {w}: connect {addr}: {e}"),
+                    });
+                }
+            }
+            // Accept each worker, handshake, and attach its reader.
+            for (w, link) in links.iter().enumerate() {
+                let conn = listeners[w]
+                    .accept_timeout(ACCEPT_TIMEOUT)
+                    .expect("worker connects back during setup");
+                conn.send(hello(w, virtual_now()).to_frame())
+                    .expect("worker accepts hello");
+                *link.conn.lock() = (0, Some(Arc::clone(&conn)));
+                let events = event_tx.clone();
+                scope.spawn(move || run_reader(conn, w, 0, events));
             }
 
             // Fault supervisor: walks the schedule in scaled wall-clock
-            // time, killing and respawning real worker threads. The cache
+            // time, making failures physically real — killing worker
+            // threads (via their liveness flag) or child processes (via
+            // SIGKILL), and wiring restarted workers back in. The cache
             // accounting of each fault lives in the planner (driven by
-            // nominal request arrivals); this thread only makes the failure
-            // physically real.
+            // nominal request arrivals); this thread only breaks things.
             if let Some(schedule) = schedule.clone() {
-                let ctxs = worker_ctx.clone();
+                let links_ref = &links;
+                let listeners_ref = &listeners;
                 let done_flag = Arc::clone(&supervisor_done);
+                let events = event_tx.clone();
+                let processes = self.opts.processes;
+                let child_args = self.opts.child_args.clone();
+                let dial = dial_addrs.clone();
                 scope.spawn(move || {
                     for event in schedule.events() {
                         let target = event.at_secs * scale;
@@ -367,16 +449,65 @@ impl ServeRuntime {
                         }
                         match event.kind {
                             FaultKind::WorkerCrash(w) => {
-                                let ctx = ctxs[w.index()].clone();
-                                ctx.alive.store(false, Ordering::Release);
-                                // Tombstone drainer: bounce queued work back
-                                // to the scheduler while the worker is down.
-                                scope.spawn(move || drain_dead_worker(&ctx));
+                                let link = &links_ref[w.index()];
+                                link.alive.store(false, Ordering::Release);
+                                if processes {
+                                    // Real crash: SIGKILL. The link's
+                                    // reader observes the disconnect and
+                                    // the collector requeues whatever the
+                                    // child never finished.
+                                    if let Some(mut child) = link.child.lock().take() {
+                                        let _ = child.kill();
+                                        let _ = child.wait();
+                                    }
+                                }
+                                // In-process workers bounce dispatches as
+                                // orphans while their flag is down.
                             }
                             FaultKind::WorkerRestart(w) => {
-                                let ctx = ctxs[w.index()].clone();
-                                ctx.alive.store(true, Ordering::Release);
-                                scope.spawn(move || run_worker(&ctx, params));
+                                let w = w.index();
+                                let link = &links_ref[w];
+                                if processes {
+                                    // Planned scale-out: spawn a fresh
+                                    // process, accept it on the same
+                                    // listener, and swap the link to the
+                                    // new incarnation.
+                                    match spawn_child(&child_args, &dial[w], w) {
+                                        Ok(child) => {
+                                            match listeners_ref[w].accept_timeout(ACCEPT_TIMEOUT) {
+                                                Ok(conn) => {
+                                                    if conn
+                                                        .send(hello(w, virtual_now()).to_frame())
+                                                        .is_ok()
+                                                    {
+                                                        let inc = {
+                                                            let mut g = link.conn.lock();
+                                                            g.0 += 1;
+                                                            g.1 = Some(Arc::clone(&conn));
+                                                            g.0
+                                                        };
+                                                        *link.child.lock() = Some(child);
+                                                        link.alive.store(true, Ordering::Release);
+                                                        let events = events.clone();
+                                                        scope.spawn(move || {
+                                                            run_reader(conn, w, inc, events);
+                                                        });
+                                                    }
+                                                }
+                                                Err(e) => {
+                                                    eprintln!(
+                                                        "worker {w} rejoin accept failed: {e}"
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        Err(e) => {
+                                            eprintln!("worker {w} respawn failed: {e}");
+                                        }
+                                    }
+                                } else {
+                                    link.alive.store(true, Ordering::Release);
+                                }
                             }
                             // Link, partition and meta faults have no
                             // thread-level effect; the planner (which hosts
@@ -398,15 +529,17 @@ impl ServeRuntime {
                 });
             }
 
-            // Scheduler thread: replay arrivals, plan, dispatch.
+            // Scheduler thread: replay arrivals, plan, dispatch frames.
             let planner_ref = &planner;
             let totals_ref = &totals;
-            let queued_ref = &queued_tokens;
-            let alive_ref = &alive;
+            let links_ref = &links;
             let outstanding_ref = &outstanding;
             let supervisor_done_ref = &supervisor_done;
+            let sched_events = event_tx.clone();
+            let queue_depth = self.opts.queue_depth as u64;
             scope.spawn(move || {
                 let mut rotate = 0usize;
+                let mut next_seq = 0u64;
                 // The admission controller runs on *nominal* arrival times
                 // with planner cost estimates — identical inputs to the
                 // simulator's controller, so for the same trace + schedule
@@ -424,40 +557,68 @@ impl ServeRuntime {
                 // Least-loaded dispatch (§5.1 load balancing) over the
                 // currently-live workers. Ties rotate instead of always
                 // picking the lowest index, so an idle-but-slow worker does
-                // not swallow every tied dispatch.
-                let dispatch = |item: WorkItem, rotate: &mut usize| {
-                    let live: Vec<usize> = (0..n_workers)
-                        .filter(|&i| alive_ref[i].load(Ordering::Acquire))
-                        .collect();
-                    // A validated schedule never kills the whole cluster;
-                    // fall back to anyone just in case of flag races.
-                    let candidates: &[usize] = if live.is_empty() {
-                        &(0..n_workers).collect::<Vec<_>>()
-                    } else {
-                        &live
-                    };
-                    // Snapshot every candidate's load once: workers decrement
-                    // these atomics concurrently, so re-reading them while
-                    // filtering can leave no candidate equal to a stale
-                    // minimum (an empty tie set, and a panicking dispatch).
-                    let loads: Vec<(usize, u64)> = candidates
-                        .iter()
-                        .map(|&i| (i, queued_ref[i].load(Ordering::Relaxed)))
-                        .collect();
-                    let min_load = loads
-                        .iter()
-                        .map(|&(_, load)| load)
-                        .min()
-                        .expect("at least one candidate");
-                    let tied: Vec<usize> = loads
-                        .iter()
-                        .filter(|&&(_, load)| load == min_load)
-                        .map(|&(i, _)| i)
-                        .collect();
-                    let w = tied[*rotate % tied.len()];
-                    *rotate = rotate.wrapping_add(1);
-                    queued_ref[w].fetch_add(item.suffix_tokens, Ordering::Relaxed);
-                    worker_txs[w].send(item).expect("worker outlives scheduler");
+                // not swallow every tied dispatch. The loop re-selects when
+                // the chosen worker is out of credit (backpressure) or its
+                // link dies mid-send.
+                let dispatch = |item: DispatchMsg, rotate: &mut usize| {
+                    loop {
+                        let live: Vec<usize> = (0..n_workers)
+                            .filter(|&i| links_ref[i].alive.load(Ordering::Acquire))
+                            .collect();
+                        // A validated schedule never kills the whole
+                        // cluster for good; wait out the gap between a
+                        // crash and its scheduled restart.
+                        if live.is_empty() {
+                            thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        // Snapshot every candidate's load once: the
+                        // collector decrements these atomics concurrently,
+                        // so re-reading them while filtering can leave no
+                        // candidate equal to a stale minimum.
+                        let loads: Vec<(usize, u64)> = live
+                            .iter()
+                            .map(|&i| (i, links_ref[i].queued.load(Ordering::Relaxed)))
+                            .collect();
+                        let min_load = loads
+                            .iter()
+                            .map(|&(_, load)| load)
+                            .min()
+                            .expect("at least one candidate");
+                        let tied: Vec<usize> = loads
+                            .iter()
+                            .filter(|&&(_, load)| load == min_load)
+                            .map(|&(i, _)| i)
+                            .collect();
+                        let w = tied[*rotate % tied.len()];
+                        let link = &links_ref[w];
+                        if link.inflight.load(Ordering::Acquire) >= queue_depth {
+                            // Out of credit: wait for completions to free
+                            // a slot (or for the liveness set to change).
+                            thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        *rotate = rotate.wrapping_add(1);
+                        // Register BEFORE sending so a completion can
+                        // never race past its own bookkeeping; incarnation
+                        // and conn are read together so the entry's tag
+                        // always matches the conn the frame went to.
+                        let (inc, conn) = link.current();
+                        link.unacked.lock().insert(item.seq, (inc, item));
+                        link.queued.fetch_add(item.suffix_tokens, Ordering::Relaxed);
+                        link.inflight.fetch_add(1, Ordering::AcqRel);
+                        let sent = conn
+                            .as_ref()
+                            .is_some_and(|c| c.send(item.to_frame()).is_ok());
+                        if sent {
+                            return;
+                        }
+                        // The link died under us: roll back and re-select.
+                        link.unacked.lock().remove(&item.seq);
+                        link.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
+                        link.inflight.fetch_sub(1, Ordering::AcqRel);
+                        link.alive.store(false, Ordering::Release);
+                    }
                 };
                 for req in trace {
                     let arrival = req.arrival.as_secs();
@@ -500,9 +661,10 @@ impl ServeRuntime {
                                 }
                                 Err(BatError::Rejected { reason }) => {
                                     drop(p);
-                                    sched_done_tx
-                                        .send(Completion::Rejected(reason))
-                                        .expect("collector outlives scheduler");
+                                    assert!(
+                                        sched_events.send(Event::Rejected(reason)).is_ok(),
+                                        "collector outlives scheduler"
+                                    );
                                     continue;
                                 }
                                 Err(_) => unreachable!("into_result only rejects"),
@@ -531,8 +693,11 @@ impl ServeRuntime {
                         }
                     }
                     outstanding_ref.fetch_add(1, Ordering::AcqRel);
+                    let seq = next_seq;
+                    next_seq += 1;
                     dispatch(
-                        WorkItem {
+                        DispatchMsg {
+                            seq,
                             arrival_virtual: now,
                             suffix_tokens: planned.suffix_tokens,
                             service_virtual: price.0 + price.1 + price.2,
@@ -544,7 +709,8 @@ impl ServeRuntime {
                         },
                         &mut rotate,
                     );
-                    // Re-dispatch anything a dead worker bounced back.
+                    // Re-dispatch anything bounced or requeued off a dead
+                    // worker.
                     while let Ok(item) = orphan_rx.try_recv() {
                         dispatch(item, &mut rotate);
                     }
@@ -564,39 +730,98 @@ impl ServeRuntime {
                     }
                     thread::sleep(Duration::from_micros(500));
                 }
-                drop(worker_txs); // closes queues → workers drain and exit
+                // Orderly shutdown: every worker (live or bounced-out)
+                // gets the frame; a dead child's send just fails.
+                for link in links_ref {
+                    if let (_, Some(conn)) = link.current() {
+                        let _ = conn.send(ShutdownMsg.to_frame());
+                    }
+                }
             });
 
-            // Collector: the scope's main flow. Exactly one terminal event
-            // per trace request arrives — served, shed, or rejected; faults
-            // re-route work, they never drop it — so count them out rather
-            // than waiting for channel disconnect (the fault supervisor
-            // keeps sender clones alive).
+            // Collector: the scope's main flow, and the single writer for
+            // per-link retirement accounting. Exactly one terminal event
+            // per trace request arrives — served, shed, or rejected;
+            // faults re-route work, they never drop it — so count them out
+            // rather than waiting for channel disconnect.
             let mut latencies = Percentiles::new();
             let mut completed = 0usize;
             let mut slo = SloStats {
                 submitted: trace.len() as u64,
                 ..SloStats::default()
             };
-            for _ in 0..trace.len() {
-                match done_rx.recv() {
-                    Ok(Completion::Completed {
-                        latency_virtual,
-                        missed,
-                    }) => {
-                        latencies.record(latency_virtual);
-                        completed += 1;
-                        slo.completed += 1;
-                        if missed {
-                            slo.deadline_misses += 1;
+            let mut terminal = 0usize;
+            while terminal < trace.len() {
+                match event_rx.recv() {
+                    Ok(Event::Done(c)) => {
+                        let link = &links[c.worker as usize];
+                        link.queued.fetch_sub(c.suffix_tokens, Ordering::Relaxed);
+                        link.inflight.fetch_sub(1, Ordering::AcqRel);
+                        link.unacked.lock().remove(&c.seq);
+                        outstanding.fetch_sub(1, Ordering::Release);
+                        terminal += 1;
+                        match c.outcome {
+                            WireOutcome::Completed {
+                                latency_virtual,
+                                missed,
+                            } => {
+                                latencies.record(latency_virtual);
+                                completed += 1;
+                                slo.completed += 1;
+                                if missed {
+                                    slo.deadline_misses += 1;
+                                }
+                            }
+                            WireOutcome::Shed => slo.shed_expired += 1,
+                            // Workers never reject; the scheduler does.
+                            WireOutcome::Rejected(reason) => count_reject(&mut slo, reason),
                         }
                     }
-                    Ok(Completion::Shed) => slo.shed_expired += 1,
-                    Ok(Completion::Rejected(reason)) => match reason {
-                        RejectReason::QueueFull => slo.rejected_queue_full += 1,
-                        RejectReason::DeadlineInfeasible => slo.rejected_infeasible += 1,
-                        RejectReason::BrownoutShed => slo.rejected_brownout += 1,
-                    },
+                    Ok(Event::Orphan(o)) => {
+                        let link = &links[o.worker as usize];
+                        link.queued
+                            .fetch_sub(o.item.suffix_tokens, Ordering::Relaxed);
+                        link.inflight.fetch_sub(1, Ordering::AcqRel);
+                        link.unacked.lock().remove(&o.item.seq);
+                        let _ = orphan_tx.send(o.item);
+                    }
+                    Ok(Event::Down {
+                        worker,
+                        incarnation,
+                    }) => {
+                        let link = &links[worker];
+                        {
+                            let g = link.conn.lock();
+                            if g.0 == incarnation {
+                                // Unexpected death of the current conn
+                                // (child crash outside the schedule, or a
+                                // stream error): stop dispatching to it.
+                                link.alive.store(false, Ordering::Release);
+                            }
+                        }
+                        // Requeue everything sent on this (or an earlier)
+                        // incarnation; entries sent on a newer conn stay.
+                        let requeue: Vec<DispatchMsg> = {
+                            let mut un = link.unacked.lock();
+                            let seqs: Vec<u64> = un
+                                .iter()
+                                .filter(|(_, (inc, _))| *inc <= incarnation)
+                                .map(|(&seq, _)| seq)
+                                .collect();
+                            seqs.iter()
+                                .map(|seq| un.remove(seq).expect("seq just listed").1)
+                                .collect()
+                        };
+                        for item in requeue {
+                            link.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
+                            link.inflight.fetch_sub(1, Ordering::AcqRel);
+                            let _ = orphan_tx.send(item);
+                        }
+                    }
+                    Ok(Event::Rejected(reason)) => {
+                        terminal += 1;
+                        count_reject(&mut slo, reason);
+                    }
                     Err(_) => break,
                 }
             }
@@ -627,7 +852,23 @@ impl ServeRuntime {
             }
             stats
         });
+        // Reap child workers (they exited on shutdown; kill is a no-op
+        // backstop for a child that somehow missed it).
+        for link in &links {
+            if let Some(mut child) = link.child.lock().take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
         stats
+    }
+}
+
+fn count_reject(slo: &mut SloStats, reason: RejectReason) {
+    match reason {
+        RejectReason::QueueFull => slo.rejected_queue_full += 1,
+        RejectReason::DeadlineInfeasible => slo.rejected_infeasible += 1,
+        RejectReason::BrownoutShed => slo.rejected_brownout += 1,
     }
 }
 
@@ -672,6 +913,13 @@ mod tests {
         g.generate(secs, rate)
     }
 
+    fn options_for(kind: TransportKind) -> ServeOptions {
+        ServeOptions {
+            transport: kind,
+            ..ServeOptions::default()
+        }
+    }
+
     #[test]
     fn serves_all_requests() {
         let ds = DatasetConfig::games();
@@ -680,6 +928,44 @@ mod tests {
         let stats = rt.serve(&t);
         assert_eq!(stats.completed, t.len());
         assert!(stats.p99_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn tcp_transport_serves_all_requests() {
+        let ds = DatasetConfig::games();
+        let t = trace(&ds, 1.0, 20.0);
+        let rt = ServeRuntime::new(
+            config(SystemKind::Bat, &ds),
+            options_for(TransportKind::Tcp),
+        )
+        .unwrap();
+        let stats = rt.serve(&t);
+        assert_eq!(stats.completed, t.len());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_transport_matches_channel_digest() {
+        // The determinism pin in miniature (the full cross-backend +
+        // child-process version lives in tests/integration_transport.rs):
+        // planner-side stats must be bitwise identical across backends.
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 2.0, 30.0);
+        let channel =
+            ServeRuntime::new(config(SystemKind::UserPrefix, &ds), ServeOptions::default())
+                .unwrap()
+                .serve(&t);
+        let uds = ServeRuntime::new(
+            config(SystemKind::UserPrefix, &ds),
+            options_for(TransportKind::Uds),
+        )
+        .unwrap()
+        .serve(&t);
+        assert_eq!(channel.digest(), uds.digest());
+        assert_eq!(channel.completed, uds.completed);
     }
 
     #[test]
@@ -709,7 +995,7 @@ mod tests {
         // planner states (the fault cursor advances on nominal arrival
         // times in both), so cache accounting — and the fault report
         // itself — must agree bit-for-bit even though this runtime kills
-        // and respawns real threads while the DES only reshuffles a heap.
+        // and respawns real workers while the DES only reshuffles a heap.
         let ds = DatasetConfig {
             num_users: 300,
             ..DatasetConfig::games()
@@ -751,16 +1037,34 @@ mod tests {
             ServeOptions {
                 time_scale: 0.0,
                 queue_depth: 8,
-                straggler: None
+                ..ServeOptions::default()
             }
         )
         .is_err());
         assert!(ServeRuntime::new(
             config(SystemKind::Bat, &ds),
             ServeOptions {
-                time_scale: 1e-3,
                 queue_depth: 0,
-                straggler: None
+                ..ServeOptions::default()
+            }
+        )
+        .is_err());
+        // Child processes require the Uds transport.
+        assert!(ServeRuntime::new(
+            config(SystemKind::Bat, &ds),
+            ServeOptions {
+                processes: true,
+                transport: TransportKind::Channel,
+                ..ServeOptions::default()
+            }
+        )
+        .is_err());
+        assert!(ServeRuntime::new(
+            config(SystemKind::Bat, &ds),
+            ServeOptions {
+                processes: true,
+                transport: TransportKind::Tcp,
+                ..ServeOptions::default()
             }
         )
         .is_err());
@@ -885,7 +1189,7 @@ mod tests {
             ServeOptions {
                 time_scale: 1e-4,
                 queue_depth: 4,
-                straggler: None,
+                ..ServeOptions::default()
             },
         )
         .unwrap();

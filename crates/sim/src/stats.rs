@@ -146,6 +146,50 @@ impl RunStats {
         }
     }
 
+    /// A deterministic digest over every planner-side field: the system
+    /// label, completion and token accounting, priced cost sums (as exact
+    /// f64 bit patterns), cache split, admission counters, and the fault
+    /// report. Wall-clock observations — span, latency percentiles, and
+    /// the deadline-miss/shed split (which depends on when a sweep ran) —
+    /// are excluded.
+    ///
+    /// Two runs of the same seeded trace and fault schedule must produce
+    /// equal digests **regardless of transport**: in-process channels,
+    /// Unix sockets, TCP, or child-process workers. The serving runtime's
+    /// integration suite pins this; a codec or re-dispatch bug that
+    /// changes any planner-visible count breaks it loudly.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, 64-bit: tiny, dependency-free, and plenty for an
+        // equality pin (this is not a collision-resistant hash).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.system.as_bytes());
+        eat(&(self.completed as u64).to_le_bytes());
+        eat(&self.total_tokens.to_le_bytes());
+        eat(&self.reused_tokens.to_le_bytes());
+        eat(&self.computed_tokens.to_le_bytes());
+        eat(&self.remote_bytes.0.to_le_bytes());
+        eat(&self.compute_secs.to_bits().to_le_bytes());
+        eat(&self.net_secs.to_bits().to_le_bytes());
+        eat(&self.load_secs.to_bits().to_le_bytes());
+        eat(&(self.up_requests as u64).to_le_bytes());
+        eat(&(self.ip_requests as u64).to_le_bytes());
+        eat(&self.slo.submitted.to_le_bytes());
+        eat(&self.slo.accepted.to_le_bytes());
+        eat(&self.slo.rejected_queue_full.to_le_bytes());
+        eat(&self.slo.rejected_infeasible.to_le_bytes());
+        eat(&self.slo.rejected_brownout.to_le_bytes());
+        // The fault report is all planner-side counters; its Debug form is
+        // a stable field-ordered rendering.
+        eat(format!("{:?}", self.faults).as_bytes());
+        h
+    }
+
     /// Sustained throughput in completed requests per second.
     pub fn qps(&self) -> f64 {
         if self.span_secs <= 0.0 {

@@ -67,6 +67,28 @@ impl ColBlock {
         }
     }
 
+    /// Rebuilds a block from `rows * cols` values laid out plane-major
+    /// (plane 0's columns first, then plane 1's, …) — the inverse of
+    /// serializing each [`ColBlock::plane`] in order, as the wire codec
+    /// for KV segments does. The block is packed exactly (`cap == cols`).
+    ///
+    /// # Panics
+    ///
+    /// When `planes.len() != rows * cols`.
+    pub fn from_planes(rows: usize, cols: usize, planes: &[f32]) -> Self {
+        assert_eq!(
+            planes.len(),
+            rows * cols,
+            "plane-major buffer length must be rows * cols"
+        );
+        ColBlock {
+            rows,
+            len: cols,
+            cap: cols,
+            data: planes.to_vec(),
+        }
+    }
+
     /// Number of planes (the packed dimension, e.g. `kv_dim`).
     #[inline]
     pub fn rows(&self) -> usize {
@@ -581,6 +603,34 @@ mod tests {
             b.push_col(&col);
         }
         b
+    }
+
+    #[test]
+    fn from_planes_inverts_plane_serialization() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let b = random_block(5, 9, &mut rng);
+        let mut flat = Vec::new();
+        for r in 0..b.rows() {
+            flat.extend_from_slice(b.plane(r));
+        }
+        let back = ColBlock::from_planes(5, 9, &flat);
+        assert_eq!(back.rows(), 5);
+        assert_eq!(back.len(), 9);
+        assert_eq!(back.capacity(), 9);
+        for r in 0..5 {
+            assert_eq!(back.plane(r), b.plane(r), "plane {r}");
+        }
+        // A rebuilt block keeps working as an appendable block.
+        let mut back = back;
+        back.push_col(&[1.0; 5]);
+        assert_eq!(back.len(), 10);
+        assert_eq!(back.plane(2)[9], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows * cols")]
+    fn from_planes_rejects_wrong_length() {
+        let _ = ColBlock::from_planes(3, 4, &[0.0; 11]);
     }
 
     /// Contiguous `rows × len` matrix with the same contents as the virtual
