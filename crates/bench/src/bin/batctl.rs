@@ -17,6 +17,9 @@
 //! batctl net      --dataset games --duration 10 --rate 60 \
 //!                 [--transport channel|uds|tcp] [--processes] [--scale 1e-3]
 //! batctl bench    [--quick] [--threads 4] [--out BENCH_KERNELS.json] [--check BENCH_KERNELS.json]
+//! batctl tiers    --dataset games --duration 20 --rate 40 \
+//!                 [--hot-mb 200 --cold-mb 400] [--format f32|f16|int8] \
+//!                 [--split adaptive|static:0.5|all-user]
 //! ```
 //!
 //! The global `--threads N` flag sizes the `bat-exec` worker pool for any
@@ -27,10 +30,11 @@
 
 use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
 use bat::{
-    ClusterConfig, ComputeModel, DatasetConfig, EngineConfig, FaultEvent, FaultKind, FaultSchedule,
-    ItemPlacementPlan, ModelConfig, OverloadConfig, PlacementStrategy, PrefixKind, Priority,
-    SemanticConfig, ServeOptions, ServeRuntime, ServingEngine, SloBudget, SystemKind,
-    TraceGenerator, TransportKind, WorkerId, Workload, ZipfLaw,
+    Bytes, ClusterConfig, ColdFormat, ComputeModel, DatasetConfig, EngineConfig, FaultEvent,
+    FaultKind, FaultSchedule, ItemPlacementPlan, ModelConfig, OverloadConfig, PlacementStrategy,
+    PrefixKind, Priority, SemanticConfig, ServeOptions, ServeRuntime, ServingEngine, SloBudget,
+    SplitPolicy, SystemKind, TiersConfig, TraceGenerator, TransportKind, WorkerId, Workload,
+    ZipfLaw,
 };
 use bat_bench::{f1, f3, print_table};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -677,6 +681,97 @@ fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cold_format(name: &str) -> Result<ColdFormat, String> {
+    match name.to_lowercase().as_str() {
+        "f32" => Ok(ColdFormat::F32),
+        "f16" => Ok(ColdFormat::F16),
+        "int8" => Ok(ColdFormat::Int8),
+        other => Err(format!("unknown cold format '{other}' (f32|f16|int8)")),
+    }
+}
+
+fn split_policy(name: &str) -> Result<SplitPolicy, String> {
+    let lower = name.to_lowercase();
+    if let Some(share) = lower.strip_prefix("static:") {
+        let s: f64 = share
+            .parse()
+            .map_err(|e| format!("bad static share: {e}"))?;
+        return Ok(SplitPolicy::Static(s));
+    }
+    match lower.as_str() {
+        "adaptive" => Ok(SplitPolicy::Adaptive),
+        "all-user" | "alluser" => Ok(SplitPolicy::AllUser),
+        other => Err(format!(
+            "unknown split '{other}' (adaptive|static:<user-share>|all-user)"
+        )),
+    }
+}
+
+fn cmd_tiers(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 20.0)?;
+    let rate = flag_f64(flags, "rate", 40.0)?;
+    let nodes = flag_usize(flags, "nodes", 2)?;
+    let hot = Bytes::from_mb(flag_f64(flags, "hot-mb", 200.0)? as u64);
+    let cold = Bytes::from_mb(flag_f64(flags, "cold-mb", 400.0)? as u64);
+    let format = cold_format(flags.get("format").map_or("int8", String::as_str))?;
+    let split = split_policy(flags.get("split").map_or("adaptive", String::as_str))?;
+
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+    let trace = gen.generate(duration, rate);
+    let base = EngineConfig::for_system(SystemKind::Bat, model, cluster, &ds)
+        .with_user_cache_capacity(hot);
+    let tiers = TiersConfig::new(cold).with_format(format).with_split(split);
+    tiers.validate()?;
+
+    // Same trace, same hot budget: the only difference is the cold tier.
+    let flat = ServingEngine::new(base.clone())
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let tiered = ServingEngine::new(base.with_tiers(Some(tiers)))
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+
+    println!(
+        "{} x{} requests, hot {hot} fixed, cold {cold} {format:?} {split:?}",
+        ds.name,
+        trace.len(),
+    );
+    let row = |label: &str, s: &bat::RunStats| {
+        vec![
+            label.to_owned(),
+            f3(s.hit_rate()),
+            s.tiers.cold_hits.to_string(),
+            s.tiers.demotions.to_string(),
+            s.tiers.cold_evictions.to_string(),
+            f1(s.qps()),
+            f1(s.p99_latency_ms),
+        ]
+    };
+    print_table(
+        &[
+            "Cache",
+            "Hit rate",
+            "Cold hits",
+            "Demotions",
+            "Cold evict",
+            "Goodput",
+            "p99 (ms)",
+        ],
+        &[row("flat", &flat), row("tiered", &tiered)],
+    );
+    println!(
+        "tier ledger: occupancy {} / {} cold bytes, budgets user {} item {}",
+        tiered.tiers.cold_occupancy_bytes,
+        cold.as_u64(),
+        tiered.tiers.user_budget_bytes,
+        tiered.tiers.item_budget_bytes,
+    );
+    Ok(())
+}
+
 fn transport_kind(name: &str) -> Result<TransportKind, String> {
     match name.to_lowercase().as_str() {
         "channel" => Ok(TransportKind::Channel),
@@ -765,7 +860,7 @@ fn cmd_net(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|net|bench> [--flags]
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|net|bench|tiers> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details
 global: --threads N sizes the bat-exec worker pool";
 
@@ -800,6 +895,7 @@ fn main() -> ExitCode {
         "meta" => cmd_meta(&flags),
         "net" => cmd_net(&flags),
         "bench" => cmd_bench(&flags),
+        "tiers" => cmd_tiers(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {

@@ -15,7 +15,7 @@
 use bat::exec;
 use bat_model::prompt::{MaskScheme, PromptLayout, TokenSeq};
 use bat_model::{ForwardWorkspace, GrModel, GrModelConfig, KvSegment, Weights};
-use bat_tensor::Matrix;
+use bat_tensor::{ColBlock, Matrix, QuantKind, QuantizedColBlock, SplitCols};
 use bat_types::PrefixKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -260,6 +260,91 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
         best_packed = best_packed.min(packed);
     }
 
+    // Cold-tier quantization kernels (serial: per-segment work the tiered
+    // pool does on demotion and cold hits). The fused attend reads the
+    // quantized planes directly; its baseline materializes an f32 copy
+    // first and attends over that — same arithmetic, bit-identical result,
+    // extra allocation and memory traffic.
+    let (q_rows, q_cols) = if quick { (64, 256) } else { (128, 2048) };
+    let q_samples = samples * 8;
+    exec::set_threads(1);
+    let mut q_block = ColBlock::new(q_rows);
+    {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let col: Vec<f32> = Matrix::random(q_rows, q_cols, 1.0, &mut rng)
+            .as_slice()
+            .to_vec();
+        for j in 0..q_cols {
+            let column: Vec<f32> = (0..q_rows).map(|r| col[r * q_cols + j]).collect();
+            q_block.push_col(&column);
+        }
+    }
+    let scores: Vec<f32> = (0..q_cols).map(|j| (j as f32 * 0.37).sin()).collect();
+    let mut attend_out = vec![0.0f32; q_rows];
+    let mut fused_secs = f64::INFINITY;
+    for kind in [QuantKind::Int8, QuantKind::F16] {
+        let label = match kind {
+            QuantKind::Int8 => "int8",
+            QuantKind::F16 => "f16",
+        };
+        let q_secs = time_best(
+            || {
+                drop(black_box(QuantizedColBlock::quantize(
+                    black_box(&q_block),
+                    kind,
+                )))
+            },
+            q_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("quantize_{label}"),
+            threads: 1,
+            secs: q_secs,
+        });
+        let q = QuantizedColBlock::quantize(&q_block, kind);
+        let dq_secs = time_best(|| drop(black_box(black_box(&q).dequantize())), q_samples);
+        kernels.push(BenchResult {
+            name: format!("dequantize_{label}"),
+            threads: 1,
+            secs: dq_secs,
+        });
+        let fused = time_best(
+            || {
+                attend_out.iter_mut().for_each(|v| *v = 0.0);
+                black_box(&q).rows_dot_acc(0, black_box(&scores), &mut attend_out);
+                black_box(&attend_out);
+            },
+            q_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("dequant_fused_attend_{label}"),
+            threads: 1,
+            secs: fused,
+        });
+        let materialized = time_best(
+            || {
+                attend_out.iter_mut().for_each(|v| *v = 0.0);
+                let full = black_box(&q).dequantize();
+                SplitCols::new(None, &full).rows_dot_acc(0, black_box(&scores), &mut attend_out);
+                black_box(&attend_out);
+            },
+            q_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("dequant_then_attend_{label}"),
+            threads: 1,
+            secs: materialized,
+        });
+        if kind == QuantKind::Int8 {
+            fused_secs = fused;
+        }
+    }
+    let materialized_int8 = kernels
+        .iter()
+        .find(|r| r.name == "dequant_then_attend_int8")
+        .map(|r| r.secs)
+        .unwrap_or(fused_secs);
+
     let deterministic = check_determinism(thread_counts);
     exec::set_threads(restore);
 
@@ -281,6 +366,12 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
             before_secs: repack_secs,
             after_secs: best_packed,
             speedup: repack_secs / best_packed,
+        },
+        Speedup {
+            name: "cold_attend_fused".into(),
+            before_secs: materialized_int8,
+            after_secs: fused_secs,
+            speedup: materialized_int8 / fused_secs,
         },
     ];
 
@@ -349,7 +440,7 @@ mod tests {
     fn quick_suite_is_deterministic_and_faster_than_seed() {
         let summary = run(true, &[1, 2]);
         assert!(summary.deterministic, "parallel runs must be bit-identical");
-        assert_eq!(summary.speedups.len(), 3);
+        assert_eq!(summary.speedups.len(), 4);
         for s in &summary.speedups {
             assert!(s.before_secs > 0.0 && s.after_secs > 0.0);
             // The blocked/fused kernels must not regress below the seed,

@@ -17,8 +17,11 @@
 //!   the cache meta service, and [`meta::MetaIndex`] — the meta service's
 //!   behavioural contract, implemented locally here
 //!   ([`meta::LocalMetaIndex`]) and as a replicated group in `bat-meta`;
-//! * [`tiered::TieredUserCache`] — the DRAM + cold-storage hierarchy the
-//!   paper's §3.3.2 footnote defers to future work;
+//! * [`tiered::TieredKvCache`] — the DRAM + cold-storage hierarchy the
+//!   paper's §3.3.2 footnote defers to future work, keyed by [`meta::CacheKey`]
+//!   with a class-partitioned cold tier and a decision digest (the serve-side
+//!   `bat-tiers` pool embeds it, so oracle and pool agree by construction),
+//!   plus the user-only [`tiered::TieredUserCache`] façade;
 //! * [`segments::SegmentStore`] — materialized packed [`bat_model::KvSegment`]s
 //!   charged to a [`pool::PagedPool`] at their packed-layout resident size,
 //!   so cached prefixes are stored in exactly the form forwards consume.
@@ -36,5 +39,7 @@ pub use lru::LruIndex;
 pub use meta::{meta_digest, meta_time_ms, CacheKey, LocalMetaIndex, MetaIndex};
 pub use pool::PagedPool;
 pub use segments::SegmentStore;
-pub use tiered::{TierHit, TieredConfig, TieredUserCache};
+pub use tiered::{
+    EntryClass, TierCounters, TierHit, TieredConfig, TieredKvCache, TieredKvConfig, TieredUserCache,
+};
 pub use user_cache::{AdmitOutcome, UserCache, UserCacheConfig};

@@ -8,6 +8,8 @@
 //!   Figure 9), empirical CDFs (Figure 2), and streaming mean/max summaries.
 //! * **SLO accounting** ([`slo`]): goodput/shed/deadline-miss counters with
 //!   the overload control plane's conservation law.
+//! * **Tier accounting** ([`tiers`]): hot/cold hit, promotion/demotion and
+//!   occupancy counters for the tiered KV pool.
 //!
 //! # Example
 //!
@@ -23,7 +25,9 @@
 pub mod ranking;
 pub mod slo;
 pub mod stats;
+pub mod tiers;
 
 pub use ranking::RankingMetrics;
 pub use slo::SloStats;
 pub use stats::{Cdf, Percentiles, Summary};
+pub use tiers::TierStats;

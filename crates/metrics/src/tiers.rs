@@ -1,0 +1,141 @@
+//! Tiered-cache accounting: hot/cold hits, promotions, demotions,
+//! occupancy, and the adaptive user/item budget split.
+//!
+//! [`TierStats`] is the tiered KV pool's ledger, the tier-side analogue of
+//! [`crate::SloStats`]. Its lookup conservation law — every tier lookup is
+//! a hot hit, a cold hit, or a miss, exactly once — is what the sim/serve
+//! equivalence tests assert: the serve-side pool and the simulation oracle
+//! must produce not just the same totals but the same decision sequence
+//! (checked separately via the pool's decision digest).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the tiered KV pool did during a run.
+///
+/// All fields are cumulative event counts except the `*_bytes` fields,
+/// which are end-of-run snapshots of occupancy and the partition budgets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierStats {
+    /// Lookups answered by the hot (DRAM-modelled, f32) tier.
+    pub hot_hits: u64,
+    /// Lookups answered by the cold (quantized) tier.
+    pub cold_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Cold entries promoted back into the hot tier after a cold hit.
+    pub promotions: u64,
+    /// Hot-tier evictions demoted (quantized) into the cold tier.
+    pub demotions: u64,
+    /// Cold-tier entries evicted outright (fell off the cold LRU, or were
+    /// dropped by the admission policy / partition shrink).
+    pub cold_evictions: u64,
+    /// Brownout rung-2 faults served from the local cold tier instead of
+    /// recomputing at the fault site.
+    pub brownout_cold_serves: u64,
+    /// Hot-tier bytes resident at end of run.
+    pub hot_occupancy_bytes: u64,
+    /// Cold-tier quantized bytes resident at end of run.
+    pub cold_occupancy_bytes: u64,
+    /// Cold-tier budget currently assigned to user entries by the
+    /// partitioning controller.
+    pub user_budget_bytes: u64,
+    /// Cold-tier budget currently assigned to item entries.
+    pub item_budget_bytes: u64,
+}
+
+impl TierStats {
+    /// Total tier lookups, all outcomes.
+    pub fn lookups(&self) -> u64 {
+        self.hot_hits + self.cold_hits + self.misses
+    }
+
+    /// Lookups answered by either tier.
+    pub fn hits(&self) -> u64 {
+        self.hot_hits + self.cold_hits
+    }
+
+    /// Hit rate across both tiers; 0.0 for a run with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fraction of hits that had to come from the cold tier.
+    pub fn cold_hit_share(&self) -> f64 {
+        if self.hits() == 0 {
+            0.0
+        } else {
+            self.cold_hits as f64 / self.hits() as f64
+        }
+    }
+
+    /// The lookup conservation law: hot + cold + miss == lookups (trivially
+    /// true by construction here, but asserted after serde decodes and
+    /// cross-process merges where a field could have been dropped).
+    pub fn conserved(&self) -> bool {
+        self.hot_hits + self.cold_hits + self.misses == self.lookups()
+            && self.cold_hits >= self.promotions
+    }
+
+    /// Folds another ledger into this one: counters add, occupancy and
+    /// budget snapshots take the other side's values (the merge order is
+    /// oldest → newest, so the last snapshot wins).
+    pub fn merge(&mut self, other: &TierStats) {
+        self.hot_hits += other.hot_hits;
+        self.cold_hits += other.cold_hits;
+        self.misses += other.misses;
+        self.promotions += other.promotions;
+        self.demotions += other.demotions;
+        self.cold_evictions += other.cold_evictions;
+        self.brownout_cold_serves += other.brownout_cold_serves;
+        self.hot_occupancy_bytes = other.hot_occupancy_bytes;
+        self.cold_occupancy_bytes = other.cold_occupancy_bytes;
+        self.user_budget_bytes = other.user_budget_bytes;
+        self.item_budget_bytes = other.item_budget_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_conserved_with_zero_rates() {
+        let t = TierStats::default();
+        assert!(t.conserved());
+        assert_eq!(t.hit_rate(), 0.0);
+        assert_eq!(t.cold_hit_share(), 0.0);
+    }
+
+    #[test]
+    fn rates_and_merge() {
+        let mut a = TierStats {
+            hot_hits: 6,
+            cold_hits: 2,
+            misses: 2,
+            promotions: 2,
+            demotions: 3,
+            hot_occupancy_bytes: 100,
+            ..TierStats::default()
+        };
+        assert_eq!(a.lookups(), 10);
+        assert!((a.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(a.cold_hit_share(), 0.25);
+        let b = TierStats {
+            hot_hits: 4,
+            misses: 1,
+            hot_occupancy_bytes: 40,
+            user_budget_bytes: 7,
+            ..TierStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.hot_hits, 10);
+        assert_eq!(a.lookups(), 15);
+        assert_eq!(a.hot_occupancy_bytes, 40, "snapshot takes the newer value");
+        assert_eq!(a.user_budget_bytes, 7);
+        assert!(a.conserved());
+    }
+}

@@ -1,9 +1,25 @@
-//! JSON roundtrip property for [`SloStats`], plus the invariants the
-//! runtime's conservation assertions lean on after a decode.
+//! JSON roundtrip properties for [`SloStats`] and [`TierStats`], plus the
+//! invariants the runtime's conservation assertions lean on after a decode.
 
-use bat_metrics::SloStats;
+use bat_metrics::{SloStats, TierStats};
 use proptest::prelude::*;
 use proptest::TestRng;
+
+fn any_tier_stats(rng: &mut TestRng) -> TierStats {
+    TierStats {
+        hot_hits: rng.next_u64(),
+        cold_hits: rng.next_u64(),
+        misses: rng.next_u64(),
+        promotions: rng.next_u64(),
+        demotions: rng.next_u64(),
+        cold_evictions: rng.next_u64(),
+        brownout_cold_serves: rng.next_u64(),
+        hot_occupancy_bytes: rng.next_u64(),
+        cold_occupancy_bytes: rng.next_u64(),
+        user_budget_bytes: rng.next_u64(),
+        item_budget_bytes: rng.next_u64(),
+    }
+}
 
 fn any_stats(rng: &mut TestRng) -> SloStats {
     SloStats {
@@ -55,5 +71,45 @@ proptest! {
         prop_assert_eq!(back.rejected(), stats.rejected());
         prop_assert_eq!(back.goodput(), stats.goodput());
         prop_assert_eq!(back.conserved(), stats.conserved());
+    }
+
+    #[test]
+    fn tier_stats_json_roundtrips(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::from_seed(seed);
+        let stats = any_tier_stats(&mut rng);
+        let json = serde_json::to_string(&stats).expect("tier stats serialize");
+        let back: TierStats = serde_json::from_str(&json).expect("tier stats deserialize");
+        prop_assert_eq!(&back, &stats);
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn tier_derived_metrics_survive_the_roundtrip(seed in 0u64..u64::MAX) {
+        // Bound the counters so the lookup sums cannot overflow u64, and
+        // keep promotions ≤ cold_hits so `conserved()` holds by design.
+        let mut rng = TestRng::from_seed(seed);
+        let mut stats = any_tier_stats(&mut rng);
+        for f in [
+            &mut stats.hot_hits,
+            &mut stats.cold_hits,
+            &mut stats.misses,
+            &mut stats.demotions,
+            &mut stats.cold_evictions,
+            &mut stats.brownout_cold_serves,
+        ] {
+            *f %= 1 << 40;
+        }
+        stats.promotions = if stats.cold_hits == 0 {
+            0
+        } else {
+            rng.next_u64() % (stats.cold_hits + 1)
+        };
+        let back: TierStats =
+            serde_json::from_str(&serde_json::to_string(&stats).unwrap()).unwrap();
+        prop_assert_eq!(back.lookups(), stats.lookups());
+        prop_assert_eq!(back.hits(), stats.hits());
+        prop_assert_eq!(back.hit_rate(), stats.hit_rate());
+        prop_assert_eq!(back.cold_hit_share(), stats.cold_hit_share());
+        prop_assert!(back.conserved());
     }
 }

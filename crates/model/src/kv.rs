@@ -23,88 +23,10 @@
 use crate::prompt::SegTag;
 use bat_tensor::ColBlock;
 
-/// Converts an `f32` to IEEE-754 half precision (round-to-nearest-even)
-/// and back — the storage precision of the paper's KV cache ("We use FP16
-/// as the data type for KV cache", §6.1).
-///
-/// ```
-/// use bat_model::kv::fp16_round_trip;
-///
-/// // Values representable in fp16 survive exactly.
-/// assert_eq!(fp16_round_trip(0.5), 0.5);
-/// // Others round to the nearest half-precision value.
-/// let v = fp16_round_trip(0.1);
-/// assert!((v - 0.1).abs() < 1e-4);
-/// ```
-pub fn fp16_round_trip(x: f32) -> f32 {
-    f16_to_f32(f32_to_f16(x))
-}
-
-/// `f32` → fp16 bits, round-to-nearest-even, with overflow to ±inf and
-/// flush of sub-half-denormal magnitudes toward zero handled per IEEE.
-pub fn f32_to_f16(x: f32) -> u16 {
-    let bits = x.to_bits();
-    let sign = ((bits >> 16) & 0x8000) as u16;
-    let exp = ((bits >> 23) & 0xff) as i32;
-    let mant = bits & 0x007f_ffff;
-    if exp == 0xff {
-        // Inf / NaN.
-        let payload = if mant != 0 { 0x0200 } else { 0 };
-        return sign | 0x7c00 | payload;
-    }
-    // Re-bias exponent: f32 bias 127 → f16 bias 15.
-    let unbiased = exp - 127;
-    if unbiased > 15 {
-        return sign | 0x7c00; // overflow → inf
-    }
-    if unbiased >= -14 {
-        // Normal range: keep 10 mantissa bits with round-to-nearest-even.
-        let half_exp = ((unbiased + 15) as u16) << 10;
-        let shifted = mant >> 13;
-        let round_bit = (mant >> 12) & 1;
-        let sticky = (mant & 0x0fff) != 0;
-        let mut out = sign | half_exp | shifted as u16;
-        if round_bit == 1 && (sticky || (shifted & 1) == 1) {
-            out = out.wrapping_add(1); // may carry into the exponent: fine
-        }
-        return out;
-    }
-    if unbiased >= -24 {
-        // Subnormal half: shift the implicit leading 1 into the mantissa.
-        let full = mant | 0x0080_0000;
-        let shift = (-14 - unbiased) as u32 + 13;
-        let shifted = full >> shift;
-        let round_bit = (full >> (shift - 1)) & 1;
-        let sticky = (full & ((1u32 << (shift - 1)) - 1)) != 0;
-        let mut out = sign | shifted as u16;
-        if round_bit == 1 && (sticky || (shifted & 1) == 1) {
-            out = out.wrapping_add(1);
-        }
-        return out;
-    }
-    sign // underflow → ±0
-}
-
-/// fp16 bits → `f32`.
-pub fn f16_to_f32(h: u16) -> f32 {
-    let sign = ((h as u32) & 0x8000) << 16;
-    let exp = ((h >> 10) & 0x1f) as u32;
-    let mant = (h & 0x03ff) as u32;
-    let bits = match (exp, mant) {
-        (0, 0) => sign,
-        (0, m) => {
-            // Subnormal: normalize.
-            let lead = m.leading_zeros() - 22; // zeros within the 10-bit field
-            let exp32 = 127 - 15 - lead;
-            let mant32 = (m << (lead + 1)) & 0x03ff;
-            sign | (exp32 << 23) | (mant32 << 13)
-        }
-        (0x1f, 0) => sign | 0x7f80_0000,
-        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
-        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
-    };
-    f32::from_bits(bits)
-}
+// The fp16 converters moved to `bat_tensor::quant` so the quantized
+// cold-tier blocks and this segment-level quantizer share one
+// implementation; re-exported here to keep the original API.
+pub use bat_tensor::quant::{f16_to_f32, f32_to_f16, fp16_round_trip};
 
 /// Keys and values of one transformer layer for a block of tokens, stored
 /// **transposed-packed**: two [`ColBlock`]s of `kv_dim` planes, one column

@@ -39,7 +39,9 @@ pub struct OverloadConfig {
     /// engages: background re-warm/refresh work is suspended.
     pub rung1_pressure: f64,
     /// Pressure at which rung 2 engages: cold remote pulls degrade to
-    /// local recompute.
+    /// local recompute — or, when the tiered KV pool is enabled, are
+    /// served from the local quantized cold tier, which costs neither
+    /// fabric nor recompute.
     pub rung2_pressure: f64,
     /// Pressure at which rung 3 engages: `Priority::Low` requests shed.
     pub rung3_pressure: f64,

@@ -847,9 +847,14 @@ impl ServeRuntime {
                 stats.slo = slo;
             }
             drop(t);
-            if let Some(report) = planner.lock().finish_faults() {
+            let mut planner = planner.lock();
+            if let Some(report) = planner.finish_faults() {
                 stats.faults = report;
             }
+            if let Some(tiers) = planner.tier_stats() {
+                stats.tiers = tiers;
+            }
+            drop(planner);
             stats
         });
         // Reap child workers (they exited on shutdown; kill is a no-op
@@ -987,6 +992,43 @@ mod tests {
         // static UP policy reuse depends only on LRU residency → exact.
         assert_eq!(rt_stats.reused_tokens, sim_stats.reused_tokens);
         assert_eq!(rt_stats.up_requests, sim_stats.up_requests);
+    }
+
+    #[test]
+    fn tiered_pool_matches_simulator_across_thread_counts() {
+        // The serve-side tiered pool and the simulator's pool are the same
+        // decision core driven on nominal arrival times, so every
+        // hit/miss/demotion — and therefore the whole tier ledger and the
+        // stats digest — must agree bitwise at any worker-thread count.
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 2.0, 30.0);
+        for nodes in [1usize, 2, 4, 8] {
+            let mut cluster = small_cluster();
+            cluster.num_nodes = nodes;
+            let cfg =
+                EngineConfig::for_system(SystemKind::Bat, ModelConfig::qwen2_1_5b(), cluster, &ds)
+                    .with_tiers(Some(bat_sim::TiersConfig::new(Bytes::from_gb(4))));
+            let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+            let rt_stats = ServeRuntime::new(cfg, ServeOptions::default())
+                .unwrap()
+                .serve(&t);
+            assert_eq!(
+                sim_stats.tiers, rt_stats.tiers,
+                "tier ledger diverged at {nodes} worker threads"
+            );
+            assert!(
+                rt_stats.tiers.lookups() > 0,
+                "the pool must actually be exercised"
+            );
+            assert_eq!(
+                sim_stats.digest(),
+                rt_stats.digest(),
+                "stats digest diverged at {nodes} worker threads"
+            );
+        }
     }
 
     #[test]

@@ -33,8 +33,9 @@ pub mod planner;
 pub mod stats;
 
 pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
-pub use bat_metrics::SloStats;
+pub use bat_metrics::{SloStats, TierStats};
 pub use bat_sched::{OverloadConfig, OverloadController};
+pub use bat_tiers::{ColdFormat, SplitPolicy, TieredKvPool, TiersConfig};
 pub use compute::ComputeModel;
 pub use engine::{AdmissionKind, EngineConfig, PolicyKind, ServingEngine, SystemKind};
 pub use planner::{MetaBackend, PlannedJob, RequestPlanner};

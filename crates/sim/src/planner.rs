@@ -17,6 +17,7 @@ use bat_placement::{DegradedLocation, DegradedPlacement, ItemLocation, ItemPlace
 use bat_sched::{
     CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, PromptPolicy, StaticPolicy,
 };
+use bat_tiers::TieredKvPool;
 use bat_types::{Bytes, ItemId, PrefixKind, RankRequest, WorkerId};
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use std::collections::{BTreeMap, HashSet};
@@ -41,9 +42,10 @@ pub struct PlannedJob {
     /// KV bytes pulled from remote cache workers.
     pub remote_bytes: Bytes,
     /// Extra network-path seconds beyond the nominal transfer time:
-    /// slowed-link inflation after hedging picked the fastest holder, plus
-    /// any seeded-jittered backoff delays spent on retried pulls. Zero on
-    /// every run without `SlowLink` faults.
+    /// slowed-link inflation after hedging picked the fastest holder,
+    /// seeded-jittered backoff delays spent on retried pulls, and the
+    /// cold-tier streaming time of quantized KV served by the tiered pool.
+    /// Zero on every run without `SlowLink` faults or a tiered pool.
     pub net_extra_secs: f64,
 }
 
@@ -273,8 +275,15 @@ pub struct RequestPlanner {
     faults: Option<FaultState>,
     /// Current brownout ladder rung (0 = healthy). Set by the engine's
     /// overload controller before each plan; rung 1 suspends background
-    /// replication refresh, rung 2 degrades cold remote pulls to recompute.
+    /// replication refresh, rung 2 degrades cold remote pulls to recompute
+    /// (or, with a tiered pool, serves them from the local cold tier).
     brownout_rung: u8,
+    /// The tiered KV pool: a quantized cold tier behind the hot cache
+    /// regions. `None` keeps the flat cache, byte-identical to before.
+    /// Decisions are driven on nominal arrival times through the same
+    /// accounting core as the simulation oracle, so sim and serve pools
+    /// agree on every hit/miss/demotion bitwise.
+    tiers: Option<TieredKvPool>,
 }
 
 impl RequestPlanner {
@@ -350,7 +359,18 @@ impl RequestPlanner {
                 .then(|| bat_kvcache::FreqEstimator::new(cfg.freq_window_secs)),
             faults,
             brownout_rung: 0,
+            tiers: cfg.tiers.clone().map(TieredKvPool::new),
         }
+    }
+
+    /// The tiered pool's ledger, `None` when the pool is disabled.
+    pub fn tier_stats(&self) -> Option<bat_metrics::TierStats> {
+        self.tiers.as_ref().map(TieredKvPool::stats)
+    }
+
+    /// The tiered pool itself (tests, oracle digest comparison).
+    pub fn tiers(&self) -> Option<&TieredKvPool> {
+        self.tiers.as_ref()
     }
 
     /// Moves the planner onto a brownout ladder rung. Rung transitions are
@@ -461,6 +481,11 @@ impl RequestPlanner {
                         .view
                         .num_workers();
                     let (entries, bytes) = self.user_cache.invalidate_partition(w.index(), n);
+                    if let Some(pool) = &mut self.tiers {
+                        // The hot copies died with the worker; the cold tier
+                        // is durable local storage and keeps its entries.
+                        pool.forget_hot_partition(w.index(), n);
+                    }
                     if let Some(meta) = &mut self.meta {
                         // The replicated index drops the same partition; the
                         // counts must agree or the mirror has diverged.
@@ -799,29 +824,71 @@ impl RequestPlanner {
                     // Prefix hit: only items + instructions are computed.
                     job.suffix_tokens = total - req.user_tokens as u64;
                     job.local_load = user_bytes;
+                    if let Some(pool) = &mut self.tiers {
+                        pool.note_hot_hit(req.user.into(), user_bytes, now);
+                    }
                 } else {
-                    // Miss: recompute everything, then admit the new prefix.
+                    // Hot miss: probe the cold tier before recomputing. A
+                    // cold hit streams the quantized prefix from local
+                    // storage (priced as extra network-path time) instead
+                    // of recomputing it.
+                    let mut cold_hit = false;
+                    if let Some(pool) = &mut self.tiers {
+                        if let Some(cold_bytes) = pool.cold_lookup(req.user.into(), user_bytes, now)
+                        {
+                            cold_hit = true;
+                            job.suffix_tokens = total - req.user_tokens as u64;
+                            job.net_extra_secs += pool.cold_load_secs(cold_bytes);
+                        }
+                    }
+                    // Admit the (recomputed or cold-served) prefix into the
+                    // hot region under the configured discipline.
                     let outcome = match self.admission {
                         AdmissionKind::Lru => self.user_cache.admit_lru(req.user, user_bytes),
                         AdmissionKind::HotnessAware => {
                             self.user_cache.admit_if_hotter(req.user, user_bytes, now)
                         }
                     };
-                    if let (AdmitOutcome::Admitted { evicted }, Some(meta)) =
-                        (outcome, &mut self.meta)
-                    {
-                        // Mirror the admission churn into the meta index:
-                        // evictions unregister, the new resident registers
-                        // its page-rounded footprint.
-                        let meta = meta.as_index_mut();
-                        for victim in evicted {
-                            meta.evict(victim.into(), now);
+                    if let AdmitOutcome::Admitted { evicted } = outcome {
+                        if let Some(meta) = &mut self.meta {
+                            // Mirror the admission churn into the meta index:
+                            // evictions unregister, the new resident registers
+                            // its page-rounded footprint.
+                            let meta = meta.as_index_mut();
+                            for victim in &evicted {
+                                meta.evict((*victim).into(), now);
+                            }
+                            let resident = self
+                                .user_cache
+                                .entry_bytes(req.user)
+                                .expect("entry was just admitted");
+                            meta.register(req.user.into(), resident.as_u64(), now);
                         }
-                        let resident = self
-                            .user_cache
-                            .entry_bytes(req.user)
-                            .expect("entry was just admitted");
-                        meta.register(req.user.into(), resident.as_u64(), now);
+                        if let Some(pool) = &mut self.tiers {
+                            // Evicted residents demote into the cold tier at
+                            // their quantized size; a cold-served entry now
+                            // lives hot, so its cold copy is released.
+                            for victim in evicted {
+                                pool.demote_hot(victim.into(), now);
+                            }
+                            if cold_hit {
+                                pool.promote(req.user.into());
+                            }
+                            let resident = self
+                                .user_cache
+                                .entry_bytes(req.user)
+                                .expect("entry was just admitted");
+                            pool.register_hot(req.user.into(), resident);
+                        }
+                    } else if let Some(pool) = &mut self.tiers {
+                        // The hot region rejected the prefix (not hot
+                        // enough to evict a resident). Park the freshly
+                        // recomputed KV in the quantized cold tier rather
+                        // than discarding the work; a cold-served entry
+                        // is already there.
+                        if !cold_hit {
+                            pool.demote(req.user.into(), user_bytes, now);
+                        }
                     }
                 }
             }
@@ -853,7 +920,18 @@ impl RequestPlanner {
                                         // Brownout rung 2: a cold sharded
                                         // pull is cheaper to recompute than
                                         // to fetch while the fabric is the
-                                        // bottleneck.
+                                        // bottleneck — unless the tiered
+                                        // pool holds a local cold copy,
+                                        // which costs no fabric at all.
+                                        if let Some(pool) = &mut self.tiers {
+                                            if let Some(cold) =
+                                                pool.brownout_cold_serve(item.into(), bytes, now)
+                                            {
+                                                reused += tokens;
+                                                job.net_extra_secs += pool.cold_load_secs(cold);
+                                                continue;
+                                            }
+                                        }
                                         fs.report.brownout_recomputes += 1;
                                         continue;
                                     }
@@ -899,9 +977,43 @@ impl RequestPlanner {
                                     }
                                 }
                                 FaultedLocation::Recompute => {
-                                    fs.report.recompute_fallbacks += 1;
+                                    // The entry is unreachable in the hot
+                                    // placement, but the cold tier is
+                                    // durable local storage: serve from it
+                                    // if resident, else recompute and
+                                    // write the result back cold so later
+                                    // accesses during the outage hit.
+                                    let mut served = false;
+                                    if let Some(pool) = &mut self.tiers {
+                                        if let Some(cold) =
+                                            pool.cold_lookup(item.into(), bytes, now)
+                                        {
+                                            reused += tokens;
+                                            job.net_extra_secs += pool.cold_load_secs(cold);
+                                            served = true;
+                                        } else {
+                                            pool.demote(item.into(), bytes, now);
+                                        }
+                                    }
+                                    if !served {
+                                        fs.report.recompute_fallbacks += 1;
+                                    }
                                 }
-                                FaultedLocation::Uncached => {}
+                                FaultedLocation::Uncached => {
+                                    // Outside the hot corpus: the cold tier
+                                    // extends coverage — serve a resident
+                                    // copy, or write back the recompute.
+                                    if let Some(pool) = &mut self.tiers {
+                                        if let Some(cold) =
+                                            pool.cold_lookup(item.into(), bytes, now)
+                                        {
+                                            reused += tokens;
+                                            job.net_extra_secs += pool.cold_load_secs(cold);
+                                        } else {
+                                            pool.demote(item.into(), bytes, now);
+                                        }
+                                    }
+                                }
                             }
                         }
                     } else {
@@ -921,7 +1033,21 @@ impl RequestPlanner {
                                     reused += tokens;
                                     job.remote_bytes += bytes;
                                 }
-                                ItemLocation::Uncached => {}
+                                ItemLocation::Uncached => {
+                                    // Outside the hot corpus: the cold tier
+                                    // extends coverage — serve a resident
+                                    // copy, or write back the recompute.
+                                    if let Some(pool) = &mut self.tiers {
+                                        if let Some(cold) =
+                                            pool.cold_lookup(item.into(), bytes, now)
+                                        {
+                                            reused += tokens;
+                                            job.net_extra_secs += pool.cold_load_secs(cold);
+                                        } else {
+                                            pool.demote(item.into(), bytes, now);
+                                        }
+                                    }
+                                }
                             }
                         }
                     }

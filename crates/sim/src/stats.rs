@@ -104,6 +104,10 @@ pub struct RunStats {
     /// is disabled.
     #[serde(default)]
     pub slo: bat_metrics::SloStats,
+    /// Tiered-pool ledger (hot/cold hits, demotions, budget split); all-zero
+    /// when the tiered KV pool is disabled.
+    #[serde(default)]
+    pub tiers: bat_metrics::TierStats,
 }
 
 impl RunStats {
@@ -143,6 +147,7 @@ impl RunStats {
             p99_latency_ms: latencies.p99().unwrap_or(0.0) * 1e3,
             faults: bat_faults::FaultReport::default(),
             slo: bat_metrics::SloStats::default(),
+            tiers: bat_metrics::TierStats::default(),
         }
     }
 
@@ -184,6 +189,18 @@ impl RunStats {
         eat(&self.slo.rejected_queue_full.to_le_bytes());
         eat(&self.slo.rejected_infeasible.to_le_bytes());
         eat(&self.slo.rejected_brownout.to_le_bytes());
+        // Tiered-pool decisions are planner-side: every hit/miss/demotion
+        // must agree between the simulator and the threaded runtime.
+        eat(&self.tiers.hot_hits.to_le_bytes());
+        eat(&self.tiers.cold_hits.to_le_bytes());
+        eat(&self.tiers.misses.to_le_bytes());
+        eat(&self.tiers.promotions.to_le_bytes());
+        eat(&self.tiers.demotions.to_le_bytes());
+        eat(&self.tiers.cold_evictions.to_le_bytes());
+        eat(&self.tiers.brownout_cold_serves.to_le_bytes());
+        eat(&self.tiers.cold_occupancy_bytes.to_le_bytes());
+        eat(&self.tiers.user_budget_bytes.to_le_bytes());
+        eat(&self.tiers.item_budget_bytes.to_le_bytes());
         // The fault report is all planner-side counters; its Debug form is
         // a stable field-ordered rendering.
         eat(format!("{:?}", self.faults).as_bytes());

@@ -25,6 +25,7 @@
 pub mod matrix;
 pub mod ops;
 pub mod packed;
+pub mod quant;
 pub mod rope;
 
 pub use matrix::Matrix;
@@ -34,4 +35,5 @@ pub use ops::{
     stable_softmax_fast_in_place, stable_softmax_in_place,
 };
 pub use packed::{ColBlock, SplitCols};
+pub use quant::{f16_to_f32, f32_to_f16, fp16_round_trip, QuantKind, QuantizedColBlock};
 pub use rope::RopeTable;
