@@ -15,7 +15,11 @@
 use bat::exec;
 use bat_model::prompt::{MaskScheme, PromptLayout, TokenSeq};
 use bat_model::{ForwardWorkspace, GrModel, GrModelConfig, KvSegment, Weights};
-use bat_tensor::{ColBlock, Matrix, QuantKind, QuantizedColBlock, SplitCols};
+use bat_sched::{BatchScheduler, BatchingConfig};
+use bat_tensor::{
+    active_simd_tier, axpy, dot_fast, fast_silu_mul_in_place, stable_softmax_fast_in_place,
+    ColBlock, Matrix, QuantKind, QuantizedColBlock, SplitCols,
+};
 use bat_types::PrefixKind;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -345,6 +349,100 @@ pub fn run(quick: bool, thread_counts: &[usize]) -> PerfSummary {
         .map(|r| r.secs)
         .unwrap_or(fused_secs);
 
+    // Multiversioned elementwise kernels, labelled with the SIMD tier the
+    // dispatchers actually selected on this machine (avx512 / avx2 / neon /
+    // scalar) — so the committed baseline records which tier it measured
+    // and a tier silently falling back to scalar shows up as a regression.
+    // All tiers are bit-identical; only speed differs.
+    let tier = active_simd_tier();
+    let simd_len = if quick { 1536 } else { 8192 };
+    let s_samples = samples * 8;
+    exec::set_threads(1);
+    {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let src: Vec<f32> = Matrix::random(1, simd_len, 1.0, &mut rng)
+            .as_slice()
+            .to_vec();
+        let ups: Vec<f32> = Matrix::random(1, simd_len, 1.0, &mut rng)
+            .as_slice()
+            .to_vec();
+        let mut buf = src.clone();
+        let softmax_secs = time_best(
+            || {
+                buf.copy_from_slice(&src);
+                stable_softmax_fast_in_place(black_box(&mut buf));
+                black_box(&buf);
+            },
+            s_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("simd_softmax_{tier}"),
+            threads: 1,
+            secs: softmax_secs,
+        });
+        let silu_secs = time_best(
+            || {
+                buf.copy_from_slice(&src);
+                fast_silu_mul_in_place(black_box(&mut buf), black_box(&ups));
+                black_box(&buf);
+            },
+            s_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("simd_silu_mul_{tier}"),
+            threads: 1,
+            secs: silu_secs,
+        });
+        let axpy_secs = time_best(
+            || {
+                buf.copy_from_slice(&src);
+                axpy(black_box(&mut buf), 0.37, black_box(&ups));
+                black_box(&buf);
+            },
+            s_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("simd_axpy_{tier}"),
+            threads: 1,
+            secs: axpy_secs,
+        });
+        let dot_secs = time_best(
+            || {
+                black_box(dot_fast(black_box(&src), black_box(&ups)));
+            },
+            s_samples,
+        );
+        kernels.push(BenchResult {
+            name: format!("simd_dot_{tier}"),
+            threads: 1,
+            secs: dot_secs,
+        });
+    }
+
+    // Continuous-batching round formation: the slot scheduler's pure
+    // control-plane cost of admitting a burst of multi-chunk requests and
+    // retiring every round. This is the per-request overhead the batched
+    // serve path adds on top of the kernels above.
+    let batch_reqs = if quick { 64 } else { 512 };
+    let round_secs = time_best(
+        || {
+            let mut m = BatchScheduler::new(BatchingConfig::default(), 1e-4, vec![1.0; 4]);
+            for i in 0..batch_reqs {
+                m.admit(i as f64 * 1e-3, i, 1024, 4e-3, None);
+                black_box(m.drain_rounds());
+            }
+            m.finish();
+            black_box(m.drain_rounds());
+            black_box(m.drain_completions());
+        },
+        samples,
+    );
+    kernels.push(BenchResult {
+        name: "batch_round_formation".into(),
+        threads: 1,
+        secs: round_secs,
+    });
+
     let deterministic = check_determinism(thread_counts);
     exec::set_threads(restore);
 
@@ -397,13 +495,19 @@ const GATE_ABS_SLACK_SECS: f64 = 0.0005;
 /// regressed by more than `tolerance` (fractional, e.g. `0.25` for the CI
 /// gate's 25 %, plus [`GATE_ABS_SLACK_SECS`]) — or that the fresh run no
 /// longer measures at all, since a silently dropped row would otherwise
-/// un-gate itself. Entries the baseline doesn't know about are new
-/// measurements and pass freely. Only meaningful when both runs used the
-/// same problem sizes (same `quick` flag) and overlapping thread widths.
+/// un-gate itself — or that the baseline is *stale*: a fresh row the
+/// baseline has no entry for means a kernel was added or renamed without
+/// regenerating `BENCH_KERNELS.json`, so it would never be gated (and the
+/// renamed-away baseline row would keep reporting "not measured" forever).
+/// Both directions fail the gate; the fix is to re-run with `--out`. Only
+/// meaningful when both runs used the same problem sizes (same `quick`
+/// flag), the same architecture (SIMD rows are named by detected tier),
+/// and overlapping thread widths.
 pub fn regressions(fresh: &PerfSummary, baseline: &PerfSummary, tolerance: f64) -> Vec<String> {
     let mut out = Vec::new();
     let fresh_rows: Vec<&BenchResult> = fresh.kernels.iter().chain(&fresh.forward).collect();
-    for base in baseline.kernels.iter().chain(&baseline.forward) {
+    let base_rows: Vec<&BenchResult> = baseline.kernels.iter().chain(&baseline.forward).collect();
+    for base in &base_rows {
         // Skip baseline widths the fresh run was not asked to measure.
         if base.threads != 1 && !fresh.thread_counts.contains(&base.threads) {
             continue;
@@ -427,6 +531,22 @@ pub fn regressions(fresh: &PerfSummary, baseline: &PerfSummary, tolerance: f64) 
                 "{} @ {} threads: present in baseline but not measured",
                 base.name, base.threads
             )),
+        }
+    }
+    for r in &fresh_rows {
+        // Skip fresh widths the baseline never recorded (a wider --threads
+        // run against an older narrow baseline is not staleness).
+        if r.threads != 1 && !baseline.thread_counts.contains(&r.threads) {
+            continue;
+        }
+        if !base_rows
+            .iter()
+            .any(|b| b.name == r.name && b.threads == r.threads)
+        {
+            out.push(format!(
+                "{} @ {} threads: measured but absent from baseline (stale baseline — regenerate with --out)",
+                r.name, r.threads
+            ));
         }
     }
     out
@@ -503,6 +623,19 @@ mod tests {
         fresh.forward[0].secs = 0.010;
         fresh.forward.remove(2);
         assert_eq!(regressions(&fresh, &baseline, 0.25).len(), 1);
+        fresh = baseline.clone();
+        // A fresh row the baseline has never seen means the baseline is
+        // stale (kernel added or renamed without regenerating): flagged.
+        fresh.kernels.push(row("simd_softmax_avx512", 1, 0.0001));
+        let stale = regressions(&fresh, &baseline, 0.25);
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        assert!(stale[0].contains("stale baseline"));
+        // ...unless it was measured at a width the baseline never ran.
+        fresh.kernels.pop();
+        fresh.thread_counts = vec![1, 4, 8];
+        fresh.forward.push(row("forward_batched", 8, 0.010));
+        assert!(regressions(&fresh, &baseline, 0.25).is_empty());
+        fresh = baseline.clone();
         // Baseline widths the fresh run didn't measure are skipped.
         fresh.thread_counts = vec![1];
         fresh.forward = vec![row("forward_batched", 1, 0.010)];

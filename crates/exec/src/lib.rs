@@ -149,6 +149,62 @@ where
     run_blocks(blocks, &|b| f(block_range(n, blocks, b)));
 }
 
+/// Runs `f(chunk_index, range)` over a weight-balanced contiguous
+/// partition of `0..weights.len()`. Where [`parallel_chunks`] splits by
+/// *count*, this splits by cumulative *weight*: chunk `b` covers the
+/// indices whose prefix weight falls in the `b`-th of `k` equal weight
+/// spans, so a batch of variable-length sequences (a continuous-batching
+/// round's chunks, keyed by token count) spreads evenly instead of one
+/// task inheriting every long prompt.
+///
+/// The partition is a pure function of `(weights, k)` with
+/// `k = block_count(n)`; like [`parallel_chunks`], callers must only write
+/// per-index state for results to be bit-identical across thread counts.
+/// Chunks that end up empty (one weight dwarfing the rest) are skipped,
+/// and a zero total weight falls back to the uniform count split.
+pub fn parallel_weighted_chunks<F>(weights: &[u64], grain: usize, f: F)
+where
+    F: Fn(usize, Range<usize>) + Sync,
+{
+    let n = weights.len();
+    if n == 0 {
+        return;
+    }
+    if threads() <= 1 || n < grain.max(2) {
+        f(0, 0..n);
+        return;
+    }
+    let k = block_count(n);
+    let total: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    if total == 0 {
+        run_blocks(k, &|b| f(b, block_range(n, k, b)));
+        return;
+    }
+    // cuts[b] = first index whose prefix weight reaches b/k of the total;
+    // computed by one forward sweep, so cuts are monotone and partition
+    // 0..n exactly.
+    let mut cuts = Vec::with_capacity(k + 1);
+    cuts.push(0usize);
+    let mut prefix: u128 = 0;
+    let mut i = 0usize;
+    for b in 1..k {
+        let target = total * b as u128;
+        while i < n && prefix * (k as u128) < target {
+            prefix += u128::from(weights[i]);
+            i += 1;
+        }
+        cuts.push(i);
+    }
+    cuts.push(n);
+    let cuts = &cuts;
+    run_blocks(k, &|b| {
+        let range = cuts[b]..cuts[b + 1];
+        if !range.is_empty() {
+            f(b, range);
+        }
+    });
+}
+
 /// Treats `data` as an `n_rows × row_len` row-major buffer and hands
 /// disjoint contiguous row blocks to `f(first_row, rows_slice)` in
 /// parallel. Each row belongs to exactly one block, so per-row outputs are
@@ -325,6 +381,77 @@ mod tests {
         assert!(hits
             .iter()
             .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+        set_threads(1);
+    }
+
+    #[test]
+    fn weighted_chunks_cover_every_index_once() {
+        for t in [1, 2, 4, 8] {
+            set_threads(t);
+            let weights: Vec<u64> = (0..157).map(|i| (i * 37) % 113).collect();
+            let hits: Vec<std::sync::atomic::AtomicU32> = (0..weights.len())
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect();
+            parallel_weighted_chunks(&weights, 1, |_, range| {
+                for i in range {
+                    hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter()
+                    .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1),
+                "{t} threads"
+            );
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn weighted_chunks_balance_skewed_weights() {
+        set_threads(4);
+        // One 10_000-token prompt among 63 tiny ones: a count split gives
+        // some chunk ~10k + neighbors; the weight split isolates it.
+        let mut weights = vec![8u64; 64];
+        weights[0] = 10_000;
+        let total: u64 = weights.iter().sum();
+        let max_w = *weights.iter().max().unwrap();
+        let chunk_loads = std::sync::Mutex::new(Vec::new());
+        parallel_weighted_chunks(&weights, 1, |_, range| {
+            let load: u64 = range.map(|i| weights[i]).sum();
+            chunk_loads.lock().unwrap().push(load);
+        });
+        let loads = chunk_loads.into_inner().unwrap();
+        let k = loads.len() as u64;
+        assert!(k > 1, "the split must actually split");
+        // Standard greedy bound: no chunk exceeds an even share plus one
+        // item (the indivisible unit).
+        for load in loads {
+            assert!(
+                load <= total / k + max_w,
+                "chunk load {load} vs bound {} (total {total}, k {k})",
+                total / k + max_w
+            );
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn weighted_chunks_handle_degenerate_weights() {
+        set_threads(4);
+        // All-zero weights fall back to the uniform split; empty input is
+        // a no-op.
+        let hits: Vec<std::sync::atomic::AtomicU32> = (0..17)
+            .map(|_| std::sync::atomic::AtomicU32::new(0))
+            .collect();
+        parallel_weighted_chunks(&[0u64; 17], 1, |_, range| {
+            for i in range {
+                hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+        parallel_weighted_chunks(&[], 1, |_, _| panic!("must not run"));
         set_threads(1);
     }
 

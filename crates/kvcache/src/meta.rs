@@ -150,15 +150,8 @@ pub fn meta_digest<'a>(
     hotness: impl Iterator<Item = (&'a CacheKey, &'a (u64, u64))>,
     view_epoch: u64,
 ) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            h ^= byte as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
+    let mut h = bat_types::fnv::Fnv64::new();
+    let mut mix = |v: u64| h.write_u64(v);
     let key_word = |k: &CacheKey| match *k {
         CacheKey::User(u) => u.as_u64() << 1,
         CacheKey::Item(i) => (i.as_u64() << 1) | 1,
@@ -174,7 +167,7 @@ pub fn meta_digest<'a>(
         mix(*last_ms);
     }
     mix(view_epoch);
-    h
+    h.finish()
 }
 
 /// Single-node, in-process meta index: the behaviour every replicated

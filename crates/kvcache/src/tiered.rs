@@ -109,11 +109,10 @@ pub struct TierCounters {
     pub cold_evictions: u64,
 }
 
-// FNV-1a, the same digest family `RunStats::digest` uses: cheap, stable,
-// and order-sensitive, so two caches agree iff their decision *sequences*
-// agree, not just their totals.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1000_0000_01b3;
+// FNV-1a via the shared `bat_types::fnv` module — the same digest family
+// `RunStats::digest` uses: cheap, stable, and order-sensitive, so two
+// caches agree iff their decision *sequences* agree, not just their totals.
+use bat_types::fnv::Fnv64;
 
 /// One cold-tier class region: its own map, recency order, and budget.
 #[derive(Debug, Clone)]
@@ -151,7 +150,7 @@ pub struct TieredKvCache {
     dram_used: Bytes,
     cold: [ColdClass; 2],
     counters: TierCounters,
-    digest: u64,
+    digest: Fnv64,
 }
 
 impl TieredKvCache {
@@ -167,7 +166,7 @@ impl TieredKvCache {
                 ColdClass::new(cfg.cold_item_budget),
             ],
             counters: TierCounters::default(),
-            digest: FNV_OFFSET,
+            digest: Fnv64::new(),
         }
     }
 
@@ -210,7 +209,7 @@ impl TieredKvCache {
     /// same operation sequence hold the same digest; any divergence in a
     /// hit/miss/admit/demotion/eviction decision changes it.
     pub fn digest(&self) -> u64 {
-        self.digest
+        self.digest.finish()
     }
 
     /// Whether `key` is resident in DRAM (no recency or counter effect).
@@ -452,14 +451,12 @@ impl TieredKvCache {
 
     #[inline]
     fn fold(&mut self, byte: u8) {
-        self.digest = (self.digest ^ byte as u64).wrapping_mul(FNV_PRIME);
+        self.digest.write_u8(byte);
     }
 
     #[inline]
     fn fold_u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.fold(b);
-        }
+        self.digest.write_u64(v);
     }
 
     fn fold_decision(&mut self, op: u8, key: CacheKey, outcome: u8, bytes: Bytes) {

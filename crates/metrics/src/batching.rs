@@ -1,0 +1,69 @@
+//! Continuous-batching accounting: rounds, chunks, seat occupancy, idle gaps.
+//!
+//! [`BatchStats`] is the slot scheduler's ledger. The counter fields are
+//! planner-side decisions — both engines run the same slot machine on
+//! nominal arrival time, so every one of them must agree bit-for-bit
+//! between the simulator and the threaded runtime (they are folded into
+//! `RunStats::digest`). The `max_idle_gap_over_chunk` observation backs
+//! the `ablation_batching` gate: at saturation a continuously-batched
+//! worker must never sit idle longer than one chunk while work is pending.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what the slot-based batch scheduler did to a run.
+///
+/// All-zero (`Default`) when continuous batching is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Fused worker rounds executed (one round = one chunk from each
+    /// seated request on a worker, priced under a single batch overhead).
+    pub rounds: u64,
+    /// Prefill/scoring chunks retired across all rounds.
+    pub chunks: u64,
+    /// Tokens processed through batched rounds.
+    pub batched_tokens: u64,
+    /// Seats refilled from the global pending queue the moment a request
+    /// retired — the continuous-batching events a per-request batcher
+    /// (which waits for request boundaries) can never produce.
+    pub seat_refills: u64,
+    /// Peak concurrently-seated requests across all workers.
+    pub peak_seated: usize,
+    /// Largest observed worker idle gap while pending work existed,
+    /// normalized to that worker's mean chunk service time. Observational
+    /// (excluded from the digest): the ablation gate asserts ≤ 1.0 at
+    /// saturation.
+    pub max_idle_gap_over_chunk: f64,
+}
+
+impl BatchStats {
+    /// Mean chunks fused per round; 0 for an empty (or disabled) run.
+    pub fn mean_round_width(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.chunks as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let b = BatchStats::default();
+        assert_eq!(b.rounds, 0);
+        assert_eq!(b.mean_round_width(), 0.0);
+    }
+
+    #[test]
+    fn round_width_is_chunks_per_round() {
+        let b = BatchStats {
+            rounds: 4,
+            chunks: 10,
+            ..BatchStats::default()
+        };
+        assert!((b.mean_round_width() - 2.5).abs() < 1e-12);
+    }
+}

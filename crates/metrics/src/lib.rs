@@ -10,6 +10,8 @@
 //!   the overload control plane's conservation law.
 //! * **Tier accounting** ([`tiers`]): hot/cold hit, promotion/demotion and
 //!   occupancy counters for the tiered KV pool.
+//! * **Batch accounting** ([`batching`]): round/chunk/seat-occupancy
+//!   counters for the continuous cross-request batch scheduler.
 //!
 //! # Example
 //!
@@ -22,11 +24,13 @@
 //! assert!(m.mrr_at(10) > 0.3);
 //! ```
 
+pub mod batching;
 pub mod ranking;
 pub mod slo;
 pub mod stats;
 pub mod tiers;
 
+pub use batching::BatchStats;
 pub use ranking::RankingMetrics;
 pub use slo::SloStats;
 pub use stats::{Cdf, Percentiles, Summary};

@@ -6,12 +6,14 @@
 //! and is the safe default for cold or short-profile users. This crate
 //! implements the paper's decision policies ([`policy`]), the
 //! max-batched-tokens batch former used by the inference workers
-//! ([`batch`]), and the SLO-aware admission/brownout control plane
+//! ([`batch`]), the slot-based continuous cross-request batch scheduler
+//! ([`slots`]), and the SLO-aware admission/brownout control plane
 //! ([`overload`]).
 
 pub mod batch;
 pub mod overload;
 pub mod policy;
+pub mod slots;
 
 pub use batch::BatchFormer;
 pub use overload::{AdmitDecision, OverloadConfig, OverloadController};
@@ -19,3 +21,4 @@ pub use policy::{
     CacheAgnosticPolicy, DegradedModePolicy, HotnessAwarePolicy, OraclePolicy, PromptPolicy,
     StaticPolicy,
 };
+pub use slots::{BatchCompletion, BatchScheduler, BatchShed, BatchingConfig, RoundRecord};

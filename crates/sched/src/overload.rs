@@ -133,6 +133,11 @@ pub struct OverloadController {
     /// Live drain rate: service-seconds retired per second of trace time
     /// (live workers weighted by straggler slowdown).
     capacity: f64,
+    /// Service-seconds actually queued or seated in the slot-based batch
+    /// scheduler (0 when continuous batching is off). A floor under the
+    /// analytic backlog: the drain model assumes work retires at capacity
+    /// from the moment it is admitted, but slot occupancy is ground truth.
+    slot_backlog_secs: f64,
     rung: u8,
     transitions: u64,
     max_rung: u8,
@@ -147,6 +152,7 @@ impl OverloadController {
             backlog_secs: 0.0,
             last_update: 0.0,
             capacity: capacity.max(f64::MIN_POSITIVE),
+            slot_backlog_secs: 0.0,
             rung: 0,
             transitions: 0,
             max_rung: 0,
@@ -173,9 +179,20 @@ impl OverloadController {
         self.last_update = self.last_update.max(now);
     }
 
-    /// Estimated queueing delay an arrival would see right now, seconds.
+    /// Feeds the slot scheduler's occupancy (queued + seated priced
+    /// service, seconds) into the wait estimate. Both engines call this
+    /// with the machine's nominal ledger immediately before each
+    /// [`OverloadController::on_arrival`], so admission decisions stay
+    /// bit-identical across execution paths. Calling it with `0.0` (or
+    /// never) reproduces the pre-batching controller exactly.
+    pub fn set_slot_backlog(&mut self, secs: f64) {
+        self.slot_backlog_secs = secs.max(0.0);
+    }
+
+    /// Estimated queueing delay an arrival would see right now, seconds:
+    /// the analytic backlog floored by observed slot occupancy.
     pub fn estimated_wait_secs(&self) -> f64 {
-        self.backlog_secs / self.capacity
+        self.backlog_secs.max(self.slot_backlog_secs) / self.capacity
     }
 
     /// Current pressure: estimated wait over the configured bound.
@@ -347,6 +364,25 @@ mod tests {
         fast.on_arrival(0.4, 0.0, None, Priority::Normal);
         slow.on_arrival(0.4, 0.0, None, Priority::Normal);
         assert!(fast.estimated_wait_secs() < slow.estimated_wait_secs());
+    }
+
+    #[test]
+    fn slot_backlog_floors_the_wait_estimate() {
+        let mut c = ctl(1.0);
+        // Analytic backlog drained long ago, but the slot machine still
+        // holds 0.9s of seated work: the wait estimate must see it.
+        c.set_slot_backlog(0.9);
+        assert!((c.estimated_wait_secs() - 0.9).abs() < 1e-12);
+        assert_eq!(
+            c.on_arrival(10.0, 0.3, Some(1.0), Priority::Normal),
+            AdmitDecision::Reject(RejectReason::DeadlineInfeasible)
+        );
+        // Clearing the slot signal restores the analytic-only estimate.
+        c.set_slot_backlog(0.0);
+        assert_eq!(
+            c.on_arrival(10.0, 0.3, Some(1.0), Priority::Normal),
+            AdmitDecision::Admit
+        );
     }
 
     #[test]

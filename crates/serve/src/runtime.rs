@@ -27,14 +27,17 @@
 //! for re-dispatch. Work is never dropped and never double-served.
 
 use crate::net_worker::{run_net_worker, CHILD_INDEX_ENV, CHILD_SOCKET_ENV};
-use bat_metrics::{Percentiles, SloStats};
+use bat_metrics::{BatchStats, Percentiles, SloStats};
 use bat_net::{
     ChannelTransport, CompletionMsg, Conn, DispatchMsg, HelloMsg, Listener, OrphanMsg, ShutdownMsg,
     TcpTransport, Transport, WireCodec, WireOutcome, MSG_COMPLETION, MSG_ORPHAN,
 };
-use bat_sim::{EngineConfig, FaultKind, OverloadController, RequestPlanner, RunStats};
-use bat_types::{BatError, Bytes, RankRequest, RejectReason};
-use crossbeam::channel::{unbounded, Sender};
+use bat_sim::{
+    BatchScheduler, EngineConfig, FaultKind, OverloadController, RequestPlanner, RoundRecord,
+    RunStats,
+};
+use bat_types::{BatError, Bytes, PrefixKind, RankRequest, RejectReason};
+use crossbeam::channel::{unbounded, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -275,6 +278,12 @@ impl ServeRuntime {
                 ));
             }
         }
+        if cfg.batching.is_some() && cfg.faults.is_some() {
+            return Err(BatError::InvalidConfig(
+                "continuous batching does not support fault schedules in the threaded runtime yet"
+                    .to_owned(),
+            ));
+        }
         if opts.processes && opts.transport != TransportKind::Uds {
             return Err(BatError::InvalidConfig(
                 "worker processes require the Uds transport".to_owned(),
@@ -333,6 +342,9 @@ impl ServeRuntime {
                 w[1].arrival >= w[0].arrival,
                 "trace must be sorted by arrival"
             );
+        }
+        if self.cfg.batching.is_some() {
+            return self.serve_batched(trace);
         }
         let n_workers = self.cfg.cluster.num_nodes;
         let scale = self.opts.time_scale;
@@ -867,6 +879,388 @@ impl ServeRuntime {
         }
         stats
     }
+
+    /// The continuous-batching serve path: the scheduler thread runs the
+    /// same nominal-time [`BatchScheduler`] as the simulator's batched
+    /// path — same admission sequence, same priced services, same round
+    /// formation — and every [`RoundRecord`] it forms is then *physically*
+    /// dispatched to the round's worker as one wire frame. The workers are
+    /// pure execution vehicles here (they sleep the round's priced service
+    /// and ack it); the whole ledger — latencies, SLO counters, the batching
+    /// stats — comes from the machine, so [`RunStats::digest`] is
+    /// bit-identical to the simulator's for the same trace at any worker
+    /// count.
+    ///
+    /// Fault schedules are rejected at construction for this path: the
+    /// machine re-queues seated chunks on crash, but the physical
+    /// round-frame protocol has no orphan story yet.
+    #[allow(clippy::too_many_lines)]
+    fn serve_batched(&self, trace: &[RankRequest]) -> RunStats {
+        let n_workers = self.cfg.cluster.num_nodes;
+        let scale = self.opts.time_scale;
+        let batching = self.cfg.batching.expect("batched path requires config");
+
+        let planner = Mutex::new(RequestPlanner::from_config(&self.cfg));
+        let outstanding = Arc::new(AtomicU64::new(0));
+        let sched_done = Arc::new(AtomicBool::new(false));
+        let ledger_out = Mutex::new(None::<BatchedLedger>);
+
+        let transport = self.transport();
+        let run_tag = next_run_tag();
+        let mut listeners: Vec<Box<dyn Listener>> = Vec::with_capacity(n_workers);
+        let mut dial_addrs: Vec<String> = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let listener = transport
+                .listen(&self.listen_addr(run_tag, w))
+                .expect("transport endpoint binds");
+            dial_addrs.push(listener.local_addr());
+            listeners.push(listener);
+        }
+        let links: Vec<Link> = (0..n_workers).map(|_| Link::new()).collect();
+        let (event_tx, event_rx) = unbounded::<Event>();
+
+        let start = Instant::now();
+        let virtual_now = move || start.elapsed().as_secs_f64() / scale;
+
+        // One straggler knob for both execution paths. The machine's round
+        // services are already straggler-scaled, so the workers themselves
+        // run at unit speed with zero extra overhead: the frame's
+        // `service_virtual` is the whole truth.
+        let straggler = self.opts.straggler.or(self.cfg.straggler);
+        let speeds: Vec<f64> = (0..n_workers)
+            .map(|i| match straggler {
+                Some((w, f)) if w == i => f,
+                _ => 1.0,
+            })
+            .collect();
+        let hello = move |w: usize, vnow: f64| HelloMsg {
+            worker: w as u32,
+            scale,
+            virtual_now: vnow,
+            // One frame per round: rounds are formed by the machine, never
+            // re-fused opportunistically by the worker loop.
+            max_batch_tokens: 1,
+            batch_overhead: 0.0,
+            slowdown: 1.0,
+        };
+
+        let stats = thread::scope(|scope| {
+            for (w, link) in links.iter().enumerate() {
+                if self.opts.processes {
+                    let child = spawn_child(&self.opts.child_args, &dial_addrs[w], w)
+                        .expect("child worker spawns");
+                    *link.child.lock() = Some(child);
+                } else {
+                    let addr = dial_addrs[w].clone();
+                    let alive = Arc::clone(&link.alive);
+                    let transport = Arc::clone(&transport);
+                    scope.spawn(move || match transport.connect(&addr) {
+                        Ok(conn) => {
+                            if let Err(e) = run_net_worker(conn.as_ref(), Some(&alive)) {
+                                eprintln!("worker {w}: {e}");
+                            }
+                        }
+                        Err(e) => eprintln!("worker {w}: connect {addr}: {e}"),
+                    });
+                }
+            }
+            for (w, link) in links.iter().enumerate() {
+                let conn = listeners[w]
+                    .accept_timeout(ACCEPT_TIMEOUT)
+                    .expect("worker connects back during setup");
+                conn.send(hello(w, virtual_now()).to_frame())
+                    .expect("worker accepts hello");
+                *link.conn.lock() = (0, Some(Arc::clone(&conn)));
+                let events = event_tx.clone();
+                scope.spawn(move || run_reader(conn, w, 0, events));
+            }
+
+            // Scheduler thread: replays arrivals on nominal time through
+            // the batch machine, dispatching each formed round as a frame.
+            let planner_ref = &planner;
+            let links_ref = &links;
+            let outstanding_ref = &outstanding;
+            let sched_done_ref = &sched_done;
+            let ledger_ref = &ledger_out;
+            let speeds_ref = &speeds;
+            let queue_depth = self.opts.queue_depth as u64;
+            scope.spawn(move || {
+                let mut machine =
+                    BatchScheduler::new(batching, self.cfg.batch_overhead_secs, speeds_ref.clone());
+                // Physical dispatch of one formed round, under the same
+                // per-link inflight credit as the per-request path. With no
+                // fault schedule a dead link is a bug, not an event.
+                let dispatch_round = |r: &RoundRecord| {
+                    let link = &links_ref[r.worker];
+                    while link.inflight.load(Ordering::Acquire) >= queue_depth {
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    link.queued.fetch_add(r.tokens, Ordering::Relaxed);
+                    link.inflight.fetch_add(1, Ordering::AcqRel);
+                    outstanding_ref.fetch_add(1, Ordering::AcqRel);
+                    let (_, conn) = link.current();
+                    let sent = conn.as_ref().is_some_and(|c| {
+                        c.send(
+                            DispatchMsg {
+                                seq: r.seq,
+                                arrival_virtual: r.start,
+                                suffix_tokens: r.tokens,
+                                service_virtual: r.service_secs,
+                                deadline_rel: None,
+                            }
+                            .to_frame(),
+                        )
+                        .is_ok()
+                    });
+                    assert!(
+                        sent,
+                        "worker {} link died without a fault schedule",
+                        r.worker
+                    );
+                };
+
+                // Everything below mirrors the simulator's batched run
+                // statement-for-statement on nominal times; see
+                // `ServingEngine::run_batched`. Arrival times are rounded
+                // through the same nanosecond key so edge comparisons
+                // (item-refresh boundaries) land identically.
+                struct AdmittedJob {
+                    arrival_secs: f64,
+                    deadline: Option<f64>,
+                    compute: f64,
+                    load: f64,
+                    net: f64,
+                }
+                let mut admitted: Vec<Option<AdmittedJob>> =
+                    (0..trace.len()).map(|_| None).collect();
+                let mut ledger = BatchedLedger {
+                    first_arrival: f64::INFINITY,
+                    ..BatchedLedger::default()
+                };
+                let mut next_refresh = self.cfg.item_refresh_interval_secs.unwrap_or(0.0);
+                let mut controller = self.cfg.slo.map(|c| {
+                    let p = planner_ref.lock();
+                    let cap = (0..n_workers)
+                        .filter(|&i| p.is_worker_alive(i))
+                        .map(|i| 1.0 / speeds_ref[i])
+                        .sum();
+                    OverloadController::new(c, cap)
+                });
+                for (idx, req) in trace.iter().enumerate() {
+                    let nominal = req.arrival.as_secs();
+                    // Open-loop pacing in scaled wall time: rounds form and
+                    // dispatch as their admitting arrivals come due, so the
+                    // physical run overlaps execution with the trace replay
+                    // instead of bursting everything at once.
+                    loop {
+                        let now = virtual_now();
+                        if now >= nominal {
+                            break;
+                        }
+                        thread::sleep(Duration::from_secs_f64(
+                            ((nominal - now) * scale).min(0.005),
+                        ));
+                    }
+                    let rounded = ((nominal * 1e9) as u64) as f64 / 1e9;
+                    ledger.first_arrival = ledger.first_arrival.min(rounded);
+                    let mut p = planner_ref.lock();
+                    if let Some(interval) = self.cfg.item_refresh_interval_secs {
+                        if rounded >= next_refresh {
+                            p.refresh_item_replication(rounded);
+                            next_refresh = rounded + interval;
+                        }
+                    }
+                    if let Some(ctl) = controller.as_mut() {
+                        p.advance_faults(nominal);
+                        ctl.set_capacity(
+                            (0..n_workers)
+                                .filter(|&i| p.is_worker_alive(i))
+                                .map(|i| 1.0 / speeds_ref[i])
+                                .sum(),
+                        );
+                        machine.advance(nominal);
+                        ctl.set_slot_backlog(machine.outstanding_service_secs());
+                        ledger.slo.submitted += 1;
+                        let est = p.admission_estimate_secs(req);
+                        let decision =
+                            ctl.on_arrival(nominal, est, req.slo.deadline_secs, req.slo.priority);
+                        if let Err(BatError::Rejected { reason }) = decision.into_result() {
+                            count_reject(&mut ledger.slo, reason);
+                            continue;
+                        }
+                        ledger.slo.accepted += 1;
+                        p.set_brownout_rung(ctl.rung());
+                    }
+                    let planned = p.plan(req, nominal);
+                    let (c, l, t) = p.price(&planned);
+                    drop(p);
+                    ledger.total_tokens += req.total_tokens() as u64;
+                    ledger.reused_tokens += planned.reused_tokens();
+                    ledger.computed_tokens += planned.suffix_tokens;
+                    ledger.remote_bytes += planned.remote_bytes;
+                    if self.cfg.caching {
+                        match planned.prefix {
+                            PrefixKind::User => ledger.up_requests += 1,
+                            PrefixKind::Item => ledger.ip_requests += 1,
+                        }
+                    }
+                    let deadline = controller
+                        .is_some()
+                        .then(|| req.slo.absolute_deadline(nominal))
+                        .flatten();
+                    machine.admit(nominal, idx, planned.suffix_tokens, c + l + t, deadline);
+                    admitted[idx] = Some(AdmittedJob {
+                        arrival_secs: nominal,
+                        deadline,
+                        compute: c,
+                        load: l,
+                        net: t,
+                    });
+                    for r in machine.drain_rounds() {
+                        dispatch_round(&r);
+                    }
+                }
+                machine.finish();
+                for r in machine.drain_rounds() {
+                    dispatch_round(&r);
+                }
+                // Fold the terminal ledger in the machine's completion
+                // order — the same f64 fold order as the simulator, which
+                // is what keeps the digest bitwise equal.
+                for done in machine.drain_completions() {
+                    let job = admitted[done.idx]
+                        .as_ref()
+                        .expect("machine completions cover only admitted requests");
+                    ledger.latencies.record(done.at - job.arrival_secs);
+                    ledger.completed += 1;
+                    ledger.compute_secs += job.compute;
+                    ledger.load_secs += job.load;
+                    ledger.net_secs += job.net;
+                    if controller.is_some() {
+                        ledger.slo.completed += 1;
+                        if job.deadline.is_some_and(|d| done.at > d) {
+                            ledger.slo.deadline_misses += 1;
+                        }
+                    }
+                    ledger.last_completion = ledger.last_completion.max(done.at);
+                }
+                ledger.slo.shed_expired += machine.drain_sheds().len() as u64;
+                ledger.batching = machine.stats();
+                *ledger_ref.lock() = Some(ledger);
+                // Wait out the physical tail, then release the cluster.
+                while outstanding_ref.load(Ordering::Acquire) > 0 {
+                    thread::sleep(Duration::from_micros(500));
+                }
+                sched_done_ref.store(true, Ordering::Release);
+                for link in links_ref {
+                    if let (_, Some(conn)) = link.current() {
+                        let _ = conn.send(ShutdownMsg.to_frame());
+                    }
+                }
+            });
+
+            // Collector: acks round frames so credit and the outstanding
+            // count drain. All statistics live in the machine's ledger;
+            // this loop is pure flow control.
+            loop {
+                match event_rx.try_recv() {
+                    Ok(Event::Done(c)) => {
+                        let link = &links[c.worker as usize];
+                        link.queued.fetch_sub(c.suffix_tokens, Ordering::Relaxed);
+                        link.inflight.fetch_sub(1, Ordering::AcqRel);
+                        outstanding.fetch_sub(1, Ordering::Release);
+                    }
+                    Ok(Event::Orphan(_)) => {
+                        unreachable!("batched workers are never killed")
+                    }
+                    Ok(Event::Down { worker, .. }) => {
+                        // Reader death after shutdown is the orderly end;
+                        // before it, a lost link would strand its rounds.
+                        assert!(
+                            sched_done.load(Ordering::Acquire),
+                            "worker {worker} link died without a fault schedule"
+                        );
+                    }
+                    Ok(Event::Rejected(_)) => {
+                        unreachable!("the batched scheduler counts rejects locally")
+                    }
+                    Err(TryRecvError::Empty) => {
+                        if sched_done.load(Ordering::Acquire) {
+                            break;
+                        }
+                        thread::sleep(Duration::from_micros(500));
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+
+            let ledger = ledger_out
+                .lock()
+                .take()
+                .expect("scheduler thread fills the ledger");
+            let mut latencies = ledger.latencies;
+            let span = if ledger.completed == 0 {
+                0.0
+            } else {
+                (ledger.last_completion - ledger.first_arrival).max(1e-9)
+            };
+            let mut stats = RunStats::from_counters(
+                self.cfg.label.clone(),
+                ledger.completed,
+                span,
+                ledger.total_tokens,
+                ledger.reused_tokens,
+                ledger.computed_tokens,
+                ledger.remote_bytes,
+                ledger.compute_secs,
+                ledger.net_secs,
+                ledger.load_secs,
+                ledger.up_requests,
+                ledger.ip_requests,
+                &mut latencies,
+            );
+            stats.slo = ledger.slo;
+            stats.batching = ledger.batching;
+            let mut planner = planner.lock();
+            if let Some(report) = planner.finish_faults() {
+                stats.faults = report;
+            }
+            if let Some(tiers) = planner.tier_stats() {
+                stats.tiers = tiers;
+            }
+            drop(planner);
+            stats
+        });
+        for link in &links {
+            if let Some(mut child) = link.child.lock().take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+        stats
+    }
+}
+
+/// The batched path's whole accounting state, filled by the scheduler
+/// thread (which owns the machine) and read once by the collector when the
+/// run drains. Mirrors the counter set of the simulator's batched path.
+#[derive(Debug, Default)]
+struct BatchedLedger {
+    completed: usize,
+    latencies: Percentiles,
+    slo: SloStats,
+    batching: BatchStats,
+    total_tokens: u64,
+    reused_tokens: u64,
+    computed_tokens: u64,
+    remote_bytes: Bytes,
+    compute_secs: f64,
+    net_secs: f64,
+    load_secs: f64,
+    up_requests: usize,
+    ip_requests: usize,
+    first_arrival: f64,
+    last_completion: f64,
 }
 
 fn count_reject(slo: &mut SloStats, reason: RejectReason) {
@@ -1220,6 +1614,67 @@ mod tests {
             proptest::prop_assert_eq!(stats.slo.submitted, t.len() as u64);
             proptest::prop_assert!(stats.slo.conserved(), "not conserved: {:?}", stats.slo);
         }
+    }
+
+    #[test]
+    fn batched_runtime_matches_simulator_digest() {
+        // The threaded runtime drives the identical nominal-time batch
+        // machine, so its whole stats digest — batching ledger included —
+        // must be bitwise equal to the simulator's batched path.
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 2.0, 40.0);
+        let cfg =
+            config(SystemKind::Bat, &ds).with_batching(Some(bat_sim::BatchingConfig::default()));
+        let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt_stats = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(rt_stats.completed, t.len());
+        assert!(rt_stats.batching.rounds > 0, "rounds must actually form");
+        assert_eq!(sim_stats.batching, rt_stats.batching);
+        assert_eq!(sim_stats.digest(), rt_stats.digest());
+    }
+
+    #[test]
+    fn batched_runtime_conserves_under_overload_burst() {
+        use bat_sim::OverloadConfig;
+        use bat_types::SloBudget;
+        let ds = DatasetConfig::games();
+        let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+        g.set_slo(SloBudget::with_deadline(0.08));
+        let t = g.generate(1.0, 400.0);
+        let cfg = config(SystemKind::Bat, &ds)
+            .with_slo(Some(OverloadConfig::default()))
+            .with_batching(Some(bat_sim::BatchingConfig::default()));
+        let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt_stats = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(rt_stats.slo.submitted, t.len() as u64);
+        assert!(
+            rt_stats.slo.conserved(),
+            "conservation violated: {:?}",
+            rt_stats.slo
+        );
+        assert!(
+            rt_stats.slo.rejected() > 0,
+            "a 400 qps burst on 2 workers must trip admission control"
+        );
+        assert_eq!(sim_stats.digest(), rt_stats.digest());
+    }
+
+    #[test]
+    fn batching_with_faults_is_rejected() {
+        let ds = DatasetConfig::games();
+        let schedule =
+            bat_sim::FaultSchedule::single_crash(2, bat_types::WorkerId::new(1), 1.0, 2.0).unwrap();
+        let cfg = config(SystemKind::Bat, &ds)
+            .with_batching(Some(bat_sim::BatchingConfig::default()))
+            .with_faults(Some(schedule));
+        assert!(ServeRuntime::new(cfg, ServeOptions::default()).is_err());
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Cross-engine integration test for continuous batching: the threaded
+//! serve runtime and the discrete-event simulator must form bitwise
+//! identical batches on the same trace at every worker count.
+//!
+//! Batch formation runs on nominal arrival times and priced services in
+//! both engines, so slot seating, chunk retirement, round fusion — and
+//! therefore the whole `RunStats` digest — are pure functions of the
+//! trace. Wall-clock jitter, thread interleaving, and the `BAT_THREADS`
+//! pool width (CI runs this file at 1 and 8) must all be invisible.
+
+use bat_serve::{ServeOptions, ServeRuntime};
+use bat_sim::{BatchingConfig, EngineConfig, OverloadConfig, ServingEngine, SystemKind};
+use bat_types::{Bytes, ClusterConfig, DatasetConfig, ModelConfig, RankRequest, SloBudget};
+use bat_workload::{TraceGenerator, Workload};
+
+fn cluster(nodes: usize) -> ClusterConfig {
+    let mut c = ClusterConfig::a100_4node();
+    c.num_nodes = nodes;
+    c.node.kv_cache_capacity = Bytes::from_gb(20);
+    c
+}
+
+fn short_prompt_dataset() -> DatasetConfig {
+    DatasetConfig {
+        num_users: 300,
+        avg_user_tokens: 120,
+        avg_item_tokens: 8,
+        candidates_per_request: 10,
+        ..DatasetConfig::games()
+    }
+}
+
+fn trace(ds: &DatasetConfig, secs: f64, rate: f64) -> Vec<RankRequest> {
+    let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+    g.generate(secs, rate)
+}
+
+fn batched_config(ds: &DatasetConfig, nodes: usize) -> EngineConfig {
+    EngineConfig::for_system(
+        SystemKind::Bat,
+        ModelConfig::qwen2_1_5b(),
+        cluster(nodes),
+        ds,
+    )
+    .with_batching(Some(BatchingConfig {
+        slots_per_worker: 8,
+        chunk_tokens: 512,
+    }))
+}
+
+#[test]
+fn batch_formation_matches_simulator_across_worker_counts() {
+    let ds = short_prompt_dataset();
+    let t = trace(&ds, 1.0, 300.0);
+    for nodes in [1usize, 2, 4, 8] {
+        let cfg = batched_config(&ds, nodes);
+        let sim = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(rt.completed, t.len(), "{nodes} workers dropped requests");
+        assert!(sim.batching.rounds > 0, "no rounds at {nodes} workers");
+        // Wider clusters spread 300 qps too thin to co-seat chunks; the
+        // fusion property itself is only observable under saturation.
+        if nodes <= 2 {
+            assert!(
+                sim.batching.rounds < sim.batching.chunks,
+                "rounds must fuse chunks across requests at {nodes} workers"
+            );
+        }
+        assert_eq!(
+            sim.batching, rt.batching,
+            "batching ledger diverged at {nodes} worker threads"
+        );
+        assert_eq!(
+            sim.digest(),
+            rt.digest(),
+            "stats digest diverged at {nodes} worker threads"
+        );
+    }
+}
+
+#[test]
+fn overloaded_batching_conserves_and_matches_simulator() {
+    // A deadline tight enough to force admission rejections plus a burst
+    // past capacity: the slot scheduler's occupancy feeds the admission
+    // backlog identically in both engines, so even the rejected/shed
+    // split must agree bitwise.
+    let ds = short_prompt_dataset();
+    let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+    g.set_slo(SloBudget::with_deadline(0.08));
+    let t = g.generate(1.0, 400.0);
+    let cfg = batched_config(&ds, 2).with_slo(Some(OverloadConfig::default()));
+    let sim = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+    let rt = ServeRuntime::new(cfg, ServeOptions::default())
+        .unwrap()
+        .serve(&t);
+    assert_eq!(rt.slo.submitted, t.len() as u64);
+    assert!(
+        rt.slo.conserved(),
+        "submitted != completed + shed + rejected"
+    );
+    assert_eq!(sim.slo, rt.slo, "SLO ledger diverged");
+    assert_eq!(sim.digest(), rt.digest(), "stats digest diverged");
+}

@@ -135,6 +135,11 @@ pub struct EngineConfig {
     /// keeps the flat single-tier cache and is byte-identical to before
     /// the pool existed.
     pub tiers: Option<bat_tiers::TiersConfig>,
+    /// Continuous cross-request batching: replaces the per-worker FIFO +
+    /// monolithic batches with the slot-based chunked scheduler
+    /// ([`bat_sched::BatchScheduler`]). `None` (the default) keeps the
+    /// PR-2 batch former path bit-identical to before.
+    pub batching: Option<bat_sched::BatchingConfig>,
 }
 
 impl EngineConfig {
@@ -211,6 +216,7 @@ impl EngineConfig {
             slo: None,
             straggler: None,
             tiers: None,
+            batching: None,
             model,
             cluster,
         }
@@ -240,6 +246,13 @@ impl EngineConfig {
     /// Enables the tiered KV pool (or disables it with `None`).
     pub fn with_tiers(mut self, tiers: Option<bat_tiers::TiersConfig>) -> Self {
         self.tiers = tiers;
+        self
+    }
+
+    /// Enables slot-based continuous cross-request batching (or reverts to
+    /// the per-request batch former with `None`).
+    pub fn with_batching(mut self, batching: Option<bat_sched::BatchingConfig>) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -319,6 +332,9 @@ impl EngineConfig {
                 ));
             }
             tiers.validate().map_err(BatError::InvalidConfig)?;
+        }
+        if let Some(batching) = &self.batching {
+            batching.validate()?;
         }
         if let Some((w, factor)) = self.straggler {
             if w >= self.cluster.num_nodes {
@@ -436,6 +452,9 @@ impl ServingEngine {
                 w[1].arrival >= w[0].arrival,
                 "trace must be sorted by arrival"
             );
+        }
+        if self.cfg.batching.is_some() {
+            return self.run_batched(trace);
         }
         self.records.clear();
         let n_workers = self.cfg.cluster.num_nodes;
@@ -714,6 +733,231 @@ impl ServingEngine {
             &mut latencies,
         );
         stats.slo = slo;
+        if let Some(report) = self.planner.finish_faults() {
+            stats.faults = report;
+        }
+        if let Some(tiers) = self.planner.tier_stats() {
+            stats.tiers = tiers;
+        }
+        stats
+    }
+
+    /// The continuous-batching run path: arrivals and faults stream through
+    /// the same `(time, sequence)` heap as [`ServingEngine::run`], but all
+    /// dispatch goes through one cluster-wide [`bat_sched::BatchScheduler`]
+    /// instead of per-worker FIFOs + monolithic batches. The machine runs
+    /// on nominal times and priced services only, so the threaded runtime
+    /// (driving the identical machine) produces a bit-identical ledger.
+    fn run_batched(&mut self, trace: &[RankRequest]) -> RunStats {
+        let batching = self.cfg.batching.expect("batched path requires config");
+        self.records.clear();
+        let n_workers = self.cfg.cluster.num_nodes;
+        let speeds: Vec<f64> = (0..n_workers).map(|i| self.straggler_factor(i)).collect();
+        let mut machine =
+            bat_sched::BatchScheduler::new(batching, self.cfg.batch_overhead_secs, speeds);
+
+        let mut events: BinaryHeap<Reverse<(u64, u64, EventKind)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let to_key = |t: f64| -> u64 { (t * 1e9) as u64 };
+        if let Some(schedule) = &self.cfg.faults {
+            for (idx, ev) in schedule.events().iter().enumerate() {
+                events.push(Reverse((to_key(ev.at_secs), seq, EventKind::Fault { idx })));
+                seq += 1;
+            }
+        }
+        for (idx, req) in trace.iter().enumerate() {
+            events.push(Reverse((
+                to_key(req.arrival.as_secs()),
+                seq,
+                EventKind::Arrive { idx },
+            )));
+            seq += 1;
+        }
+
+        // Per-request pricing and plan metadata, kept until the machine
+        // reports the terminal outcome. Compute/load/net seconds are folded
+        // into the counters at *completion* (matching the per-request path,
+        // where shed work is never priced into the totals).
+        struct AdmittedJob {
+            prefix: PrefixKind,
+            suffix_tokens: u64,
+            context_tokens: u64,
+            remote: Bytes,
+            arrival_secs: f64,
+            deadline: Option<f64>,
+            compute: f64,
+            load: f64,
+            net: f64,
+        }
+        let mut admitted: Vec<Option<AdmittedJob>> = (0..trace.len()).map(|_| None).collect();
+
+        let mut latencies = Percentiles::new();
+        let mut total_tokens = 0u64;
+        let mut reused_tokens = 0u64;
+        let mut computed_tokens = 0u64;
+        let mut remote_bytes = Bytes::ZERO;
+        let mut compute_secs = 0.0f64;
+        let mut net_secs = 0.0f64;
+        let mut load_secs = 0.0f64;
+        let mut up_requests = 0usize;
+        let mut ip_requests = 0usize;
+        let mut first_arrival = f64::INFINITY;
+        let mut next_refresh = self.cfg.item_refresh_interval_secs.unwrap_or(0.0);
+        let mut slo = SloStats::default();
+        let mut controller = self
+            .cfg
+            .slo
+            .map(|c| OverloadController::new(c, self.live_capacity(n_workers)));
+
+        while let Some(Reverse((tkey, _, ev))) = events.pop() {
+            let now = tkey as f64 / 1e9;
+            match ev {
+                EventKind::Arrive { idx } => {
+                    let req = &trace[idx];
+                    first_arrival = first_arrival.min(now);
+                    if let Some(interval) = self.cfg.item_refresh_interval_secs {
+                        if now >= next_refresh {
+                            self.planner.refresh_item_replication(now);
+                            next_refresh = now + interval;
+                        }
+                    }
+                    let nominal = req.arrival.as_secs();
+                    if let Some(ctl) = controller.as_mut() {
+                        self.planner.advance_faults(nominal);
+                        ctl.set_capacity(self.live_capacity(n_workers));
+                        // Slot occupancy floors the analytic backlog: work
+                        // seated or queued in the machine is drain the
+                        // controller's leaky bucket cannot see on its own.
+                        machine.advance(nominal);
+                        ctl.set_slot_backlog(machine.outstanding_service_secs());
+                        slo.submitted += 1;
+                        let est = self.planner.admission_estimate_secs(req);
+                        let decision =
+                            ctl.on_arrival(nominal, est, req.slo.deadline_secs, req.slo.priority);
+                        if let Err(BatError::Rejected { reason }) = decision.into_result() {
+                            match reason {
+                                RejectReason::QueueFull => slo.rejected_queue_full += 1,
+                                RejectReason::DeadlineInfeasible => slo.rejected_infeasible += 1,
+                                RejectReason::BrownoutShed => slo.rejected_brownout += 1,
+                            }
+                            continue;
+                        }
+                        slo.accepted += 1;
+                        self.planner.set_brownout_rung(ctl.rung());
+                    }
+                    let planned = self.planner.plan(req, nominal);
+                    let (c, l, t) = self.planner.price(&planned);
+                    total_tokens += req.total_tokens() as u64;
+                    reused_tokens += planned.reused_tokens();
+                    computed_tokens += planned.suffix_tokens;
+                    remote_bytes += planned.remote_bytes;
+                    if self.cfg.caching {
+                        match planned.prefix {
+                            PrefixKind::User => up_requests += 1,
+                            PrefixKind::Item => ip_requests += 1,
+                        }
+                    }
+                    let deadline = controller
+                        .is_some()
+                        .then(|| req.slo.absolute_deadline(nominal))
+                        .flatten();
+                    machine.admit(nominal, idx, planned.suffix_tokens, c + l + t, deadline);
+                    admitted[idx] = Some(AdmittedJob {
+                        prefix: planned.prefix,
+                        suffix_tokens: planned.suffix_tokens,
+                        context_tokens: planned.context_tokens,
+                        remote: planned.remote_bytes,
+                        arrival_secs: nominal,
+                        deadline,
+                        compute: c,
+                        load: l,
+                        net: t,
+                    });
+                }
+                EventKind::Done { .. } => {
+                    unreachable!("batched runs keep completions inside the machine")
+                }
+                EventKind::Fault { idx } => {
+                    let at = self
+                        .cfg
+                        .faults
+                        .as_ref()
+                        .expect("fault event requires a schedule")
+                        .events()[idx]
+                        .at_secs;
+                    for fault in self.planner.advance_faults(at) {
+                        match fault {
+                            bat_faults::AppliedFault::Crashed(dead) => {
+                                // Seated work re-queues at the global FIFO's
+                                // front; cache accounting already happened in
+                                // advance_faults. No request is dropped.
+                                machine.crash(at, dead.index());
+                            }
+                            bat_faults::AppliedFault::Restarted(back, _) => {
+                                machine.restart(at, back.index());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        machine.finish();
+        let mut completed = 0usize;
+        let mut last_completion = 0.0f64;
+        for done in machine.drain_completions() {
+            let job = admitted[done.idx]
+                .as_ref()
+                .expect("machine completions cover only admitted requests");
+            latencies.record(done.at - job.arrival_secs);
+            completed += 1;
+            compute_secs += job.compute;
+            load_secs += job.load;
+            net_secs += job.net;
+            if controller.is_some() {
+                slo.completed += 1;
+                if job.deadline.is_some_and(|d| done.at > d) {
+                    slo.deadline_misses += 1;
+                }
+            }
+            last_completion = last_completion.max(done.at);
+            if self.cfg.record_requests {
+                self.records.push(crate::stats::RequestRecord {
+                    id: trace[done.idx].id,
+                    arrival_secs: job.arrival_secs,
+                    completion_secs: done.at,
+                    prefix: job.prefix,
+                    reused_tokens: job.context_tokens - job.suffix_tokens,
+                    computed_tokens: job.suffix_tokens,
+                    remote_bytes: job.remote,
+                });
+            }
+        }
+        slo.shed_expired += machine.drain_sheds().len() as u64;
+
+        let span = if completed == 0 {
+            0.0
+        } else {
+            (last_completion - first_arrival).max(1e-9)
+        };
+        let mut stats = RunStats::from_counters(
+            self.cfg.label.clone(),
+            completed,
+            span,
+            total_tokens,
+            reused_tokens,
+            computed_tokens,
+            remote_bytes,
+            compute_secs,
+            net_secs,
+            load_secs,
+            up_requests,
+            ip_requests,
+            &mut latencies,
+        );
+        stats.slo = slo;
+        stats.batching = machine.stats();
         if let Some(report) = self.planner.finish_faults() {
             stats.faults = report;
         }
@@ -1101,6 +1345,64 @@ mod tests {
                     prop_assert_eq!(stats.reused_tokens, 0);
                 }
             }
+
+            /// Satellite invariant, engine level: with continuous batching
+            /// and the control plane on, every submitted request reaches
+            /// exactly one terminal outcome — `submitted == completed +
+            /// shed + rejected` — under random chunk sizes, seat counts,
+            /// burst rates, and a mid-run worker crash/restart.
+            #[test]
+            fn batched_engine_conserves(
+                seed in 0u64..200,
+                rate in 20.0f64..150.0,
+                seats in 1usize..6,
+                chunk in 16u64..256,
+                deadline in 0.05f64..0.8,
+                crash_at in 0.1f64..1.2,
+            ) {
+                let ds = DatasetConfig { num_users: 400, ..DatasetConfig::games() };
+                let mut gen = bat_workload::TraceGenerator::new(
+                    bat_workload::Workload::new(ds.clone(), seed),
+                    seed ^ 7,
+                );
+                gen.set_slo(
+                    bat_types::SloBudget::with_deadline(deadline)
+                        .at_priority(bat_types::Priority::Low),
+                );
+                let trace = gen.generate(2.0, rate);
+                prop_assume!(!trace.is_empty());
+                let schedule = bat_faults::FaultSchedule::new(
+                    2,
+                    vec![
+                        bat_faults::FaultEvent {
+                            at_secs: crash_at,
+                            kind: bat_faults::FaultKind::WorkerCrash(bat_types::WorkerId::new(1)),
+                        },
+                        bat_faults::FaultEvent {
+                            at_secs: crash_at + 0.3,
+                            kind: bat_faults::FaultKind::WorkerRestart(bat_types::WorkerId::new(1)),
+                        },
+                    ],
+                ).unwrap();
+                let cfg = EngineConfig::for_system(
+                    SystemKind::Bat,
+                    ModelConfig::qwen2_1_5b(),
+                    small_cluster(),
+                    &ds,
+                )
+                .with_slo(Some(bat_sched::OverloadConfig::default()))
+                .with_faults(Some(schedule))
+                .with_batching(Some(bat_sched::BatchingConfig {
+                    slots_per_worker: seats,
+                    chunk_tokens: chunk,
+                }));
+                let mut engine = ServingEngine::new(cfg).unwrap();
+                let stats = engine.run(&trace);
+                prop_assert_eq!(stats.slo.submitted, trace.len() as u64);
+                prop_assert!(stats.slo.conserved(), "conservation violated: {:?}", stats.slo);
+                prop_assert_eq!(stats.completed as u64, stats.slo.completed);
+                prop_assert!(stats.batching.chunks >= stats.batching.rounds);
+            }
         }
     }
 
@@ -1185,6 +1487,147 @@ mod tests {
         let ds = DatasetConfig::games();
         let stats = run_system(SystemKind::Bat, &ds, 2.0, 10.0);
         assert_eq!(stats.slo, SloStats::default());
+    }
+
+    fn batched(cfg: EngineConfig) -> EngineConfig {
+        cfg.with_batching(Some(bat_sched::BatchingConfig::default()))
+    }
+
+    #[test]
+    fn batched_runs_complete_everything_and_fuse_rounds() {
+        let ds = DatasetConfig::games();
+        let t = trace(&ds, 4.0, 30.0);
+        let cfg = batched(EngineConfig::for_system(
+            SystemKind::Bat,
+            ModelConfig::qwen2_1_5b(),
+            small_cluster(),
+            &ds,
+        ));
+        let stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        assert_eq!(stats.completed, t.len());
+        assert!(stats.batching.rounds > 0);
+        assert!(stats.batching.chunks >= stats.batching.rounds);
+        assert!(stats.batching.batched_tokens > 0);
+        assert_eq!(
+            stats.reused_tokens + stats.computed_tokens,
+            stats.total_tokens
+        );
+        // Bitwise deterministic, ledger included.
+        let again = ServingEngine::new(cfg).unwrap().run(&t);
+        assert_eq!(stats, again);
+        assert_eq!(stats.digest(), again.digest());
+    }
+
+    #[test]
+    fn per_request_runs_keep_the_batching_ledger_quiet() {
+        let ds = DatasetConfig::games();
+        let stats = run_system(SystemKind::Bat, &ds, 2.0, 10.0);
+        assert_eq!(stats.batching, bat_metrics::BatchStats::default());
+    }
+
+    #[test]
+    fn continuous_batching_beats_per_request_dispatch_under_load() {
+        // Per-request baseline: max_batched_tokens = 1 forces one batch
+        // overhead per request. Continuous batching amortizes it across
+        // every seated chunk — the win shows where per-request dispatch
+        // overhead rivals the service itself: short prompts under genuine
+        // saturation, each request fitting in one chunk so rounds fuse up
+        // to `slots_per_worker` requests.
+        let ds = DatasetConfig {
+            num_users: 300,
+            avg_user_tokens: 120,
+            avg_item_tokens: 8,
+            candidates_per_request: 10,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 1.0, 2000.0);
+        let mut cluster = small_cluster();
+        cluster.max_batched_tokens = 1;
+        let base_cfg =
+            EngineConfig::for_system(SystemKind::Bat, ModelConfig::qwen2_1_5b(), cluster, &ds);
+        let base = ServingEngine::new(base_cfg.clone()).unwrap().run(&t);
+        let cont_cfg = base_cfg.with_batching(Some(bat_sched::BatchingConfig {
+            slots_per_worker: 8,
+            chunk_tokens: 512,
+        }));
+        let cont = ServingEngine::new(cont_cfg).unwrap().run(&t);
+        assert_eq!(cont.completed, base.completed);
+        let ratio = cont.qps() / base.qps();
+        assert!(
+            ratio >= 1.3,
+            "continuous batching must raise sustained throughput >= 1.3x: got {ratio:.3}"
+        );
+        assert!(
+            cont.batching.rounds < cont.batching.chunks,
+            "rounds must fuse chunks across requests"
+        );
+        assert!(
+            cont.batching.max_idle_gap_over_chunk <= 1.0,
+            "no idle gap may exceed one chunk at saturation"
+        );
+    }
+
+    #[test]
+    fn batched_overload_control_conserves_under_burst() {
+        let ds = DatasetConfig::games();
+        let t = slo_trace(&ds, 1.0, 600.0, 0.08);
+        let cfg = batched(
+            EngineConfig::for_system(
+                SystemKind::Bat,
+                ModelConfig::qwen2_1_5b(),
+                small_cluster(),
+                &ds,
+            )
+            .with_slo(Some(bat_sched::OverloadConfig::default())),
+        );
+        let stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        assert_eq!(stats.slo.submitted, t.len() as u64);
+        assert!(stats.slo.conserved(), "{:?}", stats.slo);
+        assert!(
+            stats.slo.rejected() > 0,
+            "slot backlog must push the admission estimate over tight deadlines"
+        );
+        assert_eq!(stats.completed as u64, stats.slo.completed);
+        let again = ServingEngine::new(cfg).unwrap().run(&t);
+        assert_eq!(stats, again);
+    }
+
+    #[test]
+    fn batched_crash_and_restart_lose_no_requests() {
+        let ds = DatasetConfig::games();
+        let t = trace(&ds, 3.0, 40.0);
+        let schedule = bat_faults::FaultSchedule::new(
+            2,
+            vec![
+                bat_faults::FaultEvent {
+                    at_secs: 0.5,
+                    kind: bat_faults::FaultKind::WorkerCrash(bat_types::WorkerId::new(1)),
+                },
+                bat_faults::FaultEvent {
+                    at_secs: 1.5,
+                    kind: bat_faults::FaultKind::WorkerRestart(bat_types::WorkerId::new(1)),
+                },
+            ],
+        )
+        .unwrap();
+        let cfg = batched(
+            EngineConfig::for_system(
+                SystemKind::Bat,
+                ModelConfig::qwen2_1_5b(),
+                small_cluster(),
+                &ds,
+            )
+            .with_faults(Some(schedule)),
+        );
+        let stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        assert_eq!(
+            stats.completed,
+            t.len(),
+            "crashed seats must re-queue, not vanish"
+        );
+        assert!(stats.faults.crashes > 0);
+        let again = ServingEngine::new(cfg).unwrap().run(&t);
+        assert_eq!(stats.digest(), again.digest());
     }
 
     #[test]

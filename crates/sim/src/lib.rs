@@ -34,7 +34,10 @@ pub mod stats;
 
 pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
 pub use bat_metrics::{SloStats, TierStats};
-pub use bat_sched::{OverloadConfig, OverloadController};
+pub use bat_sched::{
+    BatchCompletion, BatchScheduler, BatchShed, BatchingConfig, OverloadConfig, OverloadController,
+    RoundRecord,
+};
 pub use bat_tiers::{ColdFormat, SplitPolicy, TieredKvPool, TiersConfig};
 pub use compute::ComputeModel;
 pub use engine::{AdmissionKind, EngineConfig, PolicyKind, ServingEngine, SystemKind};

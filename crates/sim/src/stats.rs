@@ -108,6 +108,10 @@ pub struct RunStats {
     /// when the tiered KV pool is disabled.
     #[serde(default)]
     pub tiers: bat_metrics::TierStats,
+    /// Continuous-batching ledger (rounds, chunks, seat refills); all-zero
+    /// when slot-based batching is disabled.
+    #[serde(default)]
+    pub batching: bat_metrics::BatchStats,
 }
 
 impl RunStats {
@@ -148,6 +152,7 @@ impl RunStats {
             faults: bat_faults::FaultReport::default(),
             slo: bat_metrics::SloStats::default(),
             tiers: bat_metrics::TierStats::default(),
+            batching: bat_metrics::BatchStats::default(),
         }
     }
 
@@ -164,47 +169,50 @@ impl RunStats {
     /// integration suite pins this; a codec or re-dispatch bug that
     /// changes any planner-visible count breaks it loudly.
     pub fn digest(&self) -> u64 {
-        // FNV-1a, 64-bit: tiny, dependency-free, and plenty for an
-        // equality pin (this is not a collision-resistant hash).
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
-        };
-        eat(self.system.as_bytes());
-        eat(&(self.completed as u64).to_le_bytes());
-        eat(&self.total_tokens.to_le_bytes());
-        eat(&self.reused_tokens.to_le_bytes());
-        eat(&self.computed_tokens.to_le_bytes());
-        eat(&self.remote_bytes.0.to_le_bytes());
-        eat(&self.compute_secs.to_bits().to_le_bytes());
-        eat(&self.net_secs.to_bits().to_le_bytes());
-        eat(&self.load_secs.to_bits().to_le_bytes());
-        eat(&(self.up_requests as u64).to_le_bytes());
-        eat(&(self.ip_requests as u64).to_le_bytes());
-        eat(&self.slo.submitted.to_le_bytes());
-        eat(&self.slo.accepted.to_le_bytes());
-        eat(&self.slo.rejected_queue_full.to_le_bytes());
-        eat(&self.slo.rejected_infeasible.to_le_bytes());
-        eat(&self.slo.rejected_brownout.to_le_bytes());
+        // FNV-1a via the shared bat_types::fnv module: tiny,
+        // dependency-free, and plenty for an equality pin (this is not a
+        // collision-resistant hash).
+        let mut h = bat_types::fnv::Fnv64::new();
+        h.write(self.system.as_bytes());
+        h.write_usize(self.completed);
+        h.write_u64(self.total_tokens);
+        h.write_u64(self.reused_tokens);
+        h.write_u64(self.computed_tokens);
+        h.write_u64(self.remote_bytes.0);
+        h.write_f64(self.compute_secs);
+        h.write_f64(self.net_secs);
+        h.write_f64(self.load_secs);
+        h.write_usize(self.up_requests);
+        h.write_usize(self.ip_requests);
+        h.write_u64(self.slo.submitted);
+        h.write_u64(self.slo.accepted);
+        h.write_u64(self.slo.rejected_queue_full);
+        h.write_u64(self.slo.rejected_infeasible);
+        h.write_u64(self.slo.rejected_brownout);
         // Tiered-pool decisions are planner-side: every hit/miss/demotion
         // must agree between the simulator and the threaded runtime.
-        eat(&self.tiers.hot_hits.to_le_bytes());
-        eat(&self.tiers.cold_hits.to_le_bytes());
-        eat(&self.tiers.misses.to_le_bytes());
-        eat(&self.tiers.promotions.to_le_bytes());
-        eat(&self.tiers.demotions.to_le_bytes());
-        eat(&self.tiers.cold_evictions.to_le_bytes());
-        eat(&self.tiers.brownout_cold_serves.to_le_bytes());
-        eat(&self.tiers.cold_occupancy_bytes.to_le_bytes());
-        eat(&self.tiers.user_budget_bytes.to_le_bytes());
-        eat(&self.tiers.item_budget_bytes.to_le_bytes());
+        h.write_u64(self.tiers.hot_hits);
+        h.write_u64(self.tiers.cold_hits);
+        h.write_u64(self.tiers.misses);
+        h.write_u64(self.tiers.promotions);
+        h.write_u64(self.tiers.demotions);
+        h.write_u64(self.tiers.cold_evictions);
+        h.write_u64(self.tiers.brownout_cold_serves);
+        h.write_u64(self.tiers.cold_occupancy_bytes);
+        h.write_u64(self.tiers.user_budget_bytes);
+        h.write_u64(self.tiers.item_budget_bytes);
+        // Batch-formation decisions are planner-side too: both engines run
+        // the same slot machine on nominal time, so every round count must
+        // agree bit-for-bit.
+        h.write_u64(self.batching.rounds);
+        h.write_u64(self.batching.chunks);
+        h.write_u64(self.batching.batched_tokens);
+        h.write_u64(self.batching.seat_refills);
+        h.write_u64(self.batching.peak_seated as u64);
         // The fault report is all planner-side counters; its Debug form is
         // a stable field-ordered rendering.
-        eat(format!("{:?}", self.faults).as_bytes());
-        h
+        h.write(format!("{:?}", self.faults).as_bytes());
+        h.finish()
     }
 
     /// Sustained throughput in completed requests per second.

@@ -30,9 +30,9 @@ pub mod rope;
 
 pub use matrix::Matrix;
 pub use ops::{
-    axpy, dot, dot_fast, fast_exp, fast_silu, fast_silu_in_place, fast_silu_mul_in_place,
-    fused_masked_softmax_av, fused_silu_av, rms_norm, rms_norm_into, silu, softmax_masked_in_place,
-    stable_softmax_fast_in_place, stable_softmax_in_place,
+    active_simd_tier, axpy, dot, dot_fast, fast_exp, fast_silu, fast_silu_in_place,
+    fast_silu_mul_in_place, fused_masked_softmax_av, fused_silu_av, rms_norm, rms_norm_into, silu,
+    softmax_masked_in_place, stable_softmax_fast_in_place, stable_softmax_in_place,
 };
 pub use packed::{ColBlock, SplitCols};
 pub use quant::{f16_to_f32, f32_to_f16, fp16_round_trip, QuantKind, QuantizedColBlock};

@@ -417,9 +417,20 @@ impl Matrix {
         assert!(out.len() <= self.rows, "rows_dot_acc row overrun");
         assert!(s.len() <= self.cols, "rows_dot_acc column overrun");
         #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: AVX2 support was just verified at runtime.
-            return unsafe { rows_dot_acc_avx2(self, s, out) };
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: AVX-512F support was just verified at runtime.
+                return unsafe { rows_dot_acc_avx512(self, s, out) };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                return unsafe { rows_dot_acc_avx2(self, s, out) };
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            // SAFETY: NEON support was just verified at runtime.
+            return unsafe { rows_dot_acc_neon(self, s, out) };
         }
         rows_dot_acc_body(self, s, out)
     }
@@ -458,18 +469,44 @@ impl Matrix {
 /// accumulating the rows one at a time, so results match the naive loop
 /// bit-for-bit on inputs without `-0.0` rows.
 ///
-/// Dispatches to an AVX2-compiled copy of the same body when the running
-/// CPU supports it (rustc's x86-64 baseline is SSE2, i.e. 4-wide vectors;
-/// the AVX2 copy runs 8-wide). The copy performs the *same* multiplies and
-/// adds in the same order — no FMA contraction, no reassociation — so the
-/// dispatch affects speed only and results stay bit-identical across CPUs.
+/// Dispatches to the widest SIMD-compiled copy of the same body the
+/// running CPU supports — AVX-512F, then AVX2 on x86-64 (whose baseline is
+/// SSE2, i.e. 4-wide vectors), NEON on aarch64. Every copy performs the
+/// *same* multiplies and adds in the same order — no FMA contraction, no
+/// reassociation — so the dispatch affects speed only and results stay
+/// bit-identical across CPUs and architectures.
 #[inline]
 fn fold_rows_into(out: &mut [f32], coeffs: &[f32], rhs: &Matrix) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { fold_rows_into_avx2(out, coeffs, rhs) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { fold_rows_into_avx512(out, coeffs, rhs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { fold_rows_into_avx2(out, coeffs, rhs) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { fold_rows_into_neon(out, coeffs, rhs) };
+    }
+    fold_rows_into_body(out, coeffs, rhs)
+}
+
+/// The [`fold_rows_into`] body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fold_rows_into_avx512(out: &mut [f32], coeffs: &[f32], rhs: &Matrix) {
+    fold_rows_into_body(out, coeffs, rhs)
+}
+
+/// The [`fold_rows_into`] body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fold_rows_into_neon(out: &mut [f32], coeffs: &[f32], rhs: &Matrix) {
     fold_rows_into_body(out, coeffs, rhs)
 }
 
@@ -550,10 +587,35 @@ fn fold_rows_into_body(out: &mut [f32], coeffs: &[f32], rhs: &Matrix) {
 #[inline]
 fn fold_rows_into_x4(out4: &mut [f32], coeffs: [&[f32]; 4], rhs: &Matrix) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { fold_rows_into_x4_avx2(out4, coeffs, rhs) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { fold_rows_into_x4_avx512(out4, coeffs, rhs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { fold_rows_into_x4_avx2(out4, coeffs, rhs) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { fold_rows_into_x4_neon(out4, coeffs, rhs) };
+    }
+    fold_rows_into_x4_body(out4, coeffs, rhs)
+}
+
+/// [`fold_rows_into_x4`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fold_rows_into_x4_avx512(out4: &mut [f32], coeffs: [&[f32]; 4], rhs: &Matrix) {
+    fold_rows_into_x4_body(out4, coeffs, rhs)
+}
+
+/// [`fold_rows_into_x4`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fold_rows_into_x4_neon(out4: &mut [f32], coeffs: [&[f32]; 4], rhs: &Matrix) {
     fold_rows_into_x4_body(out4, coeffs, rhs)
 }
 
@@ -613,6 +675,20 @@ fn fold_rows_into_x4_body(out4: &mut [f32], coeffs: [&[f32]; 4], rhs: &Matrix) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn rows_dot_acc_avx2(m: &Matrix, s: &[f32], out: &mut [f32]) {
+    rows_dot_acc_body(m, s, out)
+}
+
+/// [`Matrix::rows_dot_acc`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn rows_dot_acc_avx512(m: &Matrix, s: &[f32], out: &mut [f32]) {
+    rows_dot_acc_body(m, s, out)
+}
+
+/// [`Matrix::rows_dot_acc`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn rows_dot_acc_neon(m: &Matrix, s: &[f32], out: &mut [f32]) {
     rows_dot_acc_body(m, s, out)
 }
 
@@ -682,14 +758,39 @@ pub(crate) fn fold_lanes(acc: [f32; LANES], a_tail: &[f32], b_tail: &[f32]) -> f
 /// cannot vectorize.
 #[inline]
 pub(crate) fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
-    // Below ~4 chunks the AVX2 clone's call overhead outweighs its wider
+    // Below ~4 chunks the wide clones' call overhead outweighs their
     // registers; the inlined baseline body is the same arithmetic in the
     // same order, so the cutoff never changes a result bit.
     #[cfg(target_arch = "x86_64")]
-    if a.len() >= 4 * LANES && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { dot_unrolled_avx2(a, b) };
+    if a.len() >= 4 * LANES {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { dot_unrolled_avx512(a, b) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { dot_unrolled_avx2(a, b) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if a.len() >= 4 * LANES && std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { dot_unrolled_neon(a, b) };
+    }
+    dot_unrolled_body(a, b)
+}
+
+/// [`dot_unrolled`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_unrolled_avx512(a: &[f32], b: &[f32]) -> f32 {
+    dot_unrolled_body(a, b)
+}
+
+/// [`dot_unrolled`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_unrolled_neon(a: &[f32], b: &[f32]) -> f32 {
     dot_unrolled_body(a, b)
 }
 
@@ -726,10 +827,35 @@ fn dot_unrolled_body(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 fn dot_unrolled_x2(a: &[f32], b0: &[f32], b1: &[f32]) -> [f32; 2] {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { dot_unrolled_x2_avx2(a, b0, b1) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { dot_unrolled_x2_avx512(a, b0, b1) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { dot_unrolled_x2_avx2(a, b0, b1) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { dot_unrolled_x2_neon(a, b0, b1) };
+    }
+    dot_unrolled_x2_body(a, b0, b1)
+}
+
+/// [`dot_unrolled_x2`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn dot_unrolled_x2_avx512(a: &[f32], b0: &[f32], b1: &[f32]) -> [f32; 2] {
+    dot_unrolled_x2_body(a, b0, b1)
+}
+
+/// [`dot_unrolled_x2`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn dot_unrolled_x2_neon(a: &[f32], b0: &[f32], b1: &[f32]) -> [f32; 2] {
     dot_unrolled_x2_body(a, b0, b1)
 }
 
@@ -916,6 +1042,77 @@ mod tests {
             .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
+    /// Pins each per-architecture clone against the baseline body
+    /// *directly*: the public dispatchers prefer the widest tier the host
+    /// has, so on an AVX-512 machine the AVX2 clones would otherwise go
+    /// untested (and vice versa on older hosts). Every tier that exists on
+    /// this CPU must be bit-identical — the tier changes speed, never bits.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_x86_tier_is_bit_identical_to_baseline() {
+        let mut rng = SmallRng::seed_from_u64(41);
+        let w = Matrix::random(29, 61, 1.0, &mut rng);
+        let v: Vec<f32> = (0..29).map(|i| (i as f32 * 0.61).sin()).collect();
+        let a: Vec<f32> = (0..77).map(|i| (i as f32 * 0.19).cos()).collect();
+        let b: Vec<f32> = (0..77).map(|i| (i as f32 * 0.43).sin()).collect();
+        let c: Vec<f32> = (0..77).map(|i| (i as f32 * 0.29).cos()).collect();
+        let cf: Vec<Vec<f32>> = (0..4)
+            .map(|r| {
+                (0..29)
+                    .map(|i| ((r * 29 + i) as f32 * 0.53).sin())
+                    .collect()
+            })
+            .collect();
+        let coeffs = [&cf[0][..], &cf[1][..], &cf[2][..], &cf[3][..]];
+
+        let mut fold_gold = vec![0.125f32; 61];
+        fold_rows_into_body(&mut fold_gold, &v, &w);
+        let dot_gold = dot_unrolled_body(&a, &b).to_bits();
+        let x2_gold = dot_unrolled_x2_body(&a, &b, &c);
+        let mut x4_gold = vec![0.5f32; 4 * 61];
+        fold_rows_into_x4_body(&mut x4_gold, coeffs, &w);
+        let mut acc_gold = vec![0.25f32; 8];
+        rows_dot_acc_body(&w.transpose(), &v[..20], &mut acc_gold);
+
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let mut fold = vec![0.125f32; 61];
+            // SAFETY: AVX-512F support was just verified at runtime.
+            unsafe {
+                fold_rows_into_avx512(&mut fold, &v, &w);
+                assert_eq!(dot_unrolled_avx512(&a, &b).to_bits(), dot_gold);
+                let x2 = dot_unrolled_x2_avx512(&a, &b, &c);
+                assert_eq!(x2[0].to_bits(), x2_gold[0].to_bits());
+                assert_eq!(x2[1].to_bits(), x2_gold[1].to_bits());
+                let mut x4 = vec![0.5f32; 4 * 61];
+                fold_rows_into_x4_avx512(&mut x4, coeffs, &w);
+                assert_eq!(bits(&x4), bits(&x4_gold));
+                let mut acc = vec![0.25f32; 8];
+                rows_dot_acc_avx512(&w.transpose(), &v[..20], &mut acc);
+                assert_eq!(bits(&acc), bits(&acc_gold));
+            }
+            assert_eq!(bits(&fold), bits(&fold_gold), "avx512f fold");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut fold = vec![0.125f32; 61];
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe {
+                fold_rows_into_avx2(&mut fold, &v, &w);
+                assert_eq!(dot_unrolled_avx2(&a, &b).to_bits(), dot_gold);
+                let x2 = dot_unrolled_x2_avx2(&a, &b, &c);
+                assert_eq!(x2[0].to_bits(), x2_gold[0].to_bits());
+                assert_eq!(x2[1].to_bits(), x2_gold[1].to_bits());
+                let mut x4 = vec![0.5f32; 4 * 61];
+                fold_rows_into_x4_avx2(&mut x4, coeffs, &w);
+                assert_eq!(bits(&x4), bits(&x4_gold));
+                let mut acc = vec![0.25f32; 8];
+                rows_dot_acc_avx2(&w.transpose(), &v[..20], &mut acc);
+                assert_eq!(bits(&acc), bits(&acc_gold));
+            }
+            assert_eq!(bits(&fold), bits(&fold_gold), "avx2 fold");
+        }
+    }
+
     /// The quad-row fold is the single-row fold applied to four rows: same
     /// left-to-right association per output column, so identical bits —
     /// which is what lets [`Matrix::matmul`] split a row block into quads
@@ -1021,6 +1218,24 @@ mod tests {
             let i = Matrix::identity(n);
             prop_assert!(a.matmul(&i).max_abs_diff(&a).unwrap() < 1e-6);
             prop_assert!(i.matmul(&a).max_abs_diff(&a).unwrap() < 1e-6);
+        }
+
+        /// Whatever SIMD tier the host dispatches to, dot results are
+        /// bit-identical to the baseline body for arbitrary inputs and
+        /// lengths (including the tier cutoffs and lane remainders).
+        #[test]
+        fn dot_dispatch_is_bit_identical_for_any_input(
+            xs in proptest::collection::vec(-1e3f32..1e3, 1..200),
+        ) {
+            let ys: Vec<f32> = xs.iter().rev().map(|x| x * 0.5 + 1.0).collect();
+            prop_assert_eq!(
+                dot_unrolled(&xs, &ys).to_bits(),
+                dot_unrolled_body(&xs, &ys).to_bits()
+            );
+            let x2 = dot_unrolled_x2(&xs, &ys, &xs);
+            let x2b = dot_unrolled_x2_body(&xs, &ys, &xs);
+            prop_assert_eq!(x2[0].to_bits(), x2b[0].to_bits());
+            prop_assert_eq!(x2[1].to_bits(), x2b[1].to_bits());
         }
     }
 }

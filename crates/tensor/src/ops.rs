@@ -191,6 +191,29 @@ fn lane_sum(xs: &[f32]) -> f32 {
     s
 }
 
+/// The widest SIMD tier the multiversioned kernels dispatch to on this
+/// machine: `"avx512"`, `"avx2"`, `"neon"`, or `"scalar"`. Mirrors the
+/// detection order of every dispatch site in this module and in
+/// [`crate::Matrix`], so bench rows and logs can be labelled with the tier
+/// that actually ran. The tier affects speed only — all tiers are
+/// bit-identical by construction.
+pub fn active_simd_tier() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            return "avx512";
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        return "neon";
+    }
+    "scalar"
+}
+
 /// Numerically-stable in-place softmax using [`fast_exp`], structured as
 /// separate vectorizable passes (lane-folded max, exponentiate, lane-folded
 /// sum, scale by reciprocal), dispatched to an AVX2-compiled copy on
@@ -204,10 +227,30 @@ pub fn stable_softmax_fast_in_place(logits: &mut [f32]) {
         return;
     }
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { softmax_fast_avx2(logits) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { softmax_fast_avx512(logits) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { softmax_fast_avx2(logits) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { softmax_fast_neon(logits) };
+    }
+    softmax_fast_body(logits)
+}
+
+/// [`stable_softmax_fast_in_place`]'s body compiled with AVX-512F enabled —
+/// the widest x86 tier; same arithmetic in the same order as the baseline
+/// body, so results are bit-identical (the tier affects speed only).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn softmax_fast_avx512(logits: &mut [f32]) {
     softmax_fast_body(logits)
 }
 
@@ -216,6 +259,16 @@ pub fn stable_softmax_fast_in_place(logits: &mut [f32]) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn softmax_fast_avx2(logits: &mut [f32]) {
+    softmax_fast_body(logits)
+}
+
+/// [`stable_softmax_fast_in_place`]'s body compiled with NEON enabled
+/// (aarch64). NEON is baseline on aarch64, but the explicit tier keeps the
+/// dispatch table uniform across architectures and survives a no-default
+/// target spec.
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn softmax_fast_neon(logits: &mut [f32]) {
     softmax_fast_body(logits)
 }
 
@@ -240,10 +293,28 @@ fn softmax_fast_body(logits: &mut [f32]) {
 /// four matrices per layer).
 pub fn fast_silu_in_place(xs: &mut [f32]) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { fast_silu_in_place_avx2(xs) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { fast_silu_in_place_avx512(xs) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { fast_silu_in_place_avx2(xs) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { fast_silu_in_place_neon(xs) };
+    }
+    fast_silu_in_place_body(xs)
+}
+
+/// [`fast_silu_in_place`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fast_silu_in_place_avx512(xs: &mut [f32]) {
     fast_silu_in_place_body(xs)
 }
 
@@ -251,6 +322,13 @@ pub fn fast_silu_in_place(xs: &mut [f32]) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fast_silu_in_place_avx2(xs: &mut [f32]) {
+    fast_silu_in_place_body(xs)
+}
+
+/// [`fast_silu_in_place`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fast_silu_in_place_neon(xs: &mut [f32]) {
     fast_silu_in_place_body(xs)
 }
 
@@ -273,10 +351,28 @@ fn fast_silu_in_place_body(xs: &mut [f32]) {
 pub fn fast_silu_mul_in_place(acts: &mut [f32], ups: &[f32]) {
     assert_eq!(acts.len(), ups.len(), "silu gate arity mismatch");
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { fast_silu_mul_avx2(acts, ups) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { fast_silu_mul_avx512(acts, ups) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { fast_silu_mul_avx2(acts, ups) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { fast_silu_mul_neon(acts, ups) };
+    }
+    fast_silu_mul_body(acts, ups)
+}
+
+/// [`fast_silu_mul_in_place`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn fast_silu_mul_avx512(acts: &mut [f32], ups: &[f32]) {
     fast_silu_mul_body(acts, ups)
 }
 
@@ -284,6 +380,13 @@ pub fn fast_silu_mul_in_place(acts: &mut [f32], ups: &[f32]) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn fast_silu_mul_avx2(acts: &mut [f32], ups: &[f32]) {
+    fast_silu_mul_body(acts, ups)
+}
+
+/// [`fast_silu_mul_in_place`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn fast_silu_mul_neon(acts: &mut [f32], ups: &[f32]) {
     fast_silu_mul_body(acts, ups)
 }
 
@@ -331,13 +434,31 @@ pub fn dot_fast(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy(out: &mut [f32], scale: f32, v: &[f32]) {
     assert_eq!(out.len(), v.len(), "axpy arity mismatch");
-    // Below ~4 vectors the AVX2 clone's call overhead outweighs its wider
-    // registers; either path is the same arithmetic in the same order.
+    // Below ~4 vectors the wide clones' call overhead outweighs their
+    // registers; every path is the same arithmetic in the same order.
     #[cfg(target_arch = "x86_64")]
-    if out.len() >= 32 && std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: AVX2 support was just verified at runtime.
-        return unsafe { axpy_avx2(out, scale, v) };
+    if out.len() >= 32 {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: AVX-512F support was just verified at runtime.
+            return unsafe { axpy_avx512(out, scale, v) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified at runtime.
+            return unsafe { axpy_avx2(out, scale, v) };
+        }
     }
+    #[cfg(target_arch = "aarch64")]
+    if out.len() >= 32 && std::arch::is_aarch64_feature_detected!("neon") {
+        // SAFETY: NEON support was just verified at runtime.
+        return unsafe { axpy_neon(out, scale, v) };
+    }
+    axpy_body(out, scale, v)
+}
+
+/// [`axpy`]'s body compiled with AVX-512F enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(out: &mut [f32], scale: f32, v: &[f32]) {
     axpy_body(out, scale, v)
 }
 
@@ -345,6 +466,13 @@ pub fn axpy(out: &mut [f32], scale: f32, v: &[f32]) {
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn axpy_avx2(out: &mut [f32], scale: f32, v: &[f32]) {
+    axpy_body(out, scale, v)
+}
+
+/// [`axpy`]'s body compiled with NEON enabled (aarch64).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+unsafe fn axpy_neon(out: &mut [f32], scale: f32, v: &[f32]) {
     axpy_body(out, scale, v)
 }
 
@@ -666,7 +794,72 @@ mod tests {
         assert!(v[1] < 1e-36 && (v[0] - 0.5).abs() < 1e-6);
     }
 
+    /// Pins the elementwise kernels' per-architecture clones directly
+    /// against the baseline bodies: the public dispatchers prefer the
+    /// widest tier, so the narrower clones need their own coverage. Every
+    /// tier present on this CPU must be bit-identical.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn every_x86_tier_is_bit_identical_to_baseline() {
+        let src: Vec<f32> = (0..131).map(|i| (i as f32 * 0.37).sin() * 9.0).collect();
+        let ups: Vec<f32> = (0..131).map(|i| (i as f32 * 0.23).cos()).collect();
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+        let mut soft_gold = src.clone();
+        softmax_fast_body(&mut soft_gold);
+        let mut silu_gold = src.clone();
+        fast_silu_in_place_body(&mut silu_gold);
+        let mut gate_gold = src.clone();
+        fast_silu_mul_body(&mut gate_gold, &ups);
+        let mut axpy_gold = ups.clone();
+        axpy_body(&mut axpy_gold, 1.7, &src);
+
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let (mut s, mut g, mut m, mut a) = (src.clone(), src.clone(), src.clone(), ups.clone());
+            // SAFETY: AVX-512F support was just verified at runtime.
+            unsafe {
+                softmax_fast_avx512(&mut s);
+                fast_silu_in_place_avx512(&mut g);
+                fast_silu_mul_avx512(&mut m, &ups);
+                axpy_avx512(&mut a, 1.7, &src);
+            }
+            assert_eq!(bits(&s), bits(&soft_gold), "avx512f softmax");
+            assert_eq!(bits(&g), bits(&silu_gold), "avx512f silu");
+            assert_eq!(bits(&m), bits(&gate_gold), "avx512f silu-mul");
+            assert_eq!(bits(&a), bits(&axpy_gold), "avx512f axpy");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let (mut s, mut g, mut m, mut a) = (src.clone(), src.clone(), src.clone(), ups.clone());
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe {
+                softmax_fast_avx2(&mut s);
+                fast_silu_in_place_avx2(&mut g);
+                fast_silu_mul_avx2(&mut m, &ups);
+                axpy_avx2(&mut a, 1.7, &src);
+            }
+            assert_eq!(bits(&s), bits(&soft_gold), "avx2 softmax");
+            assert_eq!(bits(&g), bits(&silu_gold), "avx2 silu");
+            assert_eq!(bits(&m), bits(&gate_gold), "avx2 silu-mul");
+            assert_eq!(bits(&a), bits(&axpy_gold), "avx2 axpy");
+        }
+    }
+
     proptest! {
+        /// Whatever tier the host dispatches to, the fast softmax is
+        /// bit-identical to the baseline body for arbitrary rows.
+        #[test]
+        fn softmax_dispatch_is_bit_identical(
+            xs in proptest::collection::vec(-40.0f32..40.0, 1..180),
+        ) {
+            let mut dispatched = xs.clone();
+            stable_softmax_fast_in_place(&mut dispatched);
+            let mut baseline = xs;
+            softmax_fast_body(&mut baseline);
+            for (d, b) in dispatched.iter().zip(&baseline) {
+                prop_assert_eq!(d.to_bits(), b.to_bits());
+            }
+        }
+
         /// Softmax is invariant to adding a constant to all logits.
         #[test]
         fn softmax_shift_invariance(xs in proptest::collection::vec(-20.0f32..20.0, 1..16), shift in -50.0f32..50.0) {

@@ -22,6 +22,7 @@
 pub mod cluster;
 pub mod dataset;
 pub mod error;
+pub mod fnv;
 pub mod id;
 pub mod model;
 pub mod request;
