@@ -20,6 +20,10 @@
 //! batctl tiers    --dataset games --duration 20 --rate 40 \
 //!                 [--hot-mb 200 --cold-mb 400] [--format f32|f16|int8] \
 //!                 [--split adaptive|static:0.5|all-user]
+//! batctl drain    --worker 1 [--at 6] --dataset games --duration 20 \
+//!                 --rate 60 --nodes 2 [--processes] [--scale 1e-3]
+//! batctl join     --worker 1 [--leave 5 --at 10] --dataset games \
+//!                 --duration 20 --rate 60 --nodes 2 [--processes]
 //! ```
 //!
 //! The global `--threads N` flag sizes the `bat-exec` worker pool for any
@@ -30,11 +34,11 @@
 
 use bat::experiment::{accuracy_rows, compare_systems, ComparisonSpec};
 use bat::{
-    Bytes, ClusterConfig, ColdFormat, ComputeModel, DatasetConfig, EngineConfig, FaultEvent,
-    FaultKind, FaultSchedule, ItemPlacementPlan, ModelConfig, OverloadConfig, PlacementStrategy,
-    PrefixKind, Priority, SemanticConfig, ServeOptions, ServeRuntime, ServingEngine, SloBudget,
-    SplitPolicy, SystemKind, TiersConfig, TraceGenerator, TransportKind, WorkerId, Workload,
-    ZipfLaw,
+    BatchingConfig, Bytes, ClusterConfig, ColdFormat, ComputeModel, DatasetConfig, EngineConfig,
+    FaultEvent, FaultKind, FaultSchedule, ItemPlacementPlan, ModelConfig, OverloadConfig,
+    PlacementStrategy, PrefixKind, Priority, SemanticConfig, ServeOptions, ServeRuntime,
+    ServingEngine, SloBudget, SplitPolicy, SystemKind, TiersConfig, TraceGenerator, TransportKind,
+    WorkerId, Workload, ZipfLaw,
 };
 use bat_bench::{f1, f3, print_table};
 use bat_placement::{compute_replication_ratio, HrcsParams};
@@ -859,8 +863,166 @@ fn cmd_net(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared harness behind `batctl drain` and `batctl join`: one batched
+/// serve under the given membership schedule, with the discrete-event
+/// simulator as the ledger oracle. `--processes` injects the events
+/// against real child OS processes over Unix sockets — a drain delivers
+/// a shutdown frame behind the worker's in-flight frames, a join
+/// fork/execs a fresh child that rejoins over the same listener.
+fn run_membership(
+    flags: &HashMap<String, String>,
+    events: Vec<FaultEvent>,
+    headline: &str,
+) -> Result<(), String> {
+    let ds = dataset(flags.get("dataset").map_or("games", String::as_str))?;
+    let duration = flag_f64(flags, "duration", 20.0)?;
+    let rate = flag_f64(flags, "rate", 60.0)?;
+    let seed = flag_f64(flags, "seed", 1.0)? as u64;
+    let nodes = flag_usize(flags, "nodes", 2)?;
+    let scale = flag_f64(flags, "scale", 1e-3)?;
+    let processes = flags.contains_key("processes");
+    let model = model(flags.get("model").map_or("qwen2-1.5b", String::as_str))?;
+    let cluster = ClusterConfig::a100_4node().with_nodes(nodes);
+
+    let schedule = FaultSchedule::new(nodes, events).map_err(|e| e.to_string())?;
+    let mut gen = TraceGenerator::new(Workload::new(ds.clone(), seed), seed ^ 0xbadc0ffe);
+    let trace = gen.generate(duration, rate);
+    let cfg = || {
+        EngineConfig::for_system(SystemKind::Bat, model.clone(), cluster.clone(), &ds)
+            .with_batching(Some(BatchingConfig::default()))
+            .with_faults(Some(schedule.clone()))
+    };
+
+    let sim = ServingEngine::new(cfg())
+        .map_err(|e| e.to_string())?
+        .run(&trace);
+    let opts = ServeOptions {
+        time_scale: scale,
+        transport: if processes {
+            TransportKind::Uds
+        } else {
+            TransportKind::Channel
+        },
+        processes,
+        // A child re-executes batctl; maybe_child_worker() diverts it
+        // before argument parsing, so no child arguments are needed.
+        child_args: Vec::new(),
+        ..ServeOptions::default()
+    };
+    let stats = ServeRuntime::new(cfg(), opts)
+        .map_err(|e| e.to_string())?
+        .serve(&trace);
+    let b = &stats.batching;
+
+    println!(
+        "{} on {nodes} nodes, {} requests over {duration:.0}s at {rate:.0} qps ({}):",
+        ds.name,
+        trace.len(),
+        if processes {
+            "uds child processes"
+        } else {
+            "channel threads"
+        },
+    );
+    println!("{headline}");
+    for e in schedule.events() {
+        println!("  t={:6.1}s  {:?}", e.at_secs, e.kind);
+    }
+    println!(
+        "\ncompleted {}/{} (membership churn never drops requests)",
+        stats.completed,
+        trace.len()
+    );
+    let rows = vec![
+        vec!["rounds".to_owned(), b.rounds.to_string()],
+        vec!["chunks".to_owned(), b.chunks.to_string()],
+        vec!["drains".to_owned(), b.drains.to_string()],
+        vec!["joins".to_owned(), b.joins.to_string()],
+        vec![
+            "migrated requests".to_owned(),
+            b.migrated_requests.to_string(),
+        ],
+        vec!["migrated tokens".to_owned(), b.migrated_tokens.to_string()],
+        vec!["batched tokens".to_owned(), b.batched_tokens.to_string()],
+    ];
+    print_table(&["Membership ledger", "Value"], &rows);
+
+    println!(
+        "\nsimulator oracle digest {:016x} / serve digest {:016x}: {}",
+        sim.digest(),
+        stats.digest(),
+        if sim.digest() == stats.digest() {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        },
+    );
+    if stats.completed != trace.len() {
+        return Err(format!(
+            "membership churn dropped {} requests",
+            trace.len() - stats.completed
+        ));
+    }
+    if sim.digest() != stats.digest() {
+        return Err(
+            "digest mismatch between simulator oracle and serve: the migration \
+             path is losing or double-counting chunks"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_drain(flags: &HashMap<String, String>) -> Result<(), String> {
+    let duration = flag_f64(flags, "duration", 20.0)?;
+    let w = flag_usize(flags, "worker", 1)?;
+    let at = flag_f64(flags, "at", duration / 3.0)?;
+    let events = vec![FaultEvent {
+        at_secs: at,
+        kind: FaultKind::WorkerDrain(WorkerId::new(w as u64)),
+    }];
+    run_membership(
+        flags,
+        events,
+        &format!(
+            "worker {w} drains at t={at:.1}s: its in-flight round finishes, \
+             seated-but-unstarted chunks migrate to the survivors"
+        ),
+    )
+}
+
+fn cmd_join(flags: &HashMap<String, String>) -> Result<(), String> {
+    let duration = flag_f64(flags, "duration", 20.0)?;
+    let w = flag_usize(flags, "worker", 1)?;
+    let leave = flag_f64(flags, "leave", duration / 4.0)?;
+    let at = flag_f64(flags, "at", duration / 2.0)?;
+    if at <= leave {
+        return Err(format!(
+            "join at t={at} must come after the drain at t={leave}"
+        ));
+    }
+    let events = vec![
+        FaultEvent {
+            at_secs: leave,
+            kind: FaultKind::WorkerDrain(WorkerId::new(w as u64)),
+        },
+        FaultEvent {
+            at_secs: at,
+            kind: FaultKind::WorkerJoin(WorkerId::new(w as u64)),
+        },
+    ];
+    run_membership(
+        flags,
+        events,
+        &format!(
+            "worker {w} drains at t={leave:.1}s and a fresh incarnation \
+             joins at t={at:.1}s, re-planned into the slot map mid-run"
+        ),
+    )
+}
+
 const USAGE: &str =
-    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|net|bench|tiers> [--flags]
+    "usage: batctl <compare|accuracy|plan|trace|info|breakdown|faults|overload|meta|net|bench|tiers|drain|join> [--flags]
 run `batctl <command>` with no flags for defaults; see crate docs for details
 global: --threads N sizes the bat-exec worker pool";
 
@@ -896,6 +1058,8 @@ fn main() -> ExitCode {
         "net" => cmd_net(&flags),
         "bench" => cmd_bench(&flags),
         "tiers" => cmd_tiers(&flags),
+        "drain" => cmd_drain(&flags),
+        "join" => cmd_join(&flags),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     };
     match result {

@@ -92,6 +92,12 @@ pub struct FaultReport {
     /// Cold remote pulls degraded to local recompute by brownout rung 2.
     #[serde(default)]
     pub brownout_recomputes: u64,
+    /// Planned worker drains (graceful scale-in with work migration).
+    #[serde(default)]
+    pub drains: u64,
+    /// Planned worker joins (fresh workers re-planned into the slot map).
+    #[serde(default)]
+    pub joins: u64,
     /// Steady-state hit rate observed before the first crash.
     pub pre_fault_hit_rate: f64,
     /// Lowest windowed hit rate observed after the first crash.
@@ -115,6 +121,8 @@ impl FaultReport {
             && self.meta_crashes == 0
             && self.link_partitions == 0
             && self.slow_links == 0
+            && self.drains == 0
+            && self.joins == 0
     }
 
     /// Fills the recovery metrics from a windowed hit-rate timeline

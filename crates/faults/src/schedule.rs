@@ -64,6 +64,15 @@ pub enum FaultKind {
         /// Transfer-time multiplier (≥ 1; 1 restores nominal speed).
         factor: f64,
     },
+    /// Planned scale-in: `worker` stops accepting new work, migrates its
+    /// queued and seated-but-unstarted chunks to live workers, and leaves
+    /// the membership. Unlike a crash, nothing in flight is lost — but the
+    /// process does exit, so its cache contents go with it.
+    WorkerDrain(WorkerId),
+    /// Planned scale-out: a fresh worker takes over slot `worker` (which
+    /// must currently be out of the membership — drained or crashed) and is
+    /// incrementally re-planned into the slot map with a new incarnation.
+    WorkerJoin(WorkerId),
 }
 
 /// One scheduled fault.
@@ -139,7 +148,10 @@ impl FaultSchedule {
                 return invalid(format!("fault at t={} must be finite and >= 0", e.at_secs));
             }
             match e.kind {
-                FaultKind::WorkerCrash(w) | FaultKind::WorkerRestart(w) => {
+                FaultKind::WorkerCrash(w)
+                | FaultKind::WorkerRestart(w)
+                | FaultKind::WorkerDrain(w)
+                | FaultKind::WorkerJoin(w) => {
                     if w.index() >= num_workers {
                         return invalid(format!(
                             "fault targets {w} but the cluster has {num_workers} workers"
@@ -220,9 +232,36 @@ impl FaultSchedule {
                         ));
                     }
                 }
+                FaultKind::WorkerDrain(w) => {
+                    if !alive[w.index()] {
+                        return invalid(format!(
+                            "{w} drains at t={} while already out of the membership",
+                            e.at_secs
+                        ));
+                    }
+                    alive[w.index()] = false;
+                    n_alive -= 1;
+                    if n_alive == 0 {
+                        return invalid(format!(
+                            "draining the last worker at t={} leaves nowhere to migrate; \
+                             at least one must stay alive",
+                            e.at_secs
+                        ));
+                    }
+                }
                 FaultKind::WorkerRestart(w) => {
                     if alive[w.index()] {
                         return invalid(format!("{w} restarts at t={} while alive", e.at_secs));
+                    }
+                    alive[w.index()] = true;
+                    n_alive += 1;
+                }
+                FaultKind::WorkerJoin(w) => {
+                    if alive[w.index()] {
+                        return invalid(format!(
+                            "{w} joins at t={} while its slot is still occupied",
+                            e.at_secs
+                        ));
                     }
                     alive[w.index()] = true;
                     n_alive += 1;
@@ -417,6 +456,90 @@ impl FaultSchedule {
         FaultSchedule::new(num_workers, events).expect("random schedules are valid by construction")
     }
 
+    /// The canonical elastic-membership experiment: `worker` drains at
+    /// `drain_at` (its queued work migrates to the survivors) and a fresh
+    /// process joins the vacated slot at `join_at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatError::InvalidConfig`] for out-of-range workers or
+    /// `join_at <= drain_at`.
+    pub fn drain_join(
+        num_workers: usize,
+        worker: WorkerId,
+        drain_at: f64,
+        join_at: f64,
+    ) -> Result<Self, BatError> {
+        if join_at <= drain_at {
+            return Err(BatError::InvalidConfig(format!(
+                "join at t={join_at} must come after drain at t={drain_at}"
+            )));
+        }
+        FaultSchedule::new(
+            num_workers,
+            vec![
+                FaultEvent {
+                    at_secs: drain_at,
+                    kind: FaultKind::WorkerDrain(worker),
+                },
+                FaultEvent {
+                    at_secs: join_at,
+                    kind: FaultKind::WorkerJoin(worker),
+                },
+            ],
+        )
+    }
+
+    /// Generates a seeded random *membership* schedule over
+    /// `[0, horizon_secs)`: `churn` departure/return pairs, each randomly a
+    /// crash/restart or a drain/join, never emptying the cluster.
+    /// Deterministic per seed and valid by construction — this is the
+    /// schedule shape the elastic conservation proptests and the CI chaos
+    /// matrix replay.
+    pub fn random_membership(
+        seed: u64,
+        num_workers: usize,
+        horizon_secs: f64,
+        churn: usize,
+    ) -> Self {
+        assert!(num_workers >= 2, "membership schedules need >= 2 workers");
+        assert!(horizon_secs > 0.0, "horizon must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut down_until = vec![0.0f64; num_workers];
+        for _ in 0..churn {
+            let w = rng.gen_range(0..num_workers);
+            let leave_at = rng.gen_range(0.1 * horizon_secs..0.7 * horizon_secs);
+            let outage = rng.gen_range(0.05 * horizon_secs..0.2 * horizon_secs);
+            let return_at = (leave_at + outage).min(horizon_secs * 0.95);
+            let overlapping = down_until.iter().filter(|&&until| until > leave_at).count();
+            if down_until[w] > 0.0 || overlapping >= num_workers / 2 {
+                continue;
+            }
+            down_until[w] = return_at;
+            let planned = rng.gen_bool(0.5);
+            let id = WorkerId::new(w as u64);
+            events.push(FaultEvent {
+                at_secs: leave_at,
+                kind: if planned {
+                    FaultKind::WorkerDrain(id)
+                } else {
+                    FaultKind::WorkerCrash(id)
+                },
+            });
+            events.push(FaultEvent {
+                at_secs: return_at,
+                kind: if planned {
+                    FaultKind::WorkerJoin(id)
+                } else {
+                    FaultKind::WorkerRestart(id)
+                },
+            });
+        }
+        FaultSchedule::new(num_workers, events)
+            .expect("random membership schedules are valid by construction")
+    }
+
     /// The events, sorted by time.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -457,6 +580,14 @@ impl FaultSchedule {
             .iter()
             .find(|e| matches!(e.kind, FaultKind::MetaCrash(_)))
             .map(|e| e.at_secs)
+    }
+
+    /// True when the schedule contains planned membership events (drains or
+    /// joins) as opposed to pure faults.
+    pub fn has_membership_events(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerDrain(_) | FaultKind::WorkerJoin(_)))
     }
 
     /// True when no events are scheduled.
@@ -692,6 +823,84 @@ mod tests {
             }],
         )
         .is_err());
+    }
+
+    #[test]
+    fn drain_join_validates_membership() {
+        let s = FaultSchedule::drain_join(4, w(1), 10.0, 30.0).unwrap();
+        assert_eq!(s.events().len(), 2);
+        assert!(s.has_membership_events());
+        assert_eq!(s.first_crash_at(), None, "drains are planned, not crashes");
+        assert!(FaultSchedule::drain_join(4, w(1), 30.0, 30.0).is_err());
+
+        // Draining a worker that is already out is invalid.
+        assert!(FaultSchedule::new(
+            3,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::WorkerCrash(w(0)),
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::WorkerDrain(w(0)),
+                },
+            ],
+        )
+        .is_err());
+        // Draining the last live worker leaves nowhere to migrate.
+        let err = FaultSchedule::new(
+            2,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::WorkerCrash(w(0)),
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::WorkerDrain(w(1)),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("nowhere to migrate"), "{err}");
+        // A join may re-occupy a *crashed* slot (replacement hardware), but
+        // never a live one.
+        assert!(FaultSchedule::new(
+            3,
+            vec![
+                FaultEvent {
+                    at_secs: 1.0,
+                    kind: FaultKind::WorkerCrash(w(2)),
+                },
+                FaultEvent {
+                    at_secs: 2.0,
+                    kind: FaultKind::WorkerJoin(w(2)),
+                },
+            ],
+        )
+        .is_ok());
+        assert!(FaultSchedule::new(
+            3,
+            vec![FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::WorkerJoin(w(2)),
+            }],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn random_membership_schedules_are_deterministic_and_valid() {
+        let mut saw_planned = false;
+        for seed in 0..50 {
+            let a = FaultSchedule::random_membership(seed, 4, 600.0, 3);
+            let b = FaultSchedule::random_membership(seed, 4, 600.0, 3);
+            assert_eq!(a, b, "seed {seed}");
+            FaultSchedule::new(4, a.events().to_vec()).unwrap();
+            saw_planned |= a.has_membership_events();
+        }
+        assert!(saw_planned, "50 seeds must produce at least one drain/join");
     }
 
     #[test]

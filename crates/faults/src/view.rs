@@ -27,6 +27,13 @@ pub enum AppliedFault {
     /// Transfers between these two workers now multiply by the factor
     /// (1.0 = restored to nominal). The pair stays reachable.
     LinkSlowed(WorkerId, WorkerId, f64),
+    /// `worker` just left the membership *gracefully*: its queued work has
+    /// been migrated, nothing in flight was lost, but its cache contents
+    /// leave with the process.
+    Drained(WorkerId),
+    /// A fresh worker just took over this slot with the given new
+    /// incarnation; it joins empty and must re-warm like a restart.
+    Joined(WorkerId, u64),
 }
 
 /// Live membership of the cache-worker cluster.
@@ -266,6 +273,25 @@ impl ClusterView {
                 self.link_cut[b.index() * n + a.index()] = false;
                 AppliedFault::LinkHealed(a, b)
             }
+            FaultKind::WorkerDrain(w) => {
+                assert!(
+                    self.alive[w.index()],
+                    "{w} drained while already out — events applied out of order"
+                );
+                self.alive[w.index()] = false;
+                self.epoch += 1;
+                AppliedFault::Drained(w)
+            }
+            FaultKind::WorkerJoin(w) => {
+                assert!(
+                    !self.alive[w.index()],
+                    "{w} joined while its slot is occupied — events applied out of order"
+                );
+                self.alive[w.index()] = true;
+                self.incarnation[w.index()] += 1;
+                self.epoch += 1;
+                AppliedFault::Joined(w, self.incarnation[w.index()])
+            }
             FaultKind::SlowLink { a, b, factor } => {
                 let n = self.alive.len();
                 if self.link_slow.len() < n * n {
@@ -325,6 +351,47 @@ mod tests {
         assert_eq!(v.epoch(), 2);
         assert_eq!(v.incarnation(WorkerId::new(1)), 1);
         assert_eq!(v.incarnation(WorkerId::new(0)), 0);
+    }
+
+    #[test]
+    fn drain_and_join_track_membership_and_incarnation() {
+        let mut v = ClusterView::new(3);
+        assert_eq!(
+            v.apply(&FaultEvent {
+                at_secs: 1.0,
+                kind: FaultKind::WorkerDrain(WorkerId::new(2)),
+            }),
+            AppliedFault::Drained(WorkerId::new(2))
+        );
+        assert_eq!(v.epoch(), 1, "drain is a membership change");
+        assert!(!v.is_alive(WorkerId::new(2)));
+        assert_eq!(v.n_alive(), 2);
+
+        assert_eq!(
+            v.apply(&FaultEvent {
+                at_secs: 2.0,
+                kind: FaultKind::WorkerJoin(WorkerId::new(2)),
+            }),
+            AppliedFault::Joined(WorkerId::new(2), 1)
+        );
+        assert_eq!(v.epoch(), 2);
+        assert!(v.is_alive(WorkerId::new(2)));
+        assert_eq!(
+            v.incarnation(WorkerId::new(2)),
+            1,
+            "a joined worker is a fresh process, fenced by incarnation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn drain_of_downed_worker_panics() {
+        let mut v = ClusterView::new(2);
+        v.apply(&crash(1.0, 0));
+        v.apply(&FaultEvent {
+            at_secs: 2.0,
+            kind: FaultKind::WorkerDrain(WorkerId::new(0)),
+        });
     }
 
     #[test]

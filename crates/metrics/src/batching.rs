@@ -33,6 +33,24 @@ pub struct BatchStats {
     /// (excluded from the digest): the ablation gate asserts ≤ 1.0 at
     /// saturation.
     pub max_idle_gap_over_chunk: f64,
+    /// Requests moved off a worker by a planned drain (or a crash requeue)
+    /// and re-queued on the surviving membership. One request can migrate
+    /// more than once; each move counts. Paired with the conservation law
+    /// this proves elastic membership loses nothing: every migrated
+    /// request still reaches exactly one terminal outcome.
+    #[serde(default)]
+    pub migrated_requests: u64,
+    /// Unfinished tokens those migrations carried to their new worker.
+    /// Tokens already retired in earlier rounds stay retired — migration
+    /// moves only *remaining* work, so nothing is double-counted.
+    #[serde(default)]
+    pub migrated_tokens: u64,
+    /// Planned worker drains the scheduler executed.
+    #[serde(default)]
+    pub drains: u64,
+    /// Planned worker joins re-planned into the slot map mid-run.
+    #[serde(default)]
+    pub joins: u64,
 }
 
 impl BatchStats {
@@ -65,5 +83,21 @@ mod tests {
             ..BatchStats::default()
         };
         assert!((b.mean_round_width() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_membership_serializations_default_migration_fields() {
+        // JSON written before elastic membership existed has none of the
+        // migrated/drain/join fields; they must read back as zero.
+        let back: BatchStats = serde_json::from_str(
+            r#"{"rounds":3,"chunks":6,"batched_tokens":100,
+                "seat_refills":2,"peak_seated":4,"max_idle_gap_over_chunk":0.5}"#,
+        )
+        .unwrap();
+        assert_eq!(back.migrated_requests, 0);
+        assert_eq!(back.migrated_tokens, 0);
+        assert_eq!(back.drains, 0);
+        assert_eq!(back.joins, 0);
+        assert_eq!(back.rounds, 3);
     }
 }

@@ -28,6 +28,13 @@ pub struct SloStats {
     pub completed: u64,
     /// Completed, but after the deadline.
     pub deadline_misses: u64,
+    /// Requests moved between workers by elastic membership (planned
+    /// drains and crash requeues). Migration is movement, not a terminal
+    /// outcome — it never appears on the right side of the conservation
+    /// law; the ledger exists to prove migrated work still lands in
+    /// exactly one of completed/shed/rejected.
+    #[serde(default)]
+    pub migrated: u64,
 }
 
 impl SloStats {
@@ -53,7 +60,9 @@ impl SloStats {
 
     /// The conservation law: `submitted == completed + shed + rejected`
     /// and `accepted == completed + shed`. Every request reaches exactly
-    /// one terminal outcome.
+    /// one terminal outcome. The `migrated` ledger rides alongside:
+    /// membership churn moves work but never adds or removes a terminal
+    /// outcome, so the equation must hold with `migrated` at any value.
     pub fn conserved(&self) -> bool {
         self.submitted == self.completed + self.shed_expired + self.rejected()
             && self.accepted == self.completed + self.shed_expired
@@ -89,5 +98,30 @@ mod tests {
         assert!((s.goodput_ratio() - 0.5).abs() < 1e-12);
         s.completed -= 1; // one request vanished
         assert!(!s.conserved());
+    }
+
+    #[test]
+    fn migration_is_not_a_terminal_outcome() {
+        let s = SloStats {
+            submitted: 4,
+            accepted: 4,
+            completed: 3,
+            shed_expired: 1,
+            migrated: 7, // requests can migrate more than once
+            ..SloStats::default()
+        };
+        assert!(s.conserved(), "migration must not perturb conservation");
+    }
+
+    #[test]
+    fn pre_membership_serializations_default_migrated() {
+        let back: SloStats = serde_json::from_str(
+            r#"{"submitted":5,"accepted":4,"rejected_queue_full":1,
+                "rejected_infeasible":0,"rejected_brownout":0,
+                "shed_expired":1,"completed":3,"deadline_misses":0}"#,
+        )
+        .unwrap();
+        assert_eq!(back.migrated, 0);
+        assert!(back.conserved());
     }
 }

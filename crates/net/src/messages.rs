@@ -579,6 +579,14 @@ impl WireCodec for FaultEventMsg {
                 put_u64(buf, b.as_u64());
                 put_f64(buf, factor);
             }
+            FaultKind::WorkerDrain(w) => {
+                buf.push(10);
+                put_u64(buf, w.as_u64());
+            }
+            FaultKind::WorkerJoin(w) => {
+                buf.push(11);
+                put_u64(buf, w.as_u64());
+            }
         }
     }
 
@@ -607,6 +615,8 @@ impl WireCodec for FaultEventMsg {
                 b: WorkerId::new(r.u64()?),
                 factor: r.f64()?,
             },
+            10 => FaultKind::WorkerDrain(WorkerId::new(r.u64()?)),
+            11 => FaultKind::WorkerJoin(WorkerId::new(r.u64()?)),
             other => return Err(NetError::Decode(format!("fault kind tag {other}"))),
         };
         Ok(FaultEventMsg { at_secs, kind })
@@ -773,6 +783,14 @@ mod tests {
                 b: WorkerId::new(3),
                 factor: 150.0,
             },
+        });
+        roundtrip(&FaultEventMsg {
+            at_secs: 20.0,
+            kind: FaultKind::WorkerDrain(WorkerId::new(2)),
+        });
+        roundtrip(&FaultEventMsg {
+            at_secs: 25.0,
+            kind: FaultKind::WorkerJoin(WorkerId::new(2)),
         });
         let mut block = ColBlock::new(4);
         for j in 0..6 {

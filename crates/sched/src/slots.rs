@@ -164,6 +164,10 @@ struct WorkerSlots {
     seated: Vec<SlotReq>,
     inflight: Option<InflightRound>,
     alive: bool,
+    /// Planned departure in progress: the in-flight round runs to
+    /// completion, then the remaining seated work migrates and the worker
+    /// retires. No new seats fill and no new rounds start meanwhile.
+    draining: bool,
     /// Bumped on crash so stale finish events are recognized and dropped.
     gen: u64,
     last_finish: f64,
@@ -211,6 +215,7 @@ impl BatchScheduler {
                 seated: Vec::new(),
                 inflight: None,
                 alive: true,
+                draining: false,
                 gen: 0,
                 last_finish: 0.0,
             })
@@ -353,11 +358,14 @@ impl BatchScheduler {
             return;
         }
         worker.alive = false;
+        worker.draining = false;
         worker.gen += 1;
         worker.inflight = None;
         for req in worker.seated.drain(..).rev() {
             let mut req = req;
             req.queued_at = now;
+            self.stats.migrated_requests += 1;
+            self.stats.migrated_tokens += req.remaining_tokens();
             self.pending.push_front(req);
         }
         self.seat_idle_workers();
@@ -372,8 +380,68 @@ impl BatchScheduler {
             return;
         }
         worker.alive = true;
+        worker.draining = false;
         worker.gen += 1;
         worker.last_finish = now;
+        self.seat_idle_workers();
+    }
+
+    /// Begins a *planned* departure of worker `w` at nominal time `now`.
+    /// Unlike [`BatchScheduler::crash`], nothing in flight is lost: the
+    /// round already running completes normally, no new chunks are seated
+    /// meanwhile, and at the boundary every still-unfinished seated
+    /// request migrates to the *front* of the global queue in seat order
+    /// (chunks retired in earlier rounds stay retired). With no round in
+    /// flight the worker retires immediately.
+    pub fn drain(&mut self, now: f64, w: usize) {
+        self.advance(now);
+        let worker = &mut self.workers[w];
+        if !worker.alive || worker.draining {
+            return;
+        }
+        self.stats.drains += 1;
+        if self.workers[w].inflight.is_some() {
+            self.workers[w].draining = true;
+        } else {
+            self.retire_worker(w, now);
+        }
+    }
+
+    /// A fresh worker takes over slot `w` at nominal time `now` (planned
+    /// scale-out). It joins with empty seats and immediately refills from
+    /// the global queue, exactly like a restart — but the ledger counts it
+    /// as a join, and the serving runtime hands the slot a brand-new
+    /// process with a bumped incarnation.
+    pub fn join(&mut self, now: f64, w: usize) {
+        self.advance(now);
+        let worker = &mut self.workers[w];
+        if worker.alive {
+            return;
+        }
+        worker.alive = true;
+        worker.draining = false;
+        worker.gen += 1;
+        worker.last_finish = now;
+        self.stats.joins += 1;
+        self.seat_idle_workers();
+    }
+
+    /// Completes a drain: migrates worker `w`'s remaining seated work to
+    /// the front of the global queue (seat order preserved) and removes
+    /// the worker from the membership.
+    fn retire_worker(&mut self, w: usize, at: f64) {
+        let worker = &mut self.workers[w];
+        debug_assert!(worker.inflight.is_none(), "retire with a round in flight");
+        worker.alive = false;
+        worker.draining = false;
+        worker.gen += 1;
+        for req in worker.seated.drain(..).rev() {
+            let mut req = req;
+            req.queued_at = at;
+            self.stats.migrated_requests += 1;
+            self.stats.migrated_tokens += req.remaining_tokens();
+            self.pending.push_front(req);
+        }
         self.seat_idle_workers();
     }
 
@@ -428,6 +496,13 @@ impl BatchScheduler {
         }
         self.workers[w].seated = still_seated;
         self.workers[w].last_finish = finish;
+        if self.workers[w].draining {
+            // Planned departure: the round that was in flight when the
+            // drain landed has now retired; migrate what remains instead
+            // of refilling.
+            self.retire_worker(w, finish);
+            return;
+        }
         self.fill_seats(w, finish, true);
         self.start_round(w, finish);
     }
@@ -442,7 +517,10 @@ impl BatchScheduler {
             if self.pending.is_empty() {
                 break;
             }
-            if !self.workers[w].alive || self.workers[w].inflight.is_some() {
+            if !self.workers[w].alive
+                || self.workers[w].draining
+                || self.workers[w].inflight.is_some()
+            {
                 continue;
             }
             self.fill_seats(w, now, false);
@@ -666,6 +744,90 @@ mod tests {
     }
 
     #[test]
+    fn drain_finishes_the_inflight_round_then_migrates_the_rest() {
+        let mut s = sched(2, 2, 64);
+        for i in 0..4 {
+            s.admit(0.0, i, 192, 0.192, None);
+        }
+        // Requests 0/1 start 1-wide rounds; at the t≈0.067 boundary each
+        // worker refills its second seat (2 and 3) into a 2-wide round.
+        // A planned departure of worker 0 lands mid-round-2: unlike a
+        // crash, that round retires normally; only the *remaining* chunks
+        // of its two seats migrate to the surviving worker.
+        s.drain(0.1, 0);
+        s.finish();
+        let done = s.drain_completions();
+        assert_eq!(done.len(), 4, "no request may vanish in a drain");
+        assert!(s.drain_sheds().is_empty());
+        let st = s.stats();
+        assert_eq!(st.drains, 1);
+        assert_eq!(st.joins, 0);
+        // At the drain boundary request 0 has retired two chunks (64 left)
+        // and request 2 one chunk (128 left): two migrations, 192 tokens
+        // of remaining work — retired chunks stay retired.
+        assert_eq!(st.migrated_requests, 2);
+        assert_eq!(st.migrated_tokens, 192);
+        // Every token was still batched exactly once.
+        assert_eq!(st.batched_tokens, 4 * 192);
+        assert_eq!(s.alive_workers(), 1);
+    }
+
+    #[test]
+    fn drain_of_an_idle_worker_retires_it_immediately() {
+        let mut s = sched(2, 1, 64);
+        s.drain(0.0, 0);
+        assert_eq!(s.alive_workers(), 1);
+        assert_eq!(s.stats().drains, 1);
+        assert_eq!(s.stats().migrated_requests, 0);
+        // Draining again (or draining a retired worker) is a no-op.
+        s.drain(0.1, 0);
+        assert_eq!(s.stats().drains, 1);
+        s.admit(0.2, 0, 64, 0.064, None);
+        s.finish();
+        assert_eq!(s.drain_completions().len(), 1);
+        let rounds = s.drain_rounds();
+        assert!(
+            rounds.iter().all(|r| r.worker == 1),
+            "a drained worker must not be seated"
+        );
+    }
+
+    #[test]
+    fn join_reoccupies_the_slot_and_serves_new_work() {
+        let mut s = sched(2, 1, 64);
+        s.drain(0.0, 0);
+        s.join(1.0, 0);
+        assert_eq!(s.alive_workers(), 2);
+        assert_eq!(s.stats().joins, 1);
+        // Joining an occupied slot is a no-op.
+        s.join(1.1, 0);
+        assert_eq!(s.stats().joins, 1);
+        s.admit(1.2, 0, 64, 0.064, None);
+        s.admit(1.2, 1, 64, 0.064, None);
+        s.finish();
+        assert_eq!(s.drain_completions().len(), 2);
+        let rounds = s.drain_rounds();
+        assert!(
+            rounds.iter().any(|r| r.worker == 0),
+            "the joined worker must pull its share of the queue"
+        );
+    }
+
+    #[test]
+    fn draining_the_last_worker_sheds_like_a_dead_cluster() {
+        // The schedule validator refuses this; the machine itself must
+        // still conserve if driven here directly.
+        let mut s = sched(1, 1, 64);
+        s.admit(0.0, 0, 128, 0.128, None);
+        s.admit(0.0, 1, 64, 0.064, None);
+        s.drain(0.01, 0);
+        s.finish();
+        assert_eq!(s.drain_completions().len(), 0);
+        assert_eq!(s.drain_sheds().len(), 2);
+        assert_eq!(s.alive_workers(), 0);
+    }
+
+    #[test]
     fn rounds_log_matches_ledger_and_is_dispatchable() {
         let mut s = sched(2, 2, 32);
         for i in 0..5 {
@@ -794,6 +956,63 @@ mod tests {
             // The ledger is consistent with itself.
             let st = s.stats();
             prop_assert!(st.chunks >= st.rounds);
+            let total_tokens: u64 = jobs.iter().map(|(tk, _, _)| *tk).sum();
+            prop_assert!(st.batched_tokens <= total_tokens, "over-counted tokens");
+        }
+
+        /// Tentpole conservation extension: random *membership* schedules —
+        /// interleaved drains, joins, crashes, and restarts at arbitrary
+        /// points in a bursty arrival stream — never lose or double-count a
+        /// request, and the migration ledger stays self-consistent (every
+        /// migrated request carried at least one remaining token).
+        #[test]
+        fn conservation_under_random_membership_churn(
+            seats in 1usize..4,
+            chunk in 16u64..200,
+            n_workers in 2usize..6,
+            jobs in proptest::collection::vec((1u64..500, 1u32..50, proptest::bool::ANY), 1..60),
+            churn in proptest::collection::vec(
+                (0usize..60, 0u8..4, 0usize..6),
+                0..12,
+            ),
+        ) {
+            let mut s = BatchScheduler::new(
+                BatchingConfig { slots_per_worker: seats, chunk_tokens: chunk },
+                0.002,
+                vec![1.0; n_workers],
+            );
+            // Membership events keyed by arrival index. Invalid transitions
+            // (drain a dead worker, join an occupied slot, …) are no-ops in
+            // the machine, so the random stream needs no pre-validation.
+            let mut t = 0.0f64;
+            let mut admitted = 0usize;
+            for (i, (tokens, gap_ms, tight)) in jobs.iter().enumerate() {
+                t += *gap_ms as f64 * 1e-4;
+                for (at, kind, target) in &churn {
+                    if *at == i {
+                        let w = *target % n_workers;
+                        match kind {
+                            0 => s.drain(t, w),
+                            1 => s.join(t, w),
+                            2 => s.crash(t, w),
+                            _ => s.restart(t, w),
+                        }
+                    }
+                }
+                let deadline = if *tight { Some(t + 0.05) } else { None };
+                s.admit(t, i, *tokens, *tokens as f64 * 1e-4, deadline);
+                admitted += 1;
+            }
+            s.finish();
+            let done = s.drain_completions().len();
+            let shed = s.drain_sheds().len();
+            prop_assert_eq!(done + shed, admitted, "lost or duplicated requests");
+            let st = s.stats();
+            // Migration moves only unfinished work: at least one token per
+            // move, and never more than the trace offered per move.
+            prop_assert!(st.migrated_tokens >= st.migrated_requests);
+            let max_tokens = jobs.iter().map(|(tk, _, _)| *tk).max().unwrap_or(0);
+            prop_assert!(st.migrated_tokens <= st.migrated_requests * max_tokens);
             let total_tokens: u64 = jobs.iter().map(|(tk, _, _)| *tk).sum();
             prop_assert!(st.batched_tokens <= total_tokens, "over-counted tokens");
         }

@@ -217,6 +217,147 @@ fn next_run_tag() -> u64 {
     TAG.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Everything the physical fault supervisor needs to break — and mend —
+/// real workers while the planner prices the same schedule on nominal
+/// time. Shared between the per-request and the batched serve paths.
+struct SupervisorCtx<'a> {
+    schedule: bat_sim::FaultSchedule,
+    scale: f64,
+    start: Instant,
+    links: &'a [Link],
+    listeners: &'a [Box<dyn Listener>],
+    processes: bool,
+    child_args: Vec<String>,
+    dial: Vec<String>,
+    events: Sender<Event>,
+    done: Arc<AtomicBool>,
+}
+
+/// Walks the fault schedule in scaled wall-clock time, making membership
+/// events physically real: crashes kill worker threads (liveness flag) or
+/// child processes (SIGKILL); drains stop new seating and let the worker
+/// finish what it holds before exiting; restarts and joins wire a fresh
+/// worker (thread flag flip, or a respawned child accepted on the same
+/// listener under a bumped link incarnation) back into the cluster. All
+/// *accounting* for these events lives in the planner and the batch
+/// machine, driven on nominal time — this thread only touches the world.
+fn spawn_fault_supervisor<'scope>(
+    scope: &'scope thread::Scope<'scope, '_>,
+    ctx: SupervisorCtx<'scope>,
+    hello: impl Fn(usize, f64) -> HelloMsg + Send + 'scope,
+) {
+    scope.spawn(move || {
+        let SupervisorCtx {
+            schedule,
+            scale,
+            start,
+            links,
+            listeners,
+            processes,
+            child_args,
+            dial,
+            events,
+            done,
+        } = ctx;
+        for event in schedule.events() {
+            let target = event.at_secs * scale;
+            loop {
+                let elapsed = start.elapsed().as_secs_f64();
+                if elapsed >= target {
+                    break;
+                }
+                thread::sleep(Duration::from_secs_f64((target - elapsed).min(0.002)));
+            }
+            match event.kind {
+                FaultKind::WorkerCrash(w) => {
+                    let link = &links[w.index()];
+                    link.alive.store(false, Ordering::Release);
+                    if processes {
+                        // Real crash: SIGKILL. The link's reader observes
+                        // the disconnect and the collector requeues
+                        // whatever the child never finished.
+                        if let Some(mut child) = link.child.lock().take() {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                    }
+                    // In-process workers bounce dispatches as orphans
+                    // while their flag is down.
+                }
+                FaultKind::WorkerDrain(w) => {
+                    // Planned departure: stop seating new work, then let
+                    // the worker finish what it already holds. A child
+                    // process gets the shutdown frame *behind* its queued
+                    // frames — it serves them, acks, and exits cleanly;
+                    // its conn closing then requeues anything it never
+                    // processed. In-process workers bounce dispatches
+                    // that race past the flag.
+                    let link = &links[w.index()];
+                    link.alive.store(false, Ordering::Release);
+                    if processes {
+                        if let (_, Some(conn)) = link.current() {
+                            let _ = conn.send(ShutdownMsg.to_frame());
+                        }
+                    }
+                }
+                FaultKind::WorkerRestart(w) | FaultKind::WorkerJoin(w) => {
+                    let w = w.index();
+                    let link = &links[w];
+                    if processes {
+                        // Planned scale-out (or a scheduled recovery):
+                        // spawn a fresh process, accept it on the same
+                        // listener, and swap the link to the new
+                        // incarnation.
+                        match spawn_child(&child_args, &dial[w], w) {
+                            Ok(child) => match listeners[w].accept_timeout(ACCEPT_TIMEOUT) {
+                                Ok(conn) => {
+                                    let vnow = start.elapsed().as_secs_f64() / scale;
+                                    if conn.send(hello(w, vnow).to_frame()).is_ok() {
+                                        let inc = {
+                                            let mut g = link.conn.lock();
+                                            g.0 += 1;
+                                            g.1 = Some(Arc::clone(&conn));
+                                            g.0
+                                        };
+                                        *link.child.lock() = Some(child);
+                                        link.alive.store(true, Ordering::Release);
+                                        let events = events.clone();
+                                        scope.spawn(move || {
+                                            run_reader(conn, w, inc, events);
+                                        });
+                                    }
+                                }
+                                Err(e) => {
+                                    eprintln!("worker {w} rejoin accept failed: {e}");
+                                }
+                            },
+                            Err(e) => {
+                                eprintln!("worker {w} respawn failed: {e}");
+                            }
+                        }
+                    } else {
+                        link.alive.store(true, Ordering::Release);
+                    }
+                }
+                // Link, partition and meta faults have no thread-level
+                // effect; the planner (which hosts the replicated meta
+                // group and the reachability matrix) prices/plans them on
+                // nominal time. Slowed links included: hedged pulls and
+                // backoff retries are planner decisions, not thread ones.
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::LinkRestore
+                | FaultKind::MetaStall { .. }
+                | FaultKind::MetaCrash(_)
+                | FaultKind::MetaRestart(_)
+                | FaultKind::CutLink { .. }
+                | FaultKind::HealLink { .. }
+                | FaultKind::SlowLink { .. } => {}
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+}
+
 /// The threaded serving runtime.
 ///
 /// ```
@@ -257,41 +398,40 @@ impl ServeRuntime {
     pub fn new(cfg: EngineConfig, opts: ServeOptions) -> Result<Self, BatError> {
         cfg.validate()?;
         if opts.time_scale <= 0.0 || !opts.time_scale.is_finite() {
-            return Err(BatError::InvalidConfig(
-                "time_scale must be positive and finite".to_owned(),
-            ));
+            return Err(BatError::InvalidConfig(format!(
+                "time_scale must be a finite number of wall seconds per \
+                 simulated second in (0, ∞); got {}",
+                opts.time_scale
+            )));
         }
         if opts.queue_depth == 0 {
             return Err(BatError::InvalidConfig(
-                "queue_depth must be positive".to_owned(),
+                "queue_depth (per-worker dispatch credits) must be ≥ 1; got 0".to_owned(),
             ));
         }
         if let Some((w, factor)) = opts.straggler {
             if w >= cfg.cluster.num_nodes {
                 return Err(BatError::InvalidConfig(format!(
-                    "straggler worker {w} out of range"
+                    "straggler worker index must be < cluster.num_nodes ({}); got {w}",
+                    cfg.cluster.num_nodes
                 )));
             }
             if factor < 1.0 || !factor.is_finite() {
-                return Err(BatError::InvalidConfig(
-                    "straggler factor must be ≥ 1".to_owned(),
-                ));
+                return Err(BatError::InvalidConfig(format!(
+                    "straggler slowdown factor must be finite and ≥ 1.0; got {factor}"
+                )));
             }
         }
-        if cfg.batching.is_some() && cfg.faults.is_some() {
-            return Err(BatError::InvalidConfig(
-                "continuous batching does not support fault schedules in the threaded runtime yet"
-                    .to_owned(),
-            ));
-        }
         if opts.processes && opts.transport != TransportKind::Uds {
-            return Err(BatError::InvalidConfig(
-                "worker processes require the Uds transport".to_owned(),
-            ));
+            return Err(BatError::InvalidConfig(format!(
+                "processes = true requires transport = Uds \
+                 (child workers dial back over Unix sockets); got {:?}",
+                opts.transport
+            )));
         }
         if cfg!(not(unix)) && opts.transport == TransportKind::Uds {
             return Err(BatError::InvalidConfig(
-                "Uds transport requires a unix platform".to_owned(),
+                "transport = Uds requires a unix platform; use Channel or Tcp here".to_owned(),
             ));
         }
         Ok(ServeRuntime { cfg, opts })
@@ -435,110 +575,27 @@ impl ServeRuntime {
                 scope.spawn(move || run_reader(conn, w, 0, events));
             }
 
-            // Fault supervisor: walks the schedule in scaled wall-clock
-            // time, making failures physically real — killing worker
-            // threads (via their liveness flag) or child processes (via
-            // SIGKILL), and wiring restarted workers back in. The cache
-            // accounting of each fault lives in the planner (driven by
-            // nominal request arrivals); this thread only breaks things.
+            // Fault supervisor: makes failures and membership events
+            // physically real — killing, draining, and respawning real
+            // workers — while the planner prices the same schedule on
+            // nominal request arrivals.
             if let Some(schedule) = schedule.clone() {
-                let links_ref = &links;
-                let listeners_ref = &listeners;
-                let done_flag = Arc::clone(&supervisor_done);
-                let events = event_tx.clone();
-                let processes = self.opts.processes;
-                let child_args = self.opts.child_args.clone();
-                let dial = dial_addrs.clone();
-                scope.spawn(move || {
-                    for event in schedule.events() {
-                        let target = event.at_secs * scale;
-                        loop {
-                            let elapsed = start.elapsed().as_secs_f64();
-                            if elapsed >= target {
-                                break;
-                            }
-                            thread::sleep(Duration::from_secs_f64((target - elapsed).min(0.002)));
-                        }
-                        match event.kind {
-                            FaultKind::WorkerCrash(w) => {
-                                let link = &links_ref[w.index()];
-                                link.alive.store(false, Ordering::Release);
-                                if processes {
-                                    // Real crash: SIGKILL. The link's
-                                    // reader observes the disconnect and
-                                    // the collector requeues whatever the
-                                    // child never finished.
-                                    if let Some(mut child) = link.child.lock().take() {
-                                        let _ = child.kill();
-                                        let _ = child.wait();
-                                    }
-                                }
-                                // In-process workers bounce dispatches as
-                                // orphans while their flag is down.
-                            }
-                            FaultKind::WorkerRestart(w) => {
-                                let w = w.index();
-                                let link = &links_ref[w];
-                                if processes {
-                                    // Planned scale-out: spawn a fresh
-                                    // process, accept it on the same
-                                    // listener, and swap the link to the
-                                    // new incarnation.
-                                    match spawn_child(&child_args, &dial[w], w) {
-                                        Ok(child) => {
-                                            match listeners_ref[w].accept_timeout(ACCEPT_TIMEOUT) {
-                                                Ok(conn) => {
-                                                    if conn
-                                                        .send(hello(w, virtual_now()).to_frame())
-                                                        .is_ok()
-                                                    {
-                                                        let inc = {
-                                                            let mut g = link.conn.lock();
-                                                            g.0 += 1;
-                                                            g.1 = Some(Arc::clone(&conn));
-                                                            g.0
-                                                        };
-                                                        *link.child.lock() = Some(child);
-                                                        link.alive.store(true, Ordering::Release);
-                                                        let events = events.clone();
-                                                        scope.spawn(move || {
-                                                            run_reader(conn, w, inc, events);
-                                                        });
-                                                    }
-                                                }
-                                                Err(e) => {
-                                                    eprintln!(
-                                                        "worker {w} rejoin accept failed: {e}"
-                                                    );
-                                                }
-                                            }
-                                        }
-                                        Err(e) => {
-                                            eprintln!("worker {w} respawn failed: {e}");
-                                        }
-                                    }
-                                } else {
-                                    link.alive.store(true, Ordering::Release);
-                                }
-                            }
-                            // Link, partition and meta faults have no
-                            // thread-level effect; the planner (which hosts
-                            // the replicated meta group and the reachability
-                            // matrix) prices/plans them on nominal time.
-                            // Slowed links included: hedged pulls and backoff
-                            // retries are planner decisions, not thread ones.
-                            FaultKind::LinkDegrade { .. }
-                            | FaultKind::LinkRestore
-                            | FaultKind::MetaStall { .. }
-                            | FaultKind::MetaCrash(_)
-                            | FaultKind::MetaRestart(_)
-                            | FaultKind::CutLink { .. }
-                            | FaultKind::HealLink { .. }
-                            | FaultKind::SlowLink { .. } => {}
-                        }
-                    }
-                    done_flag.store(true, Ordering::Release);
-                });
+                spawn_fault_supervisor(
+                    scope,
+                    SupervisorCtx {
+                        schedule,
+                        scale,
+                        start,
+                        links: &links,
+                        listeners: &listeners,
+                        processes: self.opts.processes,
+                        child_args: self.opts.child_args.clone(),
+                        dial: dial_addrs.clone(),
+                        events: event_tx.clone(),
+                        done: Arc::clone(&supervisor_done),
+                    },
+                    hello,
+                );
             }
 
             // Scheduler thread: replay arrivals, plan, dispatch frames.
@@ -891,18 +948,30 @@ impl ServeRuntime {
     /// bit-identical to the simulator's for the same trace at any worker
     /// count.
     ///
-    /// Fault schedules are rejected at construction for this path: the
-    /// machine re-queues seated chunks on crash, but the physical
-    /// round-frame protocol has no orphan story yet.
+    /// Fault and membership schedules run in two planes that never share
+    /// state: the *nominal* plane (this scheduler thread applies every
+    /// crash/restart/drain/join to the machine at its scheduled nominal
+    /// time, exactly as the simulator's event heap does, so seated chunks
+    /// requeue through the machine's own migration path and the ledger
+    /// stays bit-identical), and the *physical* plane (the shared fault
+    /// supervisor kills, drains, and respawns the real workers). A round
+    /// frame lost to a physical kill is simply dropped after its link dies
+    /// — the machine has already cancelled that round by generation
+    /// fencing and reformed its chunks into fresh rounds on survivors, so
+    /// no frame is ever double-counted.
     #[allow(clippy::too_many_lines)]
     fn serve_batched(&self, trace: &[RankRequest]) -> RunStats {
         let n_workers = self.cfg.cluster.num_nodes;
         let scale = self.opts.time_scale;
         let batching = self.cfg.batching.expect("batched path requires config");
+        let schedule = self.cfg.faults.clone();
 
         let planner = Mutex::new(RequestPlanner::from_config(&self.cfg));
         let outstanding = Arc::new(AtomicU64::new(0));
         let sched_done = Arc::new(AtomicBool::new(false));
+        let supervisor_done = Arc::new(AtomicBool::new(
+            schedule.as_ref().is_none_or(|s| s.is_empty()),
+        ));
         let ledger_out = Mutex::new(None::<BatchedLedger>);
 
         let transport = self.transport();
@@ -975,48 +1044,85 @@ impl ServeRuntime {
                 scope.spawn(move || run_reader(conn, w, 0, events));
             }
 
+            // Physical fault plane: the same supervisor the per-request
+            // path uses, handing rejoined children the batched hello.
+            if let Some(schedule) = schedule.clone() {
+                spawn_fault_supervisor(
+                    scope,
+                    SupervisorCtx {
+                        schedule,
+                        scale,
+                        start,
+                        links: &links,
+                        listeners: &listeners,
+                        processes: self.opts.processes,
+                        child_args: self.opts.child_args.clone(),
+                        dial: dial_addrs.clone(),
+                        events: event_tx.clone(),
+                        done: Arc::clone(&supervisor_done),
+                    },
+                    hello,
+                );
+            }
+
             // Scheduler thread: replays arrivals on nominal time through
             // the batch machine, dispatching each formed round as a frame.
             let planner_ref = &planner;
             let links_ref = &links;
             let outstanding_ref = &outstanding;
             let sched_done_ref = &sched_done;
+            let supervisor_done_ref = &supervisor_done;
             let ledger_ref = &ledger_out;
             let speeds_ref = &speeds;
             let queue_depth = self.opts.queue_depth as u64;
+            let have_faults = schedule.is_some();
+            let fault_times: Vec<f64> = schedule
+                .as_ref()
+                .map(|s| s.events().iter().map(|e| e.at_secs).collect())
+                .unwrap_or_default();
             scope.spawn(move || {
                 let mut machine =
                     BatchScheduler::new(batching, self.cfg.batch_overhead_secs, speeds_ref.clone());
                 // Physical dispatch of one formed round, under the same
-                // per-link inflight credit as the per-request path. With no
-                // fault schedule a dead link is a bug, not an event.
+                // per-link inflight credit as the per-request path. The
+                // frame is registered un-acked *before* the send so a
+                // completion can never race past its own bookkeeping.
+                // Under a fault schedule a dead link is survivable: the
+                // frame is rolled back and simply not sent — the nominal
+                // machine independently cancels that round at the
+                // scheduled crash time and reforms its chunks on the
+                // survivors, so physical loss never touches the ledger.
                 let dispatch_round = |r: &RoundRecord| {
                     let link = &links_ref[r.worker];
                     while link.inflight.load(Ordering::Acquire) >= queue_depth {
                         thread::sleep(Duration::from_micros(200));
                     }
+                    let msg = DispatchMsg {
+                        seq: r.seq,
+                        arrival_virtual: r.start,
+                        suffix_tokens: r.tokens,
+                        service_virtual: r.service_secs,
+                        deadline_rel: None,
+                    };
+                    let (inc, conn) = link.current();
+                    link.unacked.lock().insert(msg.seq, (inc, msg));
                     link.queued.fetch_add(r.tokens, Ordering::Relaxed);
                     link.inflight.fetch_add(1, Ordering::AcqRel);
                     outstanding_ref.fetch_add(1, Ordering::AcqRel);
-                    let (_, conn) = link.current();
-                    let sent = conn.as_ref().is_some_and(|c| {
-                        c.send(
-                            DispatchMsg {
-                                seq: r.seq,
-                                arrival_virtual: r.start,
-                                suffix_tokens: r.tokens,
-                                service_virtual: r.service_secs,
-                                deadline_rel: None,
-                            }
-                            .to_frame(),
-                        )
-                        .is_ok()
-                    });
-                    assert!(
-                        sent,
-                        "worker {} link died without a fault schedule",
-                        r.worker
-                    );
+                    let sent = conn
+                        .as_ref()
+                        .is_some_and(|c| c.send(msg.to_frame()).is_ok());
+                    if !sent {
+                        link.unacked.lock().remove(&msg.seq);
+                        link.queued.fetch_sub(r.tokens, Ordering::Relaxed);
+                        link.inflight.fetch_sub(1, Ordering::AcqRel);
+                        outstanding_ref.fetch_sub(1, Ordering::Release);
+                        assert!(
+                            have_faults,
+                            "worker {} link died without a fault schedule",
+                            r.worker
+                        );
+                    }
                 };
 
                 // Everything below mirrors the simulator's batched run
@@ -1038,6 +1144,12 @@ impl ServeRuntime {
                     ..BatchedLedger::default()
                 };
                 let mut next_refresh = self.cfg.item_refresh_interval_secs.unwrap_or(0.0);
+                // Nominal fault plane: the cursor below walks the schedule
+                // exactly as the simulator's event heap does — every event
+                // whose nanosecond key is ≤ the next arrival's is applied
+                // first (fault events win key ties by sequence), at its own
+                // scheduled time, through the shared planner and machine.
+                let mut fault_cursor = 0usize;
                 let mut controller = self.cfg.slo.map(|c| {
                     let p = planner_ref.lock();
                     let cap = (0..n_workers)
@@ -1060,6 +1172,36 @@ impl ServeRuntime {
                         thread::sleep(Duration::from_secs_f64(
                             ((nominal - now) * scale).min(0.005),
                         ));
+                    }
+                    while fault_cursor < fault_times.len()
+                        && (fault_times[fault_cursor] * 1e9) as u64 <= (nominal * 1e9) as u64
+                    {
+                        let at = fault_times[fault_cursor];
+                        fault_cursor += 1;
+                        let mut p = planner_ref.lock();
+                        for fault in p.advance_faults(at) {
+                            match fault {
+                                bat_sim::AppliedFault::Crashed(dead) => {
+                                    machine.crash(at, dead.index());
+                                }
+                                bat_sim::AppliedFault::Restarted(back, _) => {
+                                    machine.restart(at, back.index());
+                                }
+                                bat_sim::AppliedFault::Drained(leaving) => {
+                                    machine.drain(at, leaving.index());
+                                }
+                                bat_sim::AppliedFault::Joined(fresh, _) => {
+                                    machine.join(at, fresh.index());
+                                }
+                                _ => {}
+                            }
+                        }
+                        drop(p);
+                        // Requeued chunks may have formed fresh rounds on
+                        // the survivors; get them onto the wire.
+                        for r in machine.drain_rounds() {
+                            dispatch_round(&r);
+                        }
                     }
                     let rounded = ((nominal * 1e9) as u64) as f64 / 1e9;
                     ledger.first_arrival = ledger.first_arrival.min(rounded);
@@ -1120,6 +1262,35 @@ impl ServeRuntime {
                         dispatch_round(&r);
                     }
                 }
+                // Events scheduled past the last arrival still reshape the
+                // membership before the machine runs dry (the simulator's
+                // heap pops them the same way).
+                while fault_cursor < fault_times.len() {
+                    let at = fault_times[fault_cursor];
+                    fault_cursor += 1;
+                    let mut p = planner_ref.lock();
+                    for fault in p.advance_faults(at) {
+                        match fault {
+                            bat_sim::AppliedFault::Crashed(dead) => {
+                                machine.crash(at, dead.index());
+                            }
+                            bat_sim::AppliedFault::Restarted(back, _) => {
+                                machine.restart(at, back.index());
+                            }
+                            bat_sim::AppliedFault::Drained(leaving) => {
+                                machine.drain(at, leaving.index());
+                            }
+                            bat_sim::AppliedFault::Joined(fresh, _) => {
+                                machine.join(at, fresh.index());
+                            }
+                            _ => {}
+                        }
+                    }
+                    drop(p);
+                    for r in machine.drain_rounds() {
+                        dispatch_round(&r);
+                    }
+                }
                 machine.finish();
                 for r in machine.drain_rounds() {
                     dispatch_round(&r);
@@ -1146,9 +1317,16 @@ impl ServeRuntime {
                 }
                 ledger.slo.shed_expired += machine.drain_sheds().len() as u64;
                 ledger.batching = machine.stats();
+                // Both engines derive the SLO-plane migration ledger from
+                // the same machine, so it is bit-identical by construction.
+                ledger.slo.migrated = ledger.batching.migrated_requests;
                 *ledger_ref.lock() = Some(ledger);
-                // Wait out the physical tail, then release the cluster.
-                while outstanding_ref.load(Ordering::Acquire) > 0 {
+                // Wait out the physical tail (and the supervisor, so a
+                // late respawned child still gets its shutdown frame),
+                // then release the cluster.
+                while outstanding_ref.load(Ordering::Acquire) > 0
+                    || !supervisor_done_ref.load(Ordering::Acquire)
+                {
                     thread::sleep(Duration::from_micros(500));
                 }
                 sched_done_ref.store(true, Ordering::Release);
@@ -1161,25 +1339,76 @@ impl ServeRuntime {
 
             // Collector: acks round frames so credit and the outstanding
             // count drain. All statistics live in the machine's ledger;
-            // this loop is pure flow control.
+            // this loop is pure flow control — a frame stranded by a kill
+            // is retired here exactly once (its un-acked entry is the
+            // token: whoever removes it does the decrement), never
+            // re-dispatched, because the nominal machine has already
+            // reformed the cancelled round's chunks under fresh sequence
+            // numbers on the surviving workers.
             loop {
                 match event_rx.try_recv() {
                     Ok(Event::Done(c)) => {
                         let link = &links[c.worker as usize];
-                        link.queued.fetch_sub(c.suffix_tokens, Ordering::Relaxed);
-                        link.inflight.fetch_sub(1, Ordering::AcqRel);
-                        outstanding.fetch_sub(1, Ordering::Release);
+                        if link.unacked.lock().remove(&c.seq).is_some() {
+                            link.queued.fetch_sub(c.suffix_tokens, Ordering::Relaxed);
+                            link.inflight.fetch_sub(1, Ordering::AcqRel);
+                            outstanding.fetch_sub(1, Ordering::Release);
+                        }
                     }
-                    Ok(Event::Orphan(_)) => {
-                        unreachable!("batched workers are never killed")
-                    }
-                    Ok(Event::Down { worker, .. }) => {
-                        // Reader death after shutdown is the orderly end;
-                        // before it, a lost link would strand its rounds.
+                    Ok(Event::Orphan(o)) => {
+                        // An in-process worker bounced a round frame while
+                        // its liveness flag was down mid-kill.
                         assert!(
-                            sched_done.load(Ordering::Acquire),
-                            "worker {worker} link died without a fault schedule"
+                            schedule.is_some(),
+                            "worker {} bounced a round without a fault schedule",
+                            o.worker
                         );
+                        let link = &links[o.worker as usize];
+                        if link.unacked.lock().remove(&o.item.seq).is_some() {
+                            link.queued
+                                .fetch_sub(o.item.suffix_tokens, Ordering::Relaxed);
+                            link.inflight.fetch_sub(1, Ordering::AcqRel);
+                            outstanding.fetch_sub(1, Ordering::Release);
+                        }
+                    }
+                    Ok(Event::Down {
+                        worker,
+                        incarnation,
+                    }) => {
+                        // Reader death after shutdown is the orderly end;
+                        // mid-run it is a scheduled kill (or a drained
+                        // child exiting): retire every frame sent on this
+                        // or an earlier incarnation — entries sent on a
+                        // newer conn stay.
+                        if !sched_done.load(Ordering::Acquire) {
+                            assert!(
+                                schedule.is_some(),
+                                "worker {worker} link died without a fault schedule"
+                            );
+                        }
+                        let link = &links[worker];
+                        {
+                            let g = link.conn.lock();
+                            if g.0 == incarnation {
+                                link.alive.store(false, Ordering::Release);
+                            }
+                        }
+                        let dropped: Vec<DispatchMsg> = {
+                            let mut un = link.unacked.lock();
+                            let seqs: Vec<u64> = un
+                                .iter()
+                                .filter(|(_, (inc, _))| *inc <= incarnation)
+                                .map(|(&seq, _)| seq)
+                                .collect();
+                            seqs.iter()
+                                .map(|seq| un.remove(seq).expect("seq just listed").1)
+                                .collect()
+                        };
+                        for item in dropped {
+                            link.queued.fetch_sub(item.suffix_tokens, Ordering::Relaxed);
+                            link.inflight.fetch_sub(1, Ordering::AcqRel);
+                            outstanding.fetch_sub(1, Ordering::Release);
+                        }
                     }
                     Ok(Event::Rejected(_)) => {
                         unreachable!("the batched scheduler counts rejects locally")
@@ -1614,6 +1843,38 @@ mod tests {
             proptest::prop_assert_eq!(stats.slo.submitted, t.len() as u64);
             proptest::prop_assert!(stats.slo.conserved(), "not conserved: {:?}", stats.slo);
         }
+
+        /// The extended conservation law under *membership* schedules with
+        /// continuous batching on: random drain/join/crash/restart
+        /// interleavings never lose or double-count a request, the
+        /// migration ledger proves every move carried real work, and the
+        /// whole digest still matches the simulator bit-for-bit.
+        #[test]
+        fn batched_conservation_holds_across_random_membership_schedules(seed in 0u64..1000) {
+            use bat_sim::OverloadConfig;
+            use bat_types::SloBudget;
+            let ds = DatasetConfig::games();
+            let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), seed.wrapping_add(7));
+            g.set_slo(SloBudget::with_deadline(0.2));
+            let t = g.generate(2.0, 60.0);
+            let schedule = bat_sim::FaultSchedule::random_membership(seed, 2, 2.0, 1);
+            let cfg = config(SystemKind::Bat, &ds)
+                .with_faults(Some(schedule))
+                .with_slo(Some(OverloadConfig::default()))
+                .with_batching(Some(bat_sim::BatchingConfig::default()));
+            let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+            let stats = ServeRuntime::new(cfg, ServeOptions::default())
+                .unwrap()
+                .serve(&t);
+            proptest::prop_assert_eq!(stats.slo.submitted, t.len() as u64);
+            proptest::prop_assert!(stats.slo.conserved(), "not conserved: {:?}", stats.slo);
+            proptest::prop_assert!(
+                stats.batching.migrated_tokens >= stats.batching.migrated_requests,
+                "migration must carry at least one remaining token per move"
+            );
+            proptest::prop_assert_eq!(stats.slo.migrated, stats.batching.migrated_requests);
+            proptest::prop_assert_eq!(sim_stats.digest(), stats.digest());
+        }
     }
 
     #[test]
@@ -1667,14 +1928,56 @@ mod tests {
     }
 
     #[test]
-    fn batching_with_faults_is_rejected() {
-        let ds = DatasetConfig::games();
+    fn batched_runtime_accepts_faults_and_matches_simulator_digest() {
+        // batching × faults, the combination this runtime used to refuse:
+        // the machine requeues seated chunks at the nominal crash time in
+        // both engines, so the whole digest — migration ledger included —
+        // stays bitwise equal while this runtime kills a real worker.
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 3.0, 40.0);
         let schedule =
-            bat_sim::FaultSchedule::single_crash(2, bat_types::WorkerId::new(1), 1.0, 2.0).unwrap();
+            bat_sim::FaultSchedule::single_crash(2, bat_types::WorkerId::new(1), 0.8, 1.8).unwrap();
         let cfg = config(SystemKind::Bat, &ds)
             .with_batching(Some(bat_sim::BatchingConfig::default()))
             .with_faults(Some(schedule));
-        assert!(ServeRuntime::new(cfg, ServeOptions::default()).is_err());
+        let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt_stats = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert!(!rt_stats.faults.is_quiet(), "the crash must be observed");
+        assert_eq!(sim_stats.batching, rt_stats.batching);
+        assert_eq!(sim_stats.digest(), rt_stats.digest());
+    }
+
+    #[test]
+    fn batched_runtime_matches_simulator_under_drain_and_join() {
+        // Elastic membership: a planned drain migrates the leaving
+        // worker's remaining seats, and a later join re-plans the slot
+        // back in — bit-identically in both engines.
+        let ds = DatasetConfig {
+            num_users: 300,
+            ..DatasetConfig::games()
+        };
+        let t = trace(&ds, 3.0, 40.0);
+        let schedule =
+            bat_sim::FaultSchedule::drain_join(2, bat_types::WorkerId::new(0), 0.8, 1.8).unwrap();
+        let cfg = config(SystemKind::Bat, &ds)
+            .with_batching(Some(bat_sim::BatchingConfig::default()))
+            .with_faults(Some(schedule));
+        let sim_stats = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt_stats = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(rt_stats.completed, t.len(), "drain/join must not drop work");
+        assert_eq!(rt_stats.batching.drains, 1);
+        assert_eq!(rt_stats.batching.joins, 1);
+        assert_eq!(rt_stats.faults.drains, 1);
+        assert_eq!(rt_stats.faults.joins, 1);
+        assert_eq!(sim_stats.batching, rt_stats.batching);
+        assert_eq!(sim_stats.digest(), rt_stats.digest());
     }
 
     #[test]

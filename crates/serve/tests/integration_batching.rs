@@ -8,8 +8,11 @@
 //! trace. Wall-clock jitter, thread interleaving, and the `BAT_THREADS`
 //! pool width (CI runs this file at 1 and 8) must all be invisible.
 
-use bat_serve::{ServeOptions, ServeRuntime};
-use bat_sim::{BatchingConfig, EngineConfig, OverloadConfig, ServingEngine, SystemKind};
+use bat_serve::{ServeOptions, ServeRuntime, TransportKind};
+use bat_sim::{
+    BatchingConfig, EngineConfig, FaultSchedule, OverloadConfig, ServingEngine, SystemKind,
+};
+use bat_types::WorkerId;
 use bat_types::{Bytes, ClusterConfig, DatasetConfig, ModelConfig, RankRequest, SloBudget};
 use bat_workload::{TraceGenerator, Workload};
 
@@ -101,5 +104,131 @@ fn overloaded_batching_conserves_and_matches_simulator() {
         "submitted != completed + shed + rejected"
     );
     assert_eq!(sim.slo, rt.slo, "SLO ledger diverged");
+    assert_eq!(sim.digest(), rt.digest(), "stats digest diverged");
+}
+
+#[test]
+fn kill_schedule_digest_matches_simulator_across_worker_counts() {
+    // A validated kill schedule must leave a survivor after every crash,
+    // so the matrix starts at 2 workers; the 1-worker case is pinned by
+    // the fault-free parity test above.
+    let ds = short_prompt_dataset();
+    let t = trace(&ds, 2.0, 150.0);
+    for nodes in [2usize, 4, 8] {
+        let schedule = FaultSchedule::random(17, nodes, 2.0, 1);
+        assert!(!schedule.is_empty(), "seed 17 must schedule a crash");
+        let cfg = batched_config(&ds, nodes).with_faults(Some(schedule));
+        let sim = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(
+            rt.completed,
+            t.len(),
+            "a crash must never drop work at {nodes} workers"
+        );
+        assert!(!sim.faults.is_quiet(), "the crash must be observed");
+        assert_eq!(
+            sim.batching, rt.batching,
+            "batching ledger diverged under kill at {nodes} workers"
+        );
+        assert_eq!(
+            sim.digest(),
+            rt.digest(),
+            "stats digest diverged under kill at {nodes} workers"
+        );
+    }
+}
+
+#[test]
+fn chaos_membership_schedules_match_simulator() {
+    // The CI chaos matrix runs this file at BAT_THREADS=1 and 8: three
+    // seeded schedules mixing planned drain/join with crash/restart, on
+    // top of an SLO controller so the *extended* conservation law
+    // (submitted == completed + shed + rejected, with `migrated` a pure
+    // movement ledger) is checked under churn, not just at steady state.
+    let ds = short_prompt_dataset();
+    let mut g = TraceGenerator::new(Workload::new(ds.clone(), 11), 12);
+    g.set_slo(SloBudget::with_deadline(0.2));
+    let t = g.generate(2.0, 150.0);
+    let mut membership_events = 0;
+    for seed in [3u64, 5, 9] {
+        let schedule = FaultSchedule::random_membership(seed, 4, 2.0, 2);
+        membership_events += schedule.events().len();
+        let cfg = batched_config(&ds, 4)
+            .with_slo(Some(OverloadConfig::default()))
+            .with_faults(Some(schedule));
+        let sim = ServingEngine::new(cfg.clone()).unwrap().run(&t);
+        let rt = ServeRuntime::new(cfg, ServeOptions::default())
+            .unwrap()
+            .serve(&t);
+        assert_eq!(rt.slo.submitted, t.len() as u64, "seed {seed}");
+        assert!(
+            rt.slo.conserved(),
+            "seed {seed}: submitted != completed + shed + rejected"
+        );
+        assert!(
+            rt.batching.migrated_tokens >= rt.batching.migrated_requests,
+            "seed {seed}: a migrated chunk carries at least one token"
+        );
+        assert_eq!(
+            rt.slo.migrated, rt.batching.migrated_requests,
+            "seed {seed}: the SLO migration ledger mirrors the machine"
+        );
+        assert_eq!(sim.slo, rt.slo, "seed {seed}: SLO ledger diverged");
+        assert_eq!(
+            sim.batching, rt.batching,
+            "seed {seed}: batching ledger diverged"
+        );
+        assert_eq!(
+            sim.digest(),
+            rt.digest(),
+            "seed {seed}: stats digest diverged"
+        );
+    }
+    assert!(
+        membership_events > 0,
+        "at least one chaos seed must schedule churn"
+    );
+}
+
+#[test]
+fn batched_child_processes_survive_sigkill_and_count_chunks_once() {
+    bat_serve::maybe_child_worker();
+    // A real SIGKILL of a real OS process severs the Unix socket with a
+    // round frame potentially mid-flight. The register-unacked-before-send
+    // rollback (a frame that fails to send is withdrawn before any
+    // completion could race it) must compose with the slot machine's
+    // crash-requeue: the dead worker's chunks reform into fresh rounds on
+    // the survivor under new round seqs, so no chunk is ever counted twice
+    // in `BatchStats` — pinned here in the strongest form, bitwise ledger
+    // and digest equality with the simulator.
+    let ds = short_prompt_dataset();
+    let t = trace(&ds, 3.0, 100.0);
+    let schedule = FaultSchedule::single_crash(2, WorkerId::new(1), 0.8, 2.0).unwrap();
+    let cfg = || batched_config(&ds, 2).with_faults(Some(schedule.clone()));
+    let sim = ServingEngine::new(cfg()).unwrap().run(&t);
+    let opts = ServeOptions {
+        transport: TransportKind::Uds,
+        processes: true,
+        child_args: vec![
+            "batched_child_processes_survive_sigkill_and_count_chunks_once".to_string(),
+            "--exact".to_string(),
+            "--test-threads=1".to_string(),
+            "--quiet".to_string(),
+        ],
+        ..ServeOptions::default()
+    };
+    let rt = ServeRuntime::new(cfg(), opts).unwrap().serve(&t);
+    assert_eq!(
+        rt.completed,
+        t.len(),
+        "a SIGKILLed batched worker must not lose work"
+    );
+    assert!(!rt.faults.is_quiet(), "the kill must be observed");
+    assert_eq!(
+        sim.batching, rt.batching,
+        "a chunk was lost or double-counted across the SIGKILL"
+    );
     assert_eq!(sim.digest(), rt.digest(), "stats digest diverged");
 }

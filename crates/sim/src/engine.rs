@@ -658,22 +658,36 @@ impl ServingEngine {
                         .events()[idx]
                         .at_secs;
                     for fault in self.planner.advance_faults(at) {
-                        let bat_faults::AppliedFault::Crashed(dead) = fault else {
-                            continue;
+                        let (d, graceful) = match fault {
+                            bat_faults::AppliedFault::Crashed(dead) => (dead.index(), false),
+                            bat_faults::AppliedFault::Drained(gone) => (gone.index(), true),
+                            // Restart/join: the planner marks the worker
+                            // alive again and the dispatcher resumes
+                            // routing to its (empty) queue — no worker
+                            // state to repair.
+                            _ => continue,
                         };
-                        // Everything queued or running on the dead worker is
-                        // handed back to the scheduler and redispatched to a
-                        // survivor: requests are never dropped.
-                        let d = dead.index();
+                        // Everything queued (and, on a crash, running) on
+                        // the departed worker is handed back to the
+                        // scheduler and redispatched to a survivor:
+                        // requests are never dropped. A planned drain is
+                        // graceful — the batch in flight completes (its
+                        // generation is not bumped, so the Done event
+                        // still lands); only queued work migrates.
                         let orphans: Vec<Job> = {
                             let w = &mut workers[d];
-                            let mut o: Vec<Job> = w.queue.drain(..).collect();
-                            o.append(&mut w.inflight);
+                            let o: Vec<Job> = w.queue.drain(..).collect();
                             w.queued_tokens = 0;
-                            w.inflight_tokens = 0;
-                            w.busy = false;
-                            w.gen += 1;
-                            o
+                            if graceful {
+                                o
+                            } else {
+                                let mut o = o;
+                                o.append(&mut w.inflight);
+                                w.inflight_tokens = 0;
+                                w.busy = false;
+                                w.gen += 1;
+                                o
+                            }
                         };
                         for job in orphans {
                             let target = (0..n_workers)
@@ -896,6 +910,15 @@ impl ServingEngine {
                             bat_faults::AppliedFault::Restarted(back, _) => {
                                 machine.restart(at, back.index());
                             }
+                            bat_faults::AppliedFault::Drained(leaving) => {
+                                // Planned departure: the in-flight round
+                                // completes, then remaining seated work
+                                // migrates to the queue front.
+                                machine.drain(at, leaving.index());
+                            }
+                            bat_faults::AppliedFault::Joined(fresh, _) => {
+                                machine.join(at, fresh.index());
+                            }
                             _ => {}
                         }
                     }
@@ -958,6 +981,9 @@ impl ServingEngine {
         );
         stats.slo = slo;
         stats.batching = machine.stats();
+        // Both engines derive the SLO-plane migration ledger from the same
+        // machine, so it is bit-identical by construction.
+        stats.slo.migrated = stats.batching.migrated_requests;
         if let Some(report) = self.planner.finish_faults() {
             stats.faults = report;
         }

@@ -32,7 +32,7 @@ pub mod engine;
 pub mod planner;
 pub mod stats;
 
-pub use bat_faults::{FaultEvent, FaultKind, FaultReport, FaultSchedule};
+pub use bat_faults::{AppliedFault, FaultEvent, FaultKind, FaultReport, FaultSchedule};
 pub use bat_metrics::{SloStats, TierStats};
 pub use bat_sched::{
     BatchCompletion, BatchScheduler, BatchShed, BatchingConfig, OverloadConfig, OverloadController,

@@ -502,6 +502,47 @@ impl RequestPlanner {
                     membership_changed = true;
                     reach_changed = true;
                 }
+                AppliedFault::Drained(w) => {
+                    // A drain is graceful for *work* (queued chunks migrate)
+                    // but the process still exits, so its cache partition
+                    // leaves with it — same invalidation as a crash, counted
+                    // separately so reports distinguish planned scale-in.
+                    let n = self
+                        .faults
+                        .as_ref()
+                        .expect("checked above")
+                        .view
+                        .num_workers();
+                    let (entries, bytes) = self.user_cache.invalidate_partition(w.index(), n);
+                    if let Some(pool) = &mut self.tiers {
+                        pool.forget_hot_partition(w.index(), n);
+                    }
+                    if let Some(meta) = &mut self.meta {
+                        let dropped = meta.as_index_mut().drop_user_partition(w.index(), n, at);
+                        debug_assert_eq!(
+                            dropped, entries,
+                            "meta service and user cache disagree on worker {w}'s partition"
+                        );
+                    }
+                    let fs = self.faults.as_mut().expect("checked above");
+                    fs.report.drains += 1;
+                    fs.report.invalidated_entries += entries;
+                    fs.report.invalidated_bytes += bytes.as_u64();
+                    membership_changed = true;
+                    reach_changed = true;
+                }
+                AppliedFault::Joined(w, _incarnation) => {
+                    if let Some(meta) = &mut self.meta {
+                        meta.as_index_mut().note_worker_restart(w.index(), at);
+                    }
+                    let fs = self.faults.as_mut().expect("checked above");
+                    fs.report.joins += 1;
+                    // The joined worker is a fresh process: empty until the
+                    // re-warm stream completes, exactly like a restart.
+                    fs.rewarm_ready_at[w.index()] = at + fs.rewarm_secs;
+                    membership_changed = true;
+                    reach_changed = true;
+                }
                 AppliedFault::Restarted(w, _incarnation) => {
                     if let Some(meta) = &mut self.meta {
                         meta.as_index_mut().note_worker_restart(w.index(), at);

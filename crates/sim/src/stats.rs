@@ -209,6 +209,13 @@ impl RunStats {
         h.write_u64(self.batching.batched_tokens);
         h.write_u64(self.batching.seat_refills);
         h.write_u64(self.batching.peak_seated as u64);
+        // Elastic membership is planner-side: drains, joins, and every
+        // migration the slot machine performed must agree bit-for-bit.
+        h.write_u64(self.batching.migrated_requests);
+        h.write_u64(self.batching.migrated_tokens);
+        h.write_u64(self.batching.drains);
+        h.write_u64(self.batching.joins);
+        h.write_u64(self.slo.migrated);
         // The fault report is all planner-side counters; its Debug form is
         // a stable field-ordered rendering.
         h.write(format!("{:?}", self.faults).as_bytes());
